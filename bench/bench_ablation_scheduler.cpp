@@ -1,0 +1,62 @@
+// Ablation: runtime scheduling policies on the MP Cholesky task DAG.
+//
+// The paper leans on PaRSEC's dynamic scheduling to absorb the load
+// imbalance that heterogeneous tiles (dense/TLR x FP64/32/16) create.
+// This bench compares the ready-queue policies of our runtime — FIFO,
+// LIFO, priority (panel-first), and work stealing — on the same DAG, and
+// reports makespan, parallel efficiency, and DAG statistics.
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "cholesky/factorize.hpp"
+#include "geostat/assemble.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace {
+
+using namespace gsx;
+using namespace gsx::bench;
+
+tile::SymTileMatrix make_matrix(std::size_t n, std::size_t ts) {
+  Rng rng(7);
+  auto locs = geostat::perturbed_grid_locations(n, rng);
+  geostat::sort_morton(locs);
+  const geostat::MaternCovariance model(1.0, 0.05, 0.5, 1e-6);
+  tile::SymTileMatrix a(n, ts);
+  geostat::fill_covariance_tiles(a, model, locs, 2);
+  cholesky::PrecisionPolicy policy;
+  policy.rule = cholesky::PrecisionRule::AdaptiveFrobenius;
+  cholesky::apply_precision_policy(a, policy);
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled(1024);
+  const std::size_t ts = 64;
+  const std::size_t workers = 3;
+  print_header("Ablation - scheduler policies on the MP Cholesky DAG (n=" +
+               std::to_string(n) + ", tile " + std::to_string(ts) + ", " +
+               std::to_string(workers) + " workers)");
+
+  std::printf("\n%-14s | %10s %10s %12s %8s %8s\n", "policy", "time (s)", "eff (%)",
+              "crit path", "tasks", "steals");
+  for (auto [policy, name] : {std::pair{rt::SchedPolicy::Fifo, "FIFO"},
+                              std::pair{rt::SchedPolicy::Lifo, "LIFO"},
+                              std::pair{rt::SchedPolicy::Priority, "priority"},
+                              std::pair{rt::SchedPolicy::WorkStealing, "work-steal"}}) {
+    auto a = make_matrix(n, ts);
+    cholesky::FactorOptions opts;
+    opts.workers = workers;
+    opts.sched = policy;
+    const auto rep = cholesky::tile_cholesky_dense(a, opts);
+    std::printf("%-14s | %10.4f %10.1f %12zu %8zu %8zu\n", name, rep.seconds,
+                100.0 * rep.graph.parallel_efficiency(workers),
+                rep.graph.critical_path_tasks, rep.graph.num_tasks, rep.graph.steals);
+  }
+  std::printf(
+      "\nall policies execute the same DAG to the same result; differences are pure "
+      "scheduling (note: a single physical core bounds the observable spread).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Algorithm 2 ablation: band_size_dense auto-tuning from the rank profile
+// and the kernel performance model (structure-aware runtime decision).
+//
+// Shows the per-sub-diagonal predicted dense vs TLR costs the tuner
+// compares, and the resulting band for weak vs strong correlation with both
+// the flop model and the machine-calibrated model.
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "cholesky/factorize.hpp"
+#include "geostat/assemble.hpp"
+#include "perfmodel/band_tuner.hpp"
+
+namespace {
+
+using namespace gsx;
+using namespace gsx::bench;
+
+tile::SymTileMatrix compressed_matrix(std::size_t n, std::size_t ts, double range) {
+  Rng rng(3);
+  auto locs = geostat::perturbed_grid_locations(n, rng);
+  geostat::sort_morton(locs);
+  const geostat::MaternCovariance model(1.0, range, 0.5, 1e-6);
+  tile::SymTileMatrix a(n, ts);
+  geostat::fill_covariance_tiles(a, model, locs, 2);
+  cholesky::TlrCompressOptions copt;
+  copt.band_size = 1;
+  copt.max_rank = ts;  // keep true ranks visible to the tuner
+  copt.lr_fp32 = false;
+  cholesky::compress_offband(a, copt, 2);
+  return a;
+}
+
+void report(const char* name, const tile::SymTileMatrix& a,
+            const perfmodel::KernelModel& model) {
+  const perfmodel::BandDecision d = perfmodel::tune_band_size(a, model, 1.0);
+  std::printf("\n%s (crossover rank %zu):\n", name, model.crossover_rank());
+  std::printf("  %-12s %16s %16s %8s\n", "sub-diag", "dense pred (s)", "TLR pred (s)",
+              "winner");
+  for (std::size_t i = 0; i < d.dense_seconds.size(); ++i) {
+    std::printf("  %-12zu %16.6f %16.6f %8s\n", i + 1, d.dense_seconds[i],
+                d.tlr_seconds[i], d.dense_seconds[i] < d.tlr_seconds[i] ? "dense" : "TLR");
+  }
+  std::printf("  => band_size_dense = %zu\n", d.band_size_dense);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled(768);
+  const std::size_t ts = 64;
+  print_header("Algorithm 2 - band_size_dense auto-tuning, Matérn 2D, n=" +
+               std::to_string(n) + ", tile " + std::to_string(ts));
+
+  const auto weak = compressed_matrix(n, ts, 0.03);
+  const auto strong = compressed_matrix(n, ts, 0.3);
+
+  const auto flop_model = perfmodel::KernelModel::theoretical(ts);
+  report("Weak correlation, flop model", weak, flop_model);
+  report("Strong correlation, flop model", strong, flop_model);
+
+  const std::vector<std::size_t> ranks = {ts / 16, ts / 8, ts / 4, ts / 2};
+  const auto measured = perfmodel::KernelModel::calibrate(ts, ranks);
+  report("Weak correlation, calibrated model", weak, measured);
+  report("Strong correlation, calibrated model", strong, measured);
+
+  std::printf(
+      "\npaper reference: high ranks cluster near the diagonal, so the tuner keeps a "
+      "narrow dense band (wider for strong correlation), cf. Fig. 3(a->b).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 10 reproduction: time-to-solution of the three Cholesky variants for
+// Matérn 2D space across problem sizes, worker counts, and weak/medium/
+// strong correlation.
+//
+// Expected shape (paper, up to 16K Fugaku nodes): MP+dense/TLR fastest,
+// largest speedup for weak correlation and large n (up to 12x); MP dense a
+// modest constant factor over dense FP64.
+#include <cstdio>
+#include <vector>
+
+#include "bench_utils.hpp"
+#include "common/timer.hpp"
+#include "core/model.hpp"
+
+namespace {
+
+using namespace gsx;
+using namespace gsx::bench;
+
+struct Timing {
+  double seconds = 0.0;
+  std::size_t footprint = 0;
+};
+
+Timing run_variant(core::ComputeVariant variant,
+                   const std::vector<geostat::Location>& locs,
+                   const std::vector<double>& z, double range, std::size_t workers) {
+  const geostat::MaternCovariance proto(1.0, range, 0.5, 1e-6);
+  core::ModelConfig cfg;
+  cfg.variant = variant;
+  cfg.tile_size = locs.size() >= 2048 ? 128 : 64;
+  cfg.workers = workers;
+  cfg.eps_target = 1e-8;
+  cfg.tlr_tol = 1e-8;
+  cfg.auto_band = true;
+  core::GsxModel model(proto.clone(), cfg);
+  core::EvalBreakdown bd;
+  const auto v = model.evaluate(proto.params(), locs, z, &bd);
+  Timing t;
+  // Time-to-solution of the Cholesky stage (the paper's proxy): the
+  // factorization task graph, excluding matrix generation.
+  t.seconds = bd.factor.seconds;
+  t.footprint = bd.footprint_bytes;
+  if (!v.ok) t.seconds = -1.0;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 10 - Time-to-solution, Matérn 2D space (one MLE iteration proxy)");
+
+  const std::vector<std::size_t> sizes = {scaled(1024), scaled(2048)};
+  const std::size_t workers = 2;
+
+  std::printf("\n%-14s %6s %8s | %12s %12s %12s | %9s %9s\n", "correlation", "n", "workers",
+              "dense64 (s)", "MP (s)", "MP+TLR (s)", "MP spd", "TLR spd");
+  auto run_row = [&](const CorrelationPreset& preset, std::size_t n) {
+    const SpaceProblem p = make_space_problem(n, preset.range);
+    const Timing dense =
+        run_variant(core::ComputeVariant::DenseFP64, p.locs, p.z, preset.range, workers);
+    const Timing mp =
+        run_variant(core::ComputeVariant::MPDense, p.locs, p.z, preset.range, workers);
+    const Timing tlr =
+        run_variant(core::ComputeVariant::MPDenseTLR, p.locs, p.z, preset.range, workers);
+    std::printf("%-14s %6zu %8zu | %12.4f %12.4f %12.4f | %8.2fx %8.2fx\n", preset.name, n,
+                workers, dense.seconds, mp.seconds, tlr.seconds,
+                dense.seconds / mp.seconds, dense.seconds / tlr.seconds);
+  };
+  for (const auto& preset : correlation_presets())
+    for (std::size_t n : sizes) run_row(preset, n);
+  // The paper's sweet spot: largest n at weak correlation (up to 12x there).
+  run_row(correlation_presets()[0], scaled(4096));
+
+  // Strong-scaling slice: fixed problem, growing worker count (the paper's
+  // node axis collapsed to the on-node worker pool).
+  std::printf("\nStrong scaling at n=%zu, weak correlation:\n", scaled(1024));
+  std::printf("%8s | %12s %12s %12s\n", "workers", "dense64 (s)", "MP (s)", "MP+TLR (s)");
+  const SpaceProblem p = make_space_problem(scaled(1024), 0.03);
+  for (std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const Timing dense =
+        run_variant(core::ComputeVariant::DenseFP64, p.locs, p.z, 0.03, w);
+    const Timing mp = run_variant(core::ComputeVariant::MPDense, p.locs, p.z, 0.03, w);
+    const Timing tlr = run_variant(core::ComputeVariant::MPDenseTLR, p.locs, p.z, 0.03, w);
+    std::printf("%8zu | %12.4f %12.4f %12.4f\n", w, dense.seconds, mp.seconds, tlr.seconds);
+  }
+  std::printf(
+      "\npaper reference: MP+dense/TLR up to 12x over dense FP64 at weak correlation on "
+      "16K nodes; speedup shrinks toward strong correlation and grows with n.\n"
+      "note: this host exposes a single physical core, so the worker sweep exercises the "
+      "runtime's dispatch rather than true strong scaling.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 6 reproduction: distribution of MLE parameter estimates over repeated
+// synthetic datasets, for weak/medium/strong spatial correlation and the
+// three compute variants. Prints five-number boxplot summaries.
+//
+// Expected shape (paper, 100 samples of 50K locations): MP+dense and
+// MP+dense/TLR boxplots overlap dense FP64; estimates center on the truth;
+// strong correlation is the hardest setting (most sensitive to precision
+// loss, widest relative spread on the range parameter).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_utils.hpp"
+#include "core/model.hpp"
+#include "mathx/stats.hpp"
+
+namespace {
+
+using namespace gsx;
+using namespace gsx::bench;
+
+std::size_t replicates() {
+  if (const char* s = std::getenv("GSX_BENCH_REPS")) {
+    const long v = std::atol(s);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  return 5;  // paper: 100; default keeps the single-core runtime in minutes
+}
+
+void print_box(const char* param, const mathx::BoxplotSummary& b, double truth) {
+  std::printf("    %-11s min=%7.4f q1=%7.4f med=%7.4f q3=%7.4f max=%7.4f  (truth %.3f)\n",
+              param, b.min, b.q1, b.median, b.q3, b.max, truth);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled(256);
+  const std::size_t reps = replicates();
+  const double truth_var = 1.0, truth_smooth = 0.5;
+
+  print_header("Fig. 6 - Parameter-estimate boxplots over " + std::to_string(reps) +
+               " synthetic Matérn 2D datasets of n=" + std::to_string(n) +
+               " (paper: 100 x 50K)");
+
+  for (const auto& preset : correlation_presets()) {
+    std::printf("\n==== correlation %s ====\n", preset.name);
+    for (core::ComputeVariant variant :
+         {core::ComputeVariant::DenseFP64, core::ComputeVariant::MPDense,
+          core::ComputeVariant::MPDenseTLR}) {
+      std::vector<double> est_var, est_range, est_smooth;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const SpaceProblem p =
+            make_space_problem(n, preset.range, truth_smooth, 1000 + 17 * r);
+        geostat::MaternCovariance proto(truth_var, preset.range, truth_smooth, 1e-6);
+        core::ModelConfig cfg;
+        cfg.variant = variant;
+        cfg.tile_size = 64;
+        cfg.workers = 2;
+        cfg.eps_target = 1e-8;
+        cfg.tlr_tol = 1e-8;
+        cfg.auto_band = true;
+        cfg.nm.max_evals = 100;
+        core::GsxModel model(proto.clone(), cfg);
+        const core::FitResult fit = model.fit(p.locs, p.z);
+        est_var.push_back(fit.theta[0]);
+        est_range.push_back(fit.theta[1]);
+        est_smooth.push_back(fit.theta[2]);
+      }
+      std::printf("  %s:\n", core::variant_name(variant));
+      print_box("variance", mathx::boxplot_summary(est_var), truth_var);
+      print_box("range", mathx::boxplot_summary(est_range), preset.range);
+      print_box("smoothness", mathx::boxplot_summary(est_smooth), truth_smooth);
+    }
+  }
+  std::printf(
+      "\npaper reference: all three variants recover the truth with overlapping "
+      "boxplots; strong correlation is most sensitive to precision loss.\n"
+      "set GSX_BENCH_REPS / GSX_BENCH_SCALE for larger runs.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 7 reproduction: mixed-precision tile Cholesky throughput by precision
+// configuration (paper: 1024 Fugaku nodes, tile 800; here: one node, the
+// worker pool, a Matérn covariance matrix).
+//
+// Expected shape: FP64 < band FP64/FP32 < band FP64/FP32/FP16 in effective
+// Gflop/s; the adaptive (Frobenius) configuration lands between, depending
+// on the correlation strength.
+#include <benchmark/benchmark.h>
+
+#include "cholesky/factorize.hpp"
+#include "cholesky/precision_policy.hpp"
+#include "geostat/assemble.hpp"
+#include "geostat/covariance.hpp"
+#include "geostat/locations.hpp"
+#include "tile/sym_tile_matrix.hpp"
+
+namespace {
+
+using namespace gsx;
+
+struct Problem {
+  std::vector<geostat::Location> locs;
+};
+
+const Problem& problem(std::size_t n) {
+  static Problem p = [n] {
+    Problem q;
+    Rng rng(5);
+    q.locs = geostat::perturbed_grid_locations(n, rng);
+    geostat::sort_morton(q.locs);
+    return q;
+  }();
+  return p;
+}
+
+constexpr std::size_t kN = 512;
+constexpr std::size_t kTs = 64;
+
+void run_variant(benchmark::State& state, cholesky::PrecisionRule rule,
+                 cholesky::BandConfig band, bool allow_fp16) {
+  const auto& prob = problem(kN);
+  const geostat::MaternCovariance model(1.0, 0.1, 0.5, 1e-6);
+  const auto workers = static_cast<std::size_t>(state.range(0));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    tile::SymTileMatrix a(kN, kTs);
+    geostat::fill_covariance_tiles(a, model, prob.locs, workers);
+    cholesky::PrecisionPolicy policy;
+    policy.rule = rule;
+    policy.band = band;
+    policy.eps_target = 1e-8;
+    policy.allow_fp16 = allow_fp16;
+    cholesky::apply_precision_policy(a, policy);
+    state.ResumeTiming();
+
+    cholesky::FactorOptions opts;
+    opts.workers = workers;
+    const auto rep = cholesky::tile_cholesky_dense(a, opts);
+    if (rep.info != 0) state.SkipWithError("non-SPD");
+  }
+  const double flops = static_cast<double>(kN) * kN * kN / 3.0;
+  state.counters["GFlop/s"] =
+      benchmark::Counter(flops * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_dense_fp64(benchmark::State& state) {
+  run_variant(state, cholesky::PrecisionRule::AllFP64, {}, false);
+}
+void BM_band_fp64_fp32(benchmark::State& state) {
+  run_variant(state, cholesky::PrecisionRule::Band, cholesky::BandConfig{2, 1000000},
+              false);
+}
+void BM_band_fp64_fp32_fp16(benchmark::State& state) {
+  run_variant(state, cholesky::PrecisionRule::Band, cholesky::BandConfig{2, 4}, true);
+}
+void BM_adaptive_frobenius(benchmark::State& state) {
+  run_variant(state, cholesky::PrecisionRule::AdaptiveFrobenius, {}, true);
+}
+
+BENCHMARK(BM_dense_fp64)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_band_fp64_fp32)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_band_fp64_fp32_fp16)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_adaptive_frobenius)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

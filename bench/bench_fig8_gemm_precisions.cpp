@@ -1,0 +1,100 @@
+// Fig. 8 reproduction: GEMM kernel throughput across precisions — DGEMM,
+// SGEMM, and the FP16-storage/FP32-accumulate SHGEMM (the BLIS kernel the
+// paper borrowed, here in software).
+//
+// Expected shape: SGEMM above DGEMM; SHGEMM below SGEMM (the conversion
+// overhead the paper also observed, falling back to SGEMM for performance).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/convert.hpp"
+#include "la/half_blas.hpp"
+#include "la/matrix.hpp"
+
+namespace {
+
+using namespace gsx;
+
+template <typename T>
+la::Matrix<T> random_mat(std::size_t n, Rng& rng) {
+  la::Matrix<T> m(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if constexpr (std::is_same_v<T, half>) {
+        m(i, j) = half(rng.normal());
+      } else {
+        m(i, j) = static_cast<T>(rng.normal());
+      }
+    }
+  return m;
+}
+
+void BM_dgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = random_mat<double>(n, rng);
+  const auto b = random_mat<double>(n, rng);
+  la::Matrix<double> c(n, n);
+  for (auto _ : state) {
+    la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, -1.0, a.cview(), b.cview(), 1.0,
+                     c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_sgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = random_mat<float>(n, rng);
+  const auto b = random_mat<float>(n, rng);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::gemm<float>(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(), 1.0f,
+                    c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_shgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto a = random_mat<half>(n, rng);
+  const auto b = random_mat<half>(n, rng);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::shgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(), 1.0f,
+               c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_hgemm_fp16_store(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto a = random_mat<half>(n, rng);
+  const auto b = random_mat<half>(n, rng);
+  la::Matrix<half> c(n, n);
+  for (auto _ : state) {
+    la::hgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(), 1.0f,
+              c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_dgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_sgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_shgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_hgemm_fp16_store)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Fig. 9 reproduction: adaptive decision heat maps (precision + structure)
+// for weak vs strong correlation, with memory-footprint accounting.
+//
+// Expected shape (paper, Matérn 2D at n=1M, tile 2700): weak correlation
+// yields many more FP16/FP32 and low-rank tiles than strong correlation;
+// MF(MP+dense/TLR) < MF(MP+dense) < MF(dense FP64), up to 79% reduction.
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "core/model.hpp"
+
+namespace {
+
+using namespace gsx;
+using namespace gsx::bench;
+
+void show(const char* title, const tile::SymTileMatrix& a, std::size_t dense_bytes) {
+  std::printf("\n%s\n", title);
+  for (const auto& row : a.decision_map()) std::printf("  %s\n", row.c_str());
+  const auto counts = a.decision_counts();
+  std::printf("  tiles:");
+  for (const auto& [code, cnt] : counts) std::printf(" %c=%zu", code, cnt);
+  const std::size_t mf = a.footprint_bytes();
+  std::printf("\n  memory footprint: %.2f MiB (dense FP64: %.2f MiB, reduction %.0f%%)\n",
+              mf / 1048576.0, dense_bytes / 1048576.0,
+              100.0 * (1.0 - static_cast<double>(mf) / static_cast<double>(dense_bytes)));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled(1024);
+  const std::size_t ts = 64;
+
+  print_header(
+      "Fig. 9 - Adaptive decision maps, Matérn 2D space, n=" + std::to_string(n) +
+      ", tile " + std::to_string(ts) +
+      "  (codes: D=FP64 S=FP32 H=FP16 dense; L=FP64 l=FP32 low-rank)");
+
+  for (const auto& preset : {CorrelationPreset{"Weak correlation (0.03)", 0.03},
+                             CorrelationPreset{"Strong correlation (0.3)", 0.3}}) {
+    Rng rng(11);
+    auto locs = geostat::perturbed_grid_locations(n, rng);
+    geostat::sort_morton(locs);
+    const geostat::MaternCovariance proto(1.0, preset.range, 0.5, 1e-6);
+    const std::vector<double> theta = proto.params();
+
+    std::printf("\n==== %s ====\n", preset.name);
+
+    core::ModelConfig mp_cfg;
+    mp_cfg.variant = core::ComputeVariant::MPDense;
+    mp_cfg.tile_size = ts;
+    mp_cfg.eps_target = 1e-8;
+    core::GsxModel mp(proto.clone(), mp_cfg);
+    core::EvalBreakdown bd;
+    const auto mp_matrix = mp.build_decision_matrix(theta, locs, &bd);
+    show("MP+dense (adaptive Frobenius rule):", mp_matrix, bd.dense_fp64_bytes);
+
+    core::ModelConfig tlr_cfg = mp_cfg;
+    tlr_cfg.variant = core::ComputeVariant::MPDenseTLR;
+    tlr_cfg.auto_band = true;
+    core::GsxModel tlr(proto.clone(), tlr_cfg);
+    core::EvalBreakdown bd2;
+    const auto tlr_matrix = tlr.build_decision_matrix(theta, locs, &bd2);
+    char title[128];
+    std::snprintf(title, sizeof title,
+                  "MP+dense/TLR (tol 1e-8, auto band_size_dense=%zu):",
+                  bd2.band_size_dense);
+    show(title, tlr_matrix, bd2.dense_fp64_bytes);
+  }
+  std::printf(
+      "\npaper reference: MF reduction up to 63%% (MP+dense) / 79%% (MP+dense/TLR) at "
+      "n=1M; weak correlation demotes/compresses far more tiles than strong.\n");
+  return 0;
+}

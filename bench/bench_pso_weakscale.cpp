@@ -1,0 +1,51 @@
+// Section VI-D reproduction: weak scaling of the parallel MLE training via
+// particle swarm optimization — independent log-likelihood evaluations per
+// particle, dispatched concurrently (the paper's path to full-Fugaku scale).
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "common/timer.hpp"
+#include "core/model.hpp"
+
+int main() {
+  using namespace gsx;
+  using namespace gsx::bench;
+
+  const std::size_t n = scaled(256);
+  print_header("PSO weak scaling - parallel log-likelihood evaluations (n=" +
+               std::to_string(n) + " per evaluation)");
+
+  const SpaceProblem p = make_space_problem(n, 0.1);
+  const geostat::MaternCovariance proto(1.0, 0.1, 0.5, 1e-6);
+
+  std::printf("\n%8s %8s | %12s %14s %12s\n", "workers", "swarm", "time (s)",
+              "evals total", "evals/s");
+  double base_rate = 0.0;
+  for (std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::ModelConfig cfg;
+    cfg.variant = core::ComputeVariant::DenseFP64;
+    cfg.tile_size = 64;
+    cfg.workers = 1;  // inner Cholesky sequential: parallelism across particles
+    cfg.optimizer = core::OptimizerKind::ParticleSwarm;
+    cfg.pso.workers = w;
+    cfg.pso.swarm_size = 4 * w;  // weak scaling: particles per worker constant
+    cfg.pso.max_iters = 6;
+    cfg.pso.stall_iters = 100;  // run all iterations
+    core::GsxModel model(proto.clone(), cfg);
+
+    Timer t;
+    const core::FitResult fit = model.fit(p.locs, p.z);
+    const double secs = t.seconds();
+    const double rate = static_cast<double>(fit.evaluations) / secs;
+    if (w == 1) base_rate = rate;
+    std::printf("%8zu %8zu | %12.3f %14zu %12.2f  (efficiency %.0f%%)\n", w,
+                4 * w, secs, fit.evaluations, rate,
+                100.0 * rate / (base_rate * static_cast<double>(w)));
+  }
+  std::printf(
+      "\npaper reference: PSO particles evaluate embarrassingly parallel MLEs with loose "
+      "per-iteration synchronization, extending strong-scaled Cholesky to full Fugaku.\n"
+      "note: on a single physical core, oversubscribed workers cannot exceed 100%% "
+      "aggregate efficiency; the table demonstrates the dispatch path.\n");
+  return 0;
+}

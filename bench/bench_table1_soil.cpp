@@ -1,0 +1,68 @@
+// Table I reproduction: MLE + prediction on the (synthetic) soil-moisture
+// dataset for the three compute variants.
+//
+// Paper (1M training / 100K testing locations, Mississippi basin): the three
+// variants agree on (variance, range, smoothness), log-likelihood, and MSPE
+// to ~2-3 significant digits; estimated parameters show medium correlation
+// (theta_1 ~ 0.17) and a rough field (theta_2 ~ 0.44). We synthesize a field
+// with exactly those parameters and check the same agreement.
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "mathx/stats.hpp"
+
+int main() {
+  using namespace gsx;
+  using namespace gsx::bench;
+
+  data::SoilMoistureConfig dcfg;
+  dcfg.n = scaled(700);
+  const data::Dataset full = data::make_soil_moisture_like(dcfg);
+  Rng split_rng(1);
+  auto split = data::split_train_test(full, 6.0 / 7.0, split_rng);
+  // The random split destroys the Morton order the TLR structure relies on;
+  // restore it on the training set (values carried along).
+  data::sort_morton(split.train);
+
+  print_header("Table I - Soil-moisture(-like) 2D space dataset: " +
+               std::to_string(split.train.size()) + " training / " +
+               std::to_string(split.test.size()) + " testing locations");
+  std::printf("ground truth: variance=%.3f range=%.3f smoothness=%.3f\n", dcfg.variance,
+              dcfg.range, dcfg.smoothness);
+
+  std::printf("\n%-14s %12s %12s %14s %16s %10s %8s\n", "Approach", "Variance",
+              "Range", "Smoothness", "Log-Likelihood", "MSPE", "evals");
+
+  for (core::ComputeVariant variant :
+       {core::ComputeVariant::DenseFP64, core::ComputeVariant::MPDense,
+        core::ComputeVariant::MPDenseTLR}) {
+    // Start away from the truth; bounds from the model.
+    geostat::MaternCovariance proto(0.5, 0.1, 0.8, dcfg.nugget);
+    core::ModelConfig cfg;
+    cfg.variant = variant;
+    cfg.tile_size = 64;
+    cfg.workers = 2;
+    cfg.eps_target = 1e-8;
+    cfg.tlr_tol = 1e-8;
+    cfg.auto_band = true;
+    cfg.nm.max_evals = 150;
+    core::GsxModel model(proto.clone(), cfg);
+
+    const core::FitResult fit = model.fit(split.train.locations, split.train.values);
+    const geostat::KrigingResult pred = model.predict(
+        fit.theta, split.train.locations, split.train.values, split.test.locations, false);
+    const double mspe = mathx::mspe(pred.mean, split.test.values);
+
+    std::printf("%-14s %12.4f %12.4f %14.4f %16.4f %10.4f %8zu\n",
+                core::variant_name(variant), fit.theta[0], fit.theta[1], fit.theta[2],
+                fit.loglik, mspe, fit.evaluations);
+  }
+
+  std::printf(
+      "\npaper reference (1M locations): Dense FP64 / MP+dense / MP+dense/TLR estimates "
+      "agree to ~2 digits; MSPE 0.0330 / 0.0330 / 0.0332.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table II reproduction: space-time MLE + prediction on the (synthetic)
+// evapotranspiration dataset for the three compute variants, including the
+// paper's preprocessing pipeline (climatology removal + per-month linear
+// detrending).
+//
+// Paper (83K locations x 12 months, Central Asia): strong spatial
+// correlation; the three variants agree on all six Gneiting parameters and
+// MSPE (0.9345 / 0.9348 / 0.9428); the nonseparability parameter ~0.19.
+#include <cstdio>
+
+#include "bench_utils.hpp"
+#include "core/model.hpp"
+#include "data/synthetic.hpp"
+#include "mathx/stats.hpp"
+
+int main() {
+  using namespace gsx;
+  using namespace gsx::bench;
+
+  data::EtConfig dcfg;
+  dcfg.spatial_n = scaled(72);
+  dcfg.months = 8;
+  dcfg.history_years = 12;
+  const data::SpaceTimeDataset ds = data::make_et_like(dcfg);
+  const std::vector<double> residual = data::detrend_et(ds);
+
+  // Hold out a random 1/8 of the space-time points for prediction.
+  data::Dataset all;
+  all.locations = ds.locations;
+  all.values = residual;
+  Rng split_rng(3);
+  auto split = data::split_train_test(all, 7.0 / 8.0, split_rng);
+  data::sort_morton(split.train, /*use_time=*/true);
+
+  print_header("Table II - Evapotranspiration(-like) space-time dataset: " +
+               std::to_string(split.train.size()) + " training / " +
+               std::to_string(split.test.size()) + " testing space-time locations");
+  std::printf(
+      "ground truth: variance=%.3f range-s=%.3f smooth-s=%.3f range-t=%.3f "
+      "smooth-t=%.3f beta=%.3f  (preprocessed: climatology + monthly linear detrend)\n",
+      dcfg.variance, dcfg.range_s, dcfg.smooth_s, dcfg.range_t, dcfg.smooth_t, dcfg.beta);
+
+  std::printf("\n%-14s %10s %10s %10s %10s %10s %10s %14s %9s\n", "Approach", "Variance",
+              "Range-s", "Smooth-s", "Range-t", "Smooth-t", "Nonsep", "Log-Lik", "MSPE");
+
+  for (core::ComputeVariant variant :
+       {core::ComputeVariant::DenseFP64, core::ComputeVariant::MPDense,
+        core::ComputeVariant::MPDenseTLR}) {
+    // Start at a perturbed point (optimizing all six parameters).
+    geostat::GneitingCovariance proto(0.7, 0.4, 0.5, 0.3, 0.7, 0.4, dcfg.nugget);
+    core::ModelConfig cfg;
+    cfg.variant = variant;
+    cfg.tile_size = 64;
+    cfg.workers = 2;
+    cfg.eps_target = 1e-8;
+    cfg.tlr_tol = 1e-8;
+    cfg.auto_band = true;
+    cfg.nm.max_evals = 180;
+    core::GsxModel model(proto.clone(), cfg);
+
+    const core::FitResult fit = model.fit(split.train.locations, split.train.values);
+    const geostat::KrigingResult pred = model.predict(
+        fit.theta, split.train.locations, split.train.values, split.test.locations, false);
+    const double mspe = mathx::mspe(pred.mean, split.test.values);
+
+    std::printf("%-14s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %14.2f %9.4f\n",
+                core::variant_name(variant), fit.theta[0], fit.theta[1], fit.theta[2],
+                fit.theta[3], fit.theta[4], fit.theta[5], fit.loglik, mspe);
+  }
+
+  std::printf(
+      "\npaper reference (1M space-time locations): all variants agree; MSPE 0.9345 / "
+      "0.9348 / 0.9428; nonseparability ~0.186 (dropping it would hurt prediction).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Evapotranspiration scenario (paper Table II): synthesize a Gneiting
+// space-time dataset with seasonal climatology and spatial trends, run the
+// paper's preprocessing pipeline (climatology removal + per-month linear
+// detrend), fit the six-parameter non-separable model, and predict.
+//
+//   $ ./examples/evapotranspiration [spatial_n] [months]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "data/synthetic.hpp"
+#include "mathx/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsx;
+
+  data::EtConfig dcfg;
+  dcfg.spatial_n = (argc > 1) ? static_cast<std::size_t>(std::atoll(argv[1])) : 64;
+  dcfg.months = (argc > 2) ? static_cast<std::size_t>(std::atoll(argv[2])) : 6;
+  dcfg.history_years = 10;
+
+  std::printf("synthesizing %zu months x %zu locations of ET-like data (+%zu history "
+              "years for the climatology)\n",
+              dcfg.months, dcfg.spatial_n, dcfg.history_years);
+
+  const data::SpaceTimeDataset ds = data::make_et_like(dcfg);
+  std::printf("raw variance %.3f -> ", mathx::variance(ds.raw));
+  const std::vector<double> residual = data::detrend_et(ds);
+  std::printf("detrended residual variance %.3f (underlying field %.3f)\n",
+              mathx::variance(residual), mathx::variance(ds.truth_residual));
+
+  // Hold out one of every eight space-time points.
+  data::Dataset all;
+  all.locations = ds.locations;
+  all.values = residual;
+  Rng rng(5);
+  auto split = data::split_train_test(all, 0.875, rng);
+  data::sort_morton(split.train, /*use_time=*/true);
+
+  geostat::GneitingCovariance start(0.7, 0.4, 0.5, 0.3, 0.7, 0.4, dcfg.nugget);
+  core::ModelConfig cfg;
+  cfg.variant = core::ComputeVariant::MPDenseTLR;
+  cfg.tile_size = 64;
+  cfg.workers = 2;
+  cfg.nm.max_evals = 150;
+  core::GsxModel model(start.clone(), cfg);
+
+  const core::FitResult fit = model.fit(split.train.locations, split.train.values);
+  std::printf(
+      "\nfitted Gneiting parameters (truth in parentheses):\n"
+      "  variance    %.4f (%.3f)\n  range-space %.4f (%.3f)\n"
+      "  smooth-space %.4f (%.3f)\n  range-time  %.4f (%.3f)\n"
+      "  smooth-time %.4f (%.3f)\n  nonsep beta %.4f (%.3f)\n",
+      fit.theta[0], dcfg.variance, fit.theta[1], dcfg.range_s, fit.theta[2], dcfg.smooth_s,
+      fit.theta[3], dcfg.range_t, fit.theta[4], dcfg.smooth_t, fit.theta[5], dcfg.beta);
+
+  const geostat::KrigingResult pred =
+      model.predict(fit.theta, split.train.locations, split.train.values,
+                    split.test.locations, /*with_variance=*/false);
+  std::printf("held-out MSPE %.4f (zero-predictor %.4f)\n",
+              mathx::mspe(pred.mean, split.test.values),
+              mathx::variance(split.test.values));
+  return 0;
+}

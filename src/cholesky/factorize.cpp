@@ -1,0 +1,196 @@
+#include "cholesky/factorize.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "cholesky/tile_kernels.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "la/convert.hpp"
+
+namespace gsx::cholesky {
+
+using rt::Access;
+using rt::DatumId;
+using tile::SymTileMatrix;
+using tile::Tile;
+using tile::TileFormat;
+
+namespace {
+
+DatumId tid(const SymTileMatrix& a, std::size_t i, std::size_t j) {
+  return DatumId::from_pointer(&a.at(i, j));
+}
+
+/// Submit the Algorithm-1 DAG; `gemm_body` abstracts over the dense and
+/// mixed dense/LR GEMM kernels.
+template <typename TrsmFn, typename SyrkFn, typename GemmFn>
+FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmFn&& trsm_fn,
+                              SyrkFn&& syrk_fn, GemmFn&& gemm_fn) {
+  const std::size_t nt = a.nt();
+  rt::TaskGraph graph;
+  graph.set_policy(opts.sched);
+  graph.set_tracing(opts.tracing);
+
+  std::atomic<int> info{0};
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    const int base = 3 * static_cast<int>(nt - k);
+    graph.submit(
+        "potrf(" + std::to_string(k) + ")", {{tid(a, k, k), Access::ReadWrite}},
+        [&a, &info, k] {
+          const int local = potrf_tile(a.at(k, k));
+          if (local != 0) {
+            int expected = 0;
+            info.compare_exchange_strong(
+                expected, static_cast<int>(k * a.tile_size()) + local);
+            throw NumericalError("tile Cholesky: non-SPD pivot in diagonal tile " +
+                                 std::to_string(k));
+          }
+        },
+        base + 2);
+
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      graph.submit("trsm(" + std::to_string(m) + "," + std::to_string(k) + ")",
+                   {{tid(a, k, k), Access::Read}, {tid(a, m, k), Access::ReadWrite}},
+                   [&a, &trsm_fn, m, k] { trsm_fn(a.at(k, k), a.at(m, k)); }, base + 1);
+    }
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      graph.submit("syrk(" + std::to_string(m) + "," + std::to_string(k) + ")",
+                   {{tid(a, m, k), Access::Read}, {tid(a, m, m), Access::ReadWrite}},
+                   [&a, &syrk_fn, m, k] { syrk_fn(a.at(m, k), a.at(m, m)); }, base);
+      for (std::size_t n = k + 1; n < m; ++n) {
+        graph.submit("gemm(" + std::to_string(m) + "," + std::to_string(n) + "," +
+                         std::to_string(k) + ")",
+                     {{tid(a, m, k), Access::Read},
+                      {tid(a, n, k), Access::Read},
+                      {tid(a, m, n), Access::ReadWrite}},
+                     [&a, &gemm_fn, m, n, k] { gemm_fn(a.at(m, k), a.at(n, k), a.at(m, n)); },
+                     base);
+      }
+    }
+  }
+
+  FactorReport report;
+  Timer t;
+  try {
+    graph.run(opts.workers);
+  } catch (const NumericalError&) {
+    // info carries the failing pivot; callers treat info != 0 as soft
+    // failure (the MLE optimizer backs away from the parameter point).
+    GSX_REQUIRE(info.load() != 0, "tile Cholesky: abort without pivot info");
+  }
+  report.seconds = t.seconds();
+  report.info = info.load();
+  report.graph = graph.stats();
+  return report;
+}
+
+}  // namespace
+
+FactorReport tile_cholesky_dense(SymTileMatrix& a, const FactorOptions& opts) {
+  return run_cholesky_dag(
+      a, opts, [](const Tile& l, Tile& b) { trsm_tile(l, b); },
+      [](const Tile& p, Tile& d) { syrk_tile(p, d); },
+      [](const Tile& x, const Tile& y, Tile& c) { gemm_tile(x, y, c); });
+}
+
+FactorReport tile_cholesky_tlr(SymTileMatrix& a, double abs_tol, const FactorOptions& opts) {
+  return run_cholesky_dag(
+      a, opts,
+      [](const Tile& l, Tile& b) {
+        if (b.format() == TileFormat::LowRank)
+          trsm_lr_tile(l, b);
+        else
+          trsm_tile(l, b);
+      },
+      [](const Tile& p, Tile& d) {
+        if (p.format() == TileFormat::LowRank)
+          syrk_lr_tile(p, d);
+        else
+          syrk_tile(p, d);
+      },
+      [abs_tol, rounding = opts.rounding](const Tile& x, const Tile& y, Tile& c) {
+        gemm_mixed_tile(x, y, c, abs_tol, rounding);
+      });
+}
+
+CompressStats compress_offband(SymTileMatrix& a, const TlrCompressOptions& opts,
+                               std::size_t workers) {
+  GSX_REQUIRE(opts.band_size >= 1, "compress_offband: band must keep the diagonal dense");
+  GSX_REQUIRE(opts.tol > 0, "compress_offband: tolerance must be positive");
+  const std::size_t nt = a.nt();
+
+  CompressStats stats;
+  stats.bytes_before = a.footprint_bytes();
+  const std::size_t rank_cap = (opts.max_rank > 0) ? opts.max_rank : a.tile_size() / 2;
+
+  // Global norm for the FP32-storage decision on LR factors.
+  const double global_norm = opts.lr_fp32 ? a.frobenius_norm() : 0.0;
+
+  // Collect compressible coordinates.
+  std::vector<std::pair<std::size_t, std::size_t>> coords;
+  for (std::size_t j = 0; j < nt; ++j)
+    for (std::size_t i = j; i < nt; ++i)
+      if (i - j >= opts.band_size) coords.emplace_back(i, j);
+
+  std::atomic<std::size_t> lr_count{0}, lr32_count{0}, reverted{0}, max_rank{0};
+  std::atomic<std::uint64_t> rank_sum{0};
+
+  rt::parallel_for(0, coords.size(), workers, [&](std::size_t c) {
+    const auto [i, j] = coords[c];
+    Tile& t = a.at(i, j);
+    GSX_REQUIRE(t.format() == TileFormat::Dense,
+                "compress_offband: tile already compressed");
+    const double tile_norm = t.frobenius();
+    const la::Matrix<double> full = t.to_dense64();
+    Rng rng(opts.seed + 1315423911ull * (i * nt + j));
+    tlr::Compressed comp =
+        tlr::compress(opts.method, full.cview(), opts.tol, rng, tlr::TolMode::Absolute);
+
+    if (comp.rank() > rank_cap) {
+      // Structure-aware decision: rank too high for the TLR kernel to win;
+      // keep the tile dense (it re-joins the band, cf. Fig. 3(a->b)).
+      ++reverted;
+      return;
+    }
+
+    // Precision-aware decision for the LR factors (FP64 vs FP32 storage).
+    bool use_fp32 = false;
+    if (opts.lr_fp32) {
+      const Precision p = frobenius_precision(tile_norm, global_norm, nt, opts.eps_target,
+                                              /*allow_fp16=*/false, t.rows() * t.cols());
+      use_fp32 = (p != Precision::FP64);
+    }
+    const std::size_t k = comp.rank();
+    if (use_fp32) {
+      la::Matrix<float> u32(comp.u.rows(), k), v32(comp.v.rows(), k);
+      la::convert(comp.u.cview(), u32.view());
+      la::convert(comp.v.cview(), v32.view());
+      t = Tile::lowrank32(std::move(u32), std::move(v32));
+      ++lr32_count;
+    } else {
+      t = Tile::lowrank64(std::move(comp.u), std::move(comp.v));
+    }
+    ++lr_count;
+    rank_sum += k;
+    std::size_t prev = max_rank.load();
+    while (k > prev && !max_rank.compare_exchange_weak(prev, k)) {
+    }
+  });
+
+  stats.lr_tiles = lr_count.load();
+  stats.lr_fp32_tiles = lr32_count.load();
+  stats.reverted_tiles = reverted.load();
+  stats.max_rank = max_rank.load();
+  stats.avg_rank = stats.lr_tiles > 0
+                       ? static_cast<double>(rank_sum.load()) /
+                             static_cast<double>(stats.lr_tiles)
+                       : 0.0;
+  stats.dense_tiles = nt * (nt + 1) / 2 - stats.lr_tiles;
+  stats.bytes_after = a.footprint_bytes();
+  return stats;
+}
+
+}  // namespace gsx::cholesky

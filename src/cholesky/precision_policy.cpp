@@ -1,0 +1,83 @@
+#include "cholesky/precision_policy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gsx::cholesky {
+
+Precision band_precision(std::size_t i, std::size_t j, const BandConfig& cfg,
+                         bool allow_fp16) noexcept {
+  const std::size_t dist = (i >= j) ? i - j : j - i;
+  if (dist < cfg.fp64_band) return Precision::FP64;
+  if (dist < cfg.fp32_band || !allow_fp16) return Precision::FP32;
+  return Precision::FP16;
+}
+
+Precision frobenius_precision(double tile_norm, double global_norm, std::size_t nt,
+                              double eps_target, bool allow_fp16,
+                              std::size_t tile_elems, bool allow_bf16) noexcept {
+  // A tile may be stored at unit roundoff u_p iff its worst-case storage
+  // error  u_p * ||A_ij||_F + sqrt(elems) * subnormal_floor(p)  stays below
+  // the per-tile budget  eps * ||A||_F / NT, so the NT x NT tile errors sum
+  // (in Frobenius) to at most eps * ||A||_F.
+  const double budget = eps_target * global_norm / static_cast<double>(nt);
+  const double root_elems = std::sqrt(static_cast<double>(tile_elems));
+  auto fits = [&](Precision p) {
+    return unit_roundoff(p) * tile_norm + root_elems * subnormal_floor(p) < budget;
+  };
+  // FP16 first (smaller roundoff); tiles it loses to *underflow* (not to
+  // roundoff) fall through to BF16, whose FP32-like range has essentially
+  // no subnormal floor at geostatistical magnitudes.
+  if (allow_fp16 && fits(Precision::FP16)) return Precision::FP16;
+  if (allow_bf16 && fits(Precision::BF16)) return Precision::BF16;
+  if (fits(Precision::FP32)) return Precision::FP32;
+  return Precision::FP64;
+}
+
+PolicyStats apply_precision_policy(tile::SymTileMatrix& a, const PrecisionPolicy& policy) {
+  PolicyStats stats;
+  stats.bytes_before = a.footprint_bytes();
+  const std::size_t nt = a.nt();
+
+  // The Frobenius rule needs the global norm, accumulated tile-by-tile
+  // (the paper stores no global copy of the matrix).
+  const double global_norm =
+      (policy.rule == PrecisionRule::AdaptiveFrobenius) ? a.frobenius_norm() : 0.0;
+
+  for (std::size_t j = 0; j < nt; ++j) {
+    for (std::size_t i = j; i < nt; ++i) {
+      tile::Tile& t = a.at(i, j);
+      // Low-rank tiles carry their own precision decision (made during
+      // compression); the dense-tile rule does not apply to them.
+      if (t.format() != tile::TileFormat::Dense) continue;
+      Precision p = Precision::FP64;
+      if (i != j) {  // diagonal stays FP64
+        switch (policy.rule) {
+          case PrecisionRule::AllFP64:
+            p = Precision::FP64;
+            break;
+          case PrecisionRule::Band:
+            p = band_precision(i, j, policy.band, policy.allow_fp16);
+            break;
+          case PrecisionRule::AdaptiveFrobenius:
+            p = frobenius_precision(t.frobenius(), global_norm, nt, policy.eps_target,
+                                    policy.allow_fp16, t.rows() * t.cols(),
+                                    policy.allow_bf16);
+            break;
+        }
+      }
+      t.convert_dense(p);
+      switch (p) {
+        case Precision::FP64: ++stats.fp64_tiles; break;
+        case Precision::FP32: ++stats.fp32_tiles; break;
+        case Precision::FP16: ++stats.fp16_tiles; break;
+        case Precision::BF16: ++stats.bf16_tiles; break;
+      }
+    }
+  }
+  stats.bytes_after = a.footprint_bytes();
+  return stats;
+}
+
+}  // namespace gsx::cholesky

@@ -1,0 +1,233 @@
+#include "cholesky/tile_solve.hpp"
+
+#include <cmath>
+
+#include "cholesky/tile_kernels.hpp"
+#include "common/error.hpp"
+#include "geostat/assemble.hpp"
+#include "la/blas.hpp"
+
+namespace gsx::cholesky {
+
+using tile::SymTileMatrix;
+using tile::Tile;
+using tile::TileFormat;
+
+double tile_logdet(const SymTileMatrix& l) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < l.nt(); ++k) {
+    const Tile& d = l.at(k, k);
+    GSX_REQUIRE(d.format() == TileFormat::Dense && d.precision() == Precision::FP64,
+                "tile_logdet: diagonal tiles must be dense FP64");
+    const auto& m = d.d64();
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      GSX_REQUIRE(m(i, i) > 0.0, "tile_logdet: factor has non-positive diagonal");
+      s += std::log(m(i, i));
+    }
+  }
+  return 2.0 * s;
+}
+
+namespace {
+
+/// Apply z_i -= A_ik * z_k for an off-diagonal tile of the factor.
+void apply_offdiag(const Tile& t, const double* zk, double* zi) {
+  if (t.format() == TileFormat::LowRank) {
+    const LrOperand a(t);
+    tlr::lr_gemv(-1.0, a.view(), zk, zi);
+  } else {
+    const F64Operand a(t);
+    la::gemv<double>(la::Trans::NoTrans, -1.0, a.view(), zk, 1.0, zi);
+  }
+}
+
+/// Apply z_k -= A_ik^T * z_i.
+void apply_offdiag_trans(const Tile& t, const double* zi, double* zk) {
+  if (t.format() == TileFormat::LowRank) {
+    const LrOperand a(t);
+    tlr::lr_gemv_trans(-1.0, a.view(), zi, zk);
+  } else {
+    const F64Operand a(t);
+    la::gemv<double>(la::Trans::Trans, -1.0, a.view(), zi, 1.0, zk);
+  }
+}
+
+}  // namespace
+
+void tile_forward_solve(const SymTileMatrix& l, std::span<double> z) {
+  GSX_REQUIRE(z.size() == l.n(), "tile_forward_solve: vector size mismatch");
+  const std::size_t nt = l.nt();
+  for (std::size_t k = 0; k < nt; ++k) {
+    double* zk = z.data() + l.tile_offset(k);
+    // z_k := L_kk^{-1} z_k.
+    const auto& d = l.at(k, k).d64();
+    const std::size_t nk = l.tile_dim(k);
+    for (std::size_t j = 0; j < nk; ++j) {
+      zk[j] /= d(j, j);
+      const double zj = zk[j];
+      if (zj == 0.0) continue;
+      for (std::size_t i = j + 1; i < nk; ++i) zk[i] -= d(i, j) * zj;
+    }
+    for (std::size_t i = k + 1; i < nt; ++i)
+      apply_offdiag(l.at(i, k), zk, z.data() + l.tile_offset(i));
+  }
+}
+
+void tile_backward_solve(const SymTileMatrix& l, std::span<double> z) {
+  GSX_REQUIRE(z.size() == l.n(), "tile_backward_solve: vector size mismatch");
+  const std::size_t nt = l.nt();
+  for (std::size_t k = nt; k-- > 0;) {
+    double* zk = z.data() + l.tile_offset(k);
+    for (std::size_t i = k + 1; i < nt; ++i)
+      apply_offdiag_trans(l.at(i, k), z.data() + l.tile_offset(i), zk);
+    // z_k := L_kk^{-T} z_k.
+    const auto& d = l.at(k, k).d64();
+    const std::size_t nk = l.tile_dim(k);
+    for (std::size_t jj = nk; jj-- > 0;) {
+      double s = zk[jj];
+      for (std::size_t i = jj + 1; i < nk; ++i) s -= d(i, jj) * zk[i];
+      zk[jj] = s / d(jj, jj);
+    }
+  }
+}
+
+geostat::LoglikValue tile_loglik(const SymTileMatrix& l, std::span<const double> z) {
+  GSX_REQUIRE(z.size() == l.n(), "tile_loglik: vector size mismatch");
+  geostat::LoglikValue out;
+  out.logdet = tile_logdet(l);
+  std::vector<double> y(z.begin(), z.end());
+  tile_forward_solve(l, y);
+  out.quadratic = 0.0;
+  for (double v : y) out.quadratic += v * v;
+  constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+  out.loglik =
+      -0.5 * (static_cast<double>(l.n()) * kLog2Pi + out.logdet + out.quadratic);
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+/// B_i -= A_ik * B_k for an off-diagonal tile against RHS block rows.
+void apply_offdiag_multi(const Tile& t, Span2D<const double> bk, Span2D<double> bi) {
+  if (t.format() == TileFormat::LowRank) {
+    const LrOperand a(t);
+    const tlr::LrView& lr = a.view();
+    const std::size_t k = lr.rank();
+    if (k == 0) return;
+    la::Matrix<double> w(k, bk.cols());
+    la::gemm<double>(la::Trans::Trans, la::Trans::NoTrans, 1.0, lr.v, bk, 0.0, w.view());
+    la::gemm<double>(la::Trans::NoTrans, la::Trans::NoTrans, -1.0, lr.u, w.cview(), 1.0,
+                     bi);
+  } else {
+    const F64Operand a(t);
+    la::gemm<double>(la::Trans::NoTrans, la::Trans::NoTrans, -1.0, a.view(), bk, 1.0, bi);
+  }
+}
+
+/// B_k -= A_ik^T * B_i.
+void apply_offdiag_trans_multi(const Tile& t, Span2D<const double> bi, Span2D<double> bk) {
+  if (t.format() == TileFormat::LowRank) {
+    const LrOperand a(t);
+    const tlr::LrView& lr = a.view();
+    const std::size_t k = lr.rank();
+    if (k == 0) return;
+    la::Matrix<double> w(k, bi.cols());
+    la::gemm<double>(la::Trans::Trans, la::Trans::NoTrans, 1.0, lr.u, bi, 0.0, w.view());
+    la::gemm<double>(la::Trans::NoTrans, la::Trans::NoTrans, -1.0, lr.v, w.cview(), 1.0,
+                     bk);
+  } else {
+    const F64Operand a(t);
+    la::gemm<double>(la::Trans::Trans, la::Trans::NoTrans, -1.0, a.view(), bi, 1.0, bk);
+  }
+}
+
+}  // namespace
+
+void tile_forward_solve_multi(const SymTileMatrix& l, Span2D<double> b) {
+  GSX_REQUIRE(b.rows() == l.n(), "tile_forward_solve_multi: RHS rows mismatch");
+  const std::size_t nt = l.nt();
+  for (std::size_t k = 0; k < nt; ++k) {
+    const F64Operand lkk(l.at(k, k));
+    auto bk = b.sub(l.tile_offset(k), 0, l.tile_dim(k), b.cols());
+    la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::NoTrans, la::Diag::NonUnit,
+                     1.0, lkk.view(), bk);
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      auto bi = b.sub(l.tile_offset(i), 0, l.tile_dim(i), b.cols());
+      apply_offdiag_multi(l.at(i, k), bk, bi);
+    }
+  }
+}
+
+void tile_backward_solve_multi(const SymTileMatrix& l, Span2D<double> b) {
+  GSX_REQUIRE(b.rows() == l.n(), "tile_backward_solve_multi: RHS rows mismatch");
+  const std::size_t nt = l.nt();
+  for (std::size_t k = nt; k-- > 0;) {
+    auto bk = b.sub(l.tile_offset(k), 0, l.tile_dim(k), b.cols());
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      auto bi = b.sub(l.tile_offset(i), 0, l.tile_dim(i), b.cols());
+      apply_offdiag_trans_multi(l.at(i, k), bi, bk);
+    }
+    const F64Operand lkk(l.at(k, k));
+    la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::Trans, la::Diag::NonUnit,
+                     1.0, lkk.view(), bk);
+  }
+}
+
+geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
+                                  const SymTileMatrix& factored,
+                                  std::span<const geostat::Location> train_locs,
+                                  std::span<const double> z_train,
+                                  std::span<const geostat::Location> test_locs,
+                                  bool with_variance) {
+  const std::size_t n = train_locs.size();
+  const std::size_t m = test_locs.size();
+  GSX_REQUIRE(factored.n() == n && z_train.size() == n, "tile_krige: size mismatch");
+  GSX_REQUIRE(m > 0, "tile_krige: no test locations");
+
+  // W = L^{-1} Sigma_nm through the tile factor; y = L^{-1} Z_n.
+  la::Matrix<double> w = geostat::cross_covariance(model, train_locs, test_locs);
+  tile_forward_solve_multi(factored, w.view());
+  std::vector<double> y(z_train.begin(), z_train.end());
+  tile_forward_solve(factored, y);
+
+  geostat::KrigingResult out;
+  out.mean.assign(m, 0.0);
+  la::gemv<double>(la::Trans::Trans, 1.0, w.cview(), y.data(), 0.0, out.mean.data());
+
+  if (with_variance) {
+    out.variance.assign(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double smm = model(test_locs[j], test_locs[j]);
+      double wnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) wnorm += w(i, j) * w(i, j);
+      out.variance[j] = smm - wnorm;
+    }
+  }
+  return out;
+}
+
+la::Matrix<double> reconstruct_lower(const SymTileMatrix& l) {
+  const std::size_t n = l.n();
+  la::Matrix<double> full(n, n);
+  for (std::size_t j = 0; j < l.nt(); ++j) {
+    for (std::size_t i = j; i < l.nt(); ++i) {
+      const la::Matrix<double> block = l.at(i, j).to_dense64();
+      const std::size_t gi0 = l.tile_offset(i);
+      const std::size_t gj0 = l.tile_offset(j);
+      if (i == j) {
+        // Diagonal tiles carry the factor only in their lower triangle.
+        for (std::size_t jj = 0; jj < block.cols(); ++jj)
+          for (std::size_t ii = jj; ii < block.rows(); ++ii)
+            full(gi0 + ii, gj0 + jj) = block(ii, jj);
+      } else {
+        for (std::size_t jj = 0; jj < block.cols(); ++jj)
+          for (std::size_t ii = 0; ii < block.rows(); ++ii)
+            full(gi0 + ii, gj0 + jj) = block(ii, jj);
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace gsx::cholesky

@@ -1,0 +1,51 @@
+// Triangular solves, log-determinant and reconstruction over a factored
+// tile matrix (dense and/or low-rank tiles, mixed precision).
+//
+// These implement the second half of the log-likelihood evaluation
+// (log|Sigma| and Z^T Sigma^{-1} Z) and the multi-RHS solves of the
+// prediction phase, applied to the tile Cholesky factor produced by
+// tile_cholesky_dense / tile_cholesky_tlr.
+#pragma once
+
+#include <span>
+
+#include "geostat/likelihood.hpp"
+#include "geostat/prediction.hpp"
+#include "la/matrix.hpp"
+#include "tile/sym_tile_matrix.hpp"
+
+namespace gsx::cholesky {
+
+/// log|Sigma| = 2 * sum log L_ii from the factored diagonal tiles.
+double tile_logdet(const tile::SymTileMatrix& l);
+
+/// z := L^{-1} z.
+void tile_forward_solve(const tile::SymTileMatrix& l, std::span<double> z);
+
+/// z := L^{-T} z.
+void tile_backward_solve(const tile::SymTileMatrix& l, std::span<double> z);
+
+/// Full log-likelihood from a factored tile matrix and observations.
+geostat::LoglikValue tile_loglik(const tile::SymTileMatrix& l, std::span<const double> z);
+
+/// Multi-right-hand-side solves (the prediction phase, Eq. 4-5, applies the
+/// factor to Sigma_nm's columns): B := L^{-1} B and B := L^{-T} B for a
+/// dense n x m block B.
+void tile_forward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b);
+void tile_backward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b);
+
+/// Kriging directly through the tile factor: never materializes a dense L,
+/// so the prediction phase keeps the TLR memory footprint (the paper's
+/// "forward and backward substitutions to several right-hand sides").
+geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
+                                  const tile::SymTileMatrix& factored,
+                                  std::span<const geostat::Location> train_locs,
+                                  std::span<const double> z_train,
+                                  std::span<const geostat::Location> test_locs,
+                                  bool with_variance = true);
+
+/// Materialize the lower-triangular Cholesky factor as a dense FP64 matrix
+/// (upper triangle zero); feeds reference paths and tests.
+la::Matrix<double> reconstruct_lower(const tile::SymTileMatrix& l);
+
+}  // namespace gsx::cholesky

@@ -1,0 +1,88 @@
+// bfloat16 ("brain float"): 8 exponent bits, 7 stored significand bits.
+//
+// The paper's outlook (Section VII-A) names BF16/TF32 as the fix for
+// Fugaku's FP16 limitations. BF16 shares FP32's exponent range, so the
+// gradual-underflow problem that restricts FP16 storage of tiny-norm tiles
+// (see precision_policy.hpp) disappears: the adaptive rule can demote far
+// more tiles to 16 bits. Arithmetic promotes to FP32 (BF16 is storage-only,
+// as on real BF16 hardware with FP32 accumulation).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace gsx {
+
+/// bfloat16 value. Storage-only: arithmetic promotes to float.
+class bfloat16 {
+ public:
+  constexpr bfloat16() noexcept = default;
+
+  explicit bfloat16(float f) noexcept {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0) {
+      bits_ = static_cast<std::uint16_t>((bits >> 16) | 0x0040u);  // quiet NaN
+      return;
+    }
+    // Round to nearest even on the dropped 16 bits.
+    const std::uint32_t lsb = (bits >> 16) & 1u;
+    bits_ = static_cast<std::uint16_t>((bits + 0x7fffu + lsb) >> 16);
+  }
+  explicit bfloat16(double d) noexcept : bfloat16(static_cast<float>(d)) {}
+
+  static constexpr bfloat16 from_bits(std::uint16_t b) noexcept {
+    bfloat16 v;
+    v.bits_ = b;
+    return v;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  explicit operator float() const noexcept {
+    const std::uint32_t bits32 = static_cast<std::uint32_t>(bits_) << 16;
+    float f;
+    std::memcpy(&f, &bits32, sizeof(f));
+    return f;
+  }
+  explicit operator double() const noexcept {
+    return static_cast<double>(static_cast<float>(*this));
+  }
+
+  [[nodiscard]] constexpr bool is_nan() const noexcept {
+    return ((bits_ & 0x7f80u) == 0x7f80u) && ((bits_ & 0x007fu) != 0);
+  }
+  [[nodiscard]] constexpr bool is_inf() const noexcept {
+    return ((bits_ & 0x7f80u) == 0x7f80u) && ((bits_ & 0x007fu) == 0);
+  }
+
+  friend constexpr bool operator==(bfloat16 a, bfloat16 b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (((a.bits_ | b.bits_) & 0x7fffu) == 0) return true;  // +/-0
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(bfloat16 a, bfloat16 b) noexcept { return !(a == b); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bfloat16) == 2, "bfloat16 must be 2 bytes");
+
+inline float operator+(bfloat16 a, bfloat16 b) noexcept {
+  return static_cast<float>(a) + static_cast<float>(b);
+}
+inline float operator-(bfloat16 a, bfloat16 b) noexcept {
+  return static_cast<float>(a) - static_cast<float>(b);
+}
+inline float operator*(bfloat16 a, bfloat16 b) noexcept {
+  return static_cast<float>(a) * static_cast<float>(b);
+}
+inline float operator/(bfloat16 a, bfloat16 b) noexcept {
+  return static_cast<float>(a) / static_cast<float>(b);
+}
+
+/// Unit roundoff of bfloat16 with round-to-nearest: 2^-8.
+inline constexpr double kBf16Eps = 3.90625e-03;
+
+}  // namespace gsx

@@ -1,0 +1,38 @@
+// Error handling: exceptions for contract violations, never abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsx {
+
+/// Thrown on precondition violations (bad dimensions, invalid parameters).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a numerical routine fails (non-SPD matrix in POTRF, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace gsx
+
+/// Precondition check, always on (cheap comparisons only on hot paths).
+#define GSX_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::gsx::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,137 @@
+// IEEE 754 binary16 ("half") storage type with float conversion.
+//
+// Fugaku's A64FX provides hardware FP16; on commodity hardware we emulate the
+// *storage* format in software and perform arithmetic in FP32, which matches
+// the accuracy-relevant behaviour of an FP16 GEMM with FP32 accumulation
+// (the kernel the paper requires for MLE and obtained from BLIS on Fugaku).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace gsx {
+
+namespace detail {
+
+// Round-to-nearest-even conversion of a binary32 bit pattern to binary16.
+constexpr std::uint16_t f32_bits_to_f16_bits(std::uint32_t f) noexcept {
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp32 = (f >> 23) & 0xffu;
+  std::uint32_t mant = f & 0x007fffffu;
+
+  if (exp32 == 0xffu) {  // Inf / NaN
+    // Preserve NaN-ness; collapse payload to a quiet NaN.
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x0200u : 0u));
+  }
+
+  const std::int32_t exp = static_cast<std::int32_t>(exp32) - 127 + 15;
+  if (exp >= 0x1f) {  // overflow -> signed infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {  // subnormal half (or underflow to zero)
+    if (exp < -10) return static_cast<std::uint16_t>(sign);  // too small
+    mant |= 0x00800000u;  // add implicit leading 1
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);
+    const std::uint32_t half_ulp = 1u << (shift - 1);
+    std::uint32_t result = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    if (rem > half_ulp || (rem == half_ulp && (result & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normalised half.
+  std::uint32_t result = (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) ++result;  // may carry into exponent: fine
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+constexpr std::uint32_t f16_bits_to_f32_bits(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0x1fu) {  // Inf / NaN
+    return sign | 0x7f800000u | (mant << 13);
+  }
+  if (exp == 0) {
+    if (mant == 0) return sign;  // signed zero
+    // subnormal: normalise
+    std::int32_t e = -1;
+    do {
+      mant <<= 1;
+      ++e;
+    } while ((mant & 0x400u) == 0);
+    mant &= 0x3ffu;
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return sign | (exp32 << 23) | (mant << 13);
+  }
+  return sign | ((exp - 15 + 127) << 23) | (mant << 13);
+}
+
+}  // namespace detail
+
+/// IEEE 754 binary16 value. Storage-only: arithmetic promotes to float.
+class half {
+ public:
+  constexpr half() noexcept = default;
+
+  explicit half(float f) noexcept {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    bits_ = detail::f32_bits_to_f16_bits(bits);
+  }
+  explicit half(double d) noexcept : half(static_cast<float>(d)) {}
+
+  /// Reinterpret raw binary16 bits.
+  static constexpr half from_bits(std::uint16_t b) noexcept {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  explicit operator float() const noexcept {
+    const std::uint32_t bits32 = detail::f16_bits_to_f32_bits(bits_);
+    float f;
+    std::memcpy(&f, &bits32, sizeof(f));
+    return f;
+  }
+  explicit operator double() const noexcept { return static_cast<double>(static_cast<float>(*this)); }
+
+  friend constexpr bool operator==(half a, half b) noexcept {
+    // IEEE semantics: NaN != NaN; +0 == -0.
+    if (a.is_nan() || b.is_nan()) return false;
+    if (((a.bits_ | b.bits_) & 0x7fffu) == 0) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(half a, half b) noexcept { return !(a == b); }
+
+  [[nodiscard]] constexpr bool is_nan() const noexcept {
+    return ((bits_ & 0x7c00u) == 0x7c00u) && ((bits_ & 0x3ffu) != 0);
+  }
+  [[nodiscard]] constexpr bool is_inf() const noexcept {
+    return ((bits_ & 0x7c00u) == 0x7c00u) && ((bits_ & 0x3ffu) == 0);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2, "half must be 2 bytes");
+
+inline float operator+(half a, half b) noexcept { return static_cast<float>(a) + static_cast<float>(b); }
+inline float operator-(half a, half b) noexcept { return static_cast<float>(a) - static_cast<float>(b); }
+inline float operator*(half a, half b) noexcept { return static_cast<float>(a) * static_cast<float>(b); }
+inline float operator/(half a, half b) noexcept { return static_cast<float>(a) / static_cast<float>(b); }
+
+/// Largest finite half: 65504.
+inline constexpr float kHalfMax = 65504.0f;
+/// Smallest positive normal half: 2^-14.
+inline constexpr float kHalfMinNormal = 6.103515625e-05f;
+/// Unit roundoff of binary16 with round-to-nearest: 2^-11.
+inline constexpr double kHalfEps = 4.8828125e-04;
+
+}  // namespace gsx

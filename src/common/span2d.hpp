@@ -1,0 +1,51 @@
+// Non-owning 2-D view over column-major storage (BLAS convention).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace gsx {
+
+/// Lightweight column-major matrix view: element (i, j) at data[i + j*ld].
+/// Mutability follows the constness of T.
+template <typename T>
+class Span2D {
+ public:
+  constexpr Span2D() noexcept = default;
+
+  constexpr Span2D(T* data, std::size_t rows, std::size_t cols, std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  constexpr Span2D(T* data, std::size_t rows, std::size_t cols) noexcept
+      : Span2D(data, rows, cols, rows) {}
+
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  constexpr T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-view of shape (r, c) starting at (i0, j0).
+  [[nodiscard]] constexpr Span2D sub(std::size_t i0, std::size_t j0, std::size_t r,
+                                     std::size_t c) const noexcept {
+    return Span2D(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+
+  /// Implicit view-of-const conversion.
+  constexpr operator Span2D<const T>() const noexcept {
+    return Span2D<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+}  // namespace gsx

@@ -1,0 +1,9 @@
+// Library version string.
+#pragma once
+
+namespace gsx {
+
+/// Semantic version of the GeoStatX library.
+const char* version() noexcept;
+
+}  // namespace gsx

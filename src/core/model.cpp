@@ -1,0 +1,201 @@
+#include "core/model.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "geostat/assemble.hpp"
+
+namespace gsx::core {
+
+using geostat::Location;
+using tile::SymTileMatrix;
+
+GsxModel::GsxModel(std::unique_ptr<geostat::CovarianceModel> prototype, ModelConfig config)
+    : prototype_(std::move(prototype)), config_(config) {
+  GSX_REQUIRE(prototype_ != nullptr, "GsxModel: covariance prototype required");
+  GSX_REQUIRE(config_.tile_size >= 8, "GsxModel: tile size too small");
+  GSX_REQUIRE(config_.workers >= 1, "GsxModel: need at least one worker");
+}
+
+const perfmodel::KernelModel& GsxModel::perf_model(std::size_t ts) const {
+  std::lock_guard lk(perf_mutex_);
+  if (!perf_model_ || perf_model_->tile_size() != ts) {
+    if (config_.calibrate_perf_model) {
+      const std::array<std::size_t, 4> ranks = {std::max<std::size_t>(1, ts / 16),
+                                                std::max<std::size_t>(2, ts / 8),
+                                                std::max<std::size_t>(4, ts / 4),
+                                                std::max<std::size_t>(8, ts / 2)};
+      perf_model_ = perfmodel::KernelModel::calibrate(ts, ranks, 7, config_.rounding);
+    } else {
+      perf_model_ = perfmodel::KernelModel::theoretical(ts);
+    }
+  }
+  return *perf_model_;
+}
+
+void GsxModel::prepare(std::span<const double> theta, std::span<const Location> locs,
+                       SymTileMatrix& out, EvalBreakdown* breakdown) const {
+  const std::unique_ptr<geostat::CovarianceModel> model = prototype_->clone();
+  model->set_params(theta);
+
+  Timer gen_timer;
+  geostat::fill_covariance_tiles(out, *model, locs, config_.workers);
+  if (breakdown) breakdown->generation_seconds = gen_timer.seconds();
+  if (breakdown) breakdown->dense_fp64_bytes = out.dense_fp64_bytes();
+
+  // Structure-aware decision first (Algorithm 2, on full-precision data):
+  // compress off-band tiles, auto-tuning the dense band from the rank
+  // distribution when requested.
+  if (config_.variant == ComputeVariant::MPDenseTLR) {
+    std::size_t band = config_.band_size;
+    cholesky::TlrCompressOptions copt;
+    copt.tol = config_.tlr_tol;
+    copt.method = config_.compression;
+    copt.lr_fp32 = config_.lr_fp32;
+    copt.eps_target = config_.eps_target;
+    if (config_.auto_band) {
+      // Compress everything off-diagonal, tune, then revert in-band tiles
+      // to dense (they rejoin the band, cf. Fig. 3(a)->(b)).
+      copt.band_size = 1;
+      const cholesky::CompressStats cs0 = cholesky::compress_offband(out, copt,
+                                                                     config_.workers);
+      const perfmodel::BandDecision bd =
+          perfmodel::tune_band_size(out, perf_model(out.tile_size()), config_.fluctuation);
+      band = std::max<std::size_t>(1, bd.band_size_dense);
+      for (std::size_t j = 0; j < out.nt(); ++j) {
+        for (std::size_t i = j; i < out.nt(); ++i) {
+          if (i - j >= 1 && i - j < band &&
+              out.at(i, j).format() == tile::TileFormat::LowRank) {
+            la::Matrix<double> full = out.at(i, j).to_dense64();
+            out.at(i, j).assign_dense64(std::move(full));
+          }
+        }
+      }
+      if (breakdown) {
+        breakdown->compress = cs0;
+        breakdown->band_size_dense = band;
+        breakdown->compress.bytes_after = out.footprint_bytes();
+      }
+    } else {
+      copt.band_size = std::max<std::size_t>(1, band);
+      const cholesky::CompressStats cs = cholesky::compress_offband(out, copt,
+                                                                    config_.workers);
+      if (breakdown) {
+        breakdown->compress = cs;
+        breakdown->band_size_dense = band;
+      }
+    }
+  }
+
+  // Precision-aware decision (Fig. 2) on the tiles that remained dense.
+  cholesky::PrecisionPolicy policy;
+  policy.band = config_.band;
+  policy.eps_target = config_.eps_target;
+  policy.allow_fp16 = config_.allow_fp16;
+  policy.allow_bf16 = config_.allow_bf16;
+  switch (config_.variant) {
+    case ComputeVariant::DenseFP64:
+      policy.rule = cholesky::PrecisionRule::AllFP64;
+      break;
+    case ComputeVariant::MPDense:
+    case ComputeVariant::MPDenseTLR:
+      policy.rule = config_.mp_rule;
+      break;
+  }
+  const cholesky::PolicyStats pstats = cholesky::apply_precision_policy(out, policy);
+  if (breakdown) breakdown->policy = pstats;
+  if (breakdown) breakdown->footprint_bytes = out.footprint_bytes();
+}
+
+bool GsxModel::prepare_and_factor(std::span<const double> theta,
+                                  std::span<const Location> locs, SymTileMatrix& out,
+                                  EvalBreakdown* breakdown) const {
+  Timer total;
+  prepare(theta, locs, out, breakdown);
+
+  cholesky::FactorOptions fopt;
+  fopt.workers = config_.workers;
+  fopt.sched = config_.sched;
+  fopt.rounding = config_.rounding;
+  const cholesky::FactorReport report =
+      (config_.variant == ComputeVariant::MPDenseTLR)
+          ? cholesky::tile_cholesky_tlr(out, config_.tlr_tol, fopt)
+          : cholesky::tile_cholesky_dense(out, fopt);
+  if (breakdown) {
+    breakdown->factor = report;
+    breakdown->total_seconds = total.seconds();
+  }
+  return report.info == 0;
+}
+
+geostat::LoglikValue GsxModel::evaluate(std::span<const double> theta,
+                                        std::span<const Location> locs,
+                                        std::span<const double> z,
+                                        EvalBreakdown* breakdown) const {
+  GSX_REQUIRE(locs.size() == z.size(), "GsxModel::evaluate: data size mismatch");
+  SymTileMatrix a(locs.size(), config_.tile_size);
+  if (!prepare_and_factor(theta, locs, a, breakdown)) return geostat::LoglikValue{};
+  return cholesky::tile_loglik(a, z);
+}
+
+FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> z) const {
+  const std::vector<double> lo = prototype_->lower_bounds();
+  const std::vector<double> hi = prototype_->upper_bounds();
+  const std::vector<double> start = prototype_->params();
+
+  const optim::Objective objective = [&](std::span<const double> theta) {
+    // Jointly-constrained parameterizations (e.g. the bivariate rho bound)
+    // can reject box-feasible points; treat them as infeasible.
+    try {
+      const geostat::LoglikValue v = evaluate(theta, locs, z);
+      return v.ok ? -v.loglik : std::numeric_limits<double>::infinity();
+    } catch (const InvalidArgument&) {
+      return std::numeric_limits<double>::infinity();
+    }
+  };
+
+  Timer t;
+  optim::OptimResult r;
+  if (config_.optimizer == OptimizerKind::NelderMead) {
+    r = optim::nelder_mead(objective, start, lo, hi, config_.nm);
+  } else {
+    r = optim::particle_swarm(objective, lo, hi, config_.pso);
+  }
+  FitResult out;
+  out.theta = r.x;
+  out.loglik = -r.fval;
+  out.evaluations = r.evals;
+  out.converged = r.converged;
+  out.seconds = t.seconds();
+  return out;
+}
+
+geostat::KrigingResult GsxModel::predict(std::span<const double> theta,
+                                         std::span<const Location> train_locs,
+                                         std::span<const double> z_train,
+                                         std::span<const Location> test_locs,
+                                         bool with_variance) const {
+  SymTileMatrix a(train_locs.size(), config_.tile_size);
+  const bool ok = prepare_and_factor(theta, train_locs, a, nullptr);
+  if (!ok) throw NumericalError("GsxModel::predict: covariance not SPD at theta");
+
+  // Predict through the tile factor itself: the TLR variant never
+  // materializes a dense L, preserving its memory-footprint advantage in
+  // the prediction phase too.
+  const std::unique_ptr<geostat::CovarianceModel> model = prototype_->clone();
+  model->set_params(theta);
+  return cholesky::tile_krige(*model, a, train_locs, z_train, test_locs, with_variance);
+}
+
+tile::SymTileMatrix GsxModel::build_decision_matrix(std::span<const double> theta,
+                                                    std::span<const Location> locs,
+                                                    EvalBreakdown* breakdown) const {
+  SymTileMatrix a(locs.size(), config_.tile_size);
+  prepare(theta, locs, a, breakdown);
+  return a;
+}
+
+}  // namespace gsx::core

@@ -1,0 +1,106 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gsx::data {
+
+TrainTestSplit split_train_test(const Dataset& d, double train_fraction, Rng& rng) {
+  GSX_REQUIRE(d.locations.size() == d.values.size(), "split_train_test: ragged dataset");
+  GSX_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+              "split_train_test: fraction must be in (0, 1)");
+  const std::size_t n = d.size();
+  GSX_REQUIRE(n >= 2, "split_train_test: dataset too small");
+
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(idx[i], idx[j]);
+  }
+  std::size_t ntrain = static_cast<std::size_t>(train_fraction * static_cast<double>(n));
+  ntrain = std::clamp<std::size_t>(ntrain, 1, n - 1);
+
+  TrainTestSplit out;
+  out.train.locations.reserve(ntrain);
+  out.train.values.reserve(ntrain);
+  for (std::size_t i = 0; i < ntrain; ++i) {
+    out.train.locations.push_back(d.locations[idx[i]]);
+    out.train.values.push_back(d.values[idx[i]]);
+  }
+  for (std::size_t i = ntrain; i < n; ++i) {
+    out.test.locations.push_back(d.locations[idx[i]]);
+    out.test.values.push_back(d.values[idx[i]]);
+  }
+  return out;
+}
+
+void sort_morton(Dataset& d, bool use_time) {
+  GSX_REQUIRE(d.locations.size() == d.values.size(), "sort_morton: ragged dataset");
+  if (d.size() < 2) return;
+  geostat::Location lo = d.locations.front();
+  geostat::Location hi = d.locations.front();
+  for (const auto& l : d.locations) {
+    lo.x = std::min(lo.x, l.x);
+    lo.y = std::min(lo.y, l.y);
+    lo.t = std::min(lo.t, l.t);
+    hi.x = std::max(hi.x, l.x);
+    hi.y = std::max(hi.y, l.y);
+    hi.t = std::max(hi.t, l.t);
+  }
+  std::vector<std::size_t> idx(d.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return geostat::morton_key(d.locations[a], lo, hi, use_time) <
+           geostat::morton_key(d.locations[b], lo, hi, use_time);
+  });
+  Dataset out;
+  out.locations.reserve(d.size());
+  out.values.reserve(d.size());
+  for (std::size_t i : idx) {
+    out.locations.push_back(d.locations[i]);
+    out.values.push_back(d.values[i]);
+  }
+  d = std::move(out);
+}
+
+void write_csv(const std::string& path, const Dataset& d) {
+  GSX_REQUIRE(d.locations.size() == d.values.size(), "write_csv: ragged dataset");
+  std::ofstream os(path);
+  GSX_REQUIRE(os.good(), "write_csv: cannot open " + path);
+  os << "x,y,t,value\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto& l = d.locations[i];
+    os << l.x << ',' << l.y << ',' << l.t << ',' << d.values[i] << '\n';
+  }
+  GSX_REQUIRE(os.good(), "write_csv: write failed for " + path);
+}
+
+Dataset read_csv(const std::string& path) {
+  std::ifstream is(path);
+  GSX_REQUIRE(is.good(), "read_csv: cannot open " + path);
+  Dataset d;
+  std::string line;
+  GSX_REQUIRE(static_cast<bool>(std::getline(is, line)), "read_csv: empty file");
+  GSX_REQUIRE(line.rfind("x,y,t,value", 0) == 0, "read_csv: unexpected header in " + path);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    geostat::Location l;
+    double v = 0.0;
+    char comma = 0;
+    ss >> l.x >> comma >> l.y >> comma >> l.t >> comma >> v;
+    GSX_REQUIRE(!ss.fail(), "read_csv: malformed row '" + line + "'");
+    d.locations.push_back(l);
+    d.values.push_back(v);
+  }
+  return d;
+}
+
+}  // namespace gsx::data

@@ -1,0 +1,36 @@
+// Datasets: location/value pairs, train/test splitting, CSV I/O.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geostat/locations.hpp"
+
+namespace gsx::data {
+
+struct Dataset {
+  std::vector<geostat::Location> locations;
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t size() const noexcept { return locations.size(); }
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split into train/test by fraction (the paper randomly picks 1M of
+/// 2M soil-moisture locations for training and 100K for testing).
+TrainTestSplit split_train_test(const Dataset& d, double train_fraction, Rng& rng);
+
+/// Morton-sort the dataset's locations, carrying values along (restores the
+/// near-diagonal covariance structure after a random split).
+void sort_morton(Dataset& d, bool use_time = false);
+
+/// CSV with header "x,y,t,value".
+void write_csv(const std::string& path, const Dataset& d);
+Dataset read_csv(const std::string& path);
+
+}  // namespace gsx::data

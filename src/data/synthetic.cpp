@@ -1,0 +1,116 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geostat/field.hpp"
+#include "mathx/stats.hpp"
+
+namespace gsx::data {
+
+using geostat::Location;
+
+Dataset make_soil_moisture_like(const SoilMoistureConfig& cfg) {
+  GSX_REQUIRE(cfg.n >= 16, "make_soil_moisture_like: need at least 16 locations");
+  Rng rng(cfg.seed);
+  std::vector<Location> locs = geostat::perturbed_grid_locations(cfg.n, rng);
+  geostat::sort_morton(locs);
+
+  const geostat::MaternCovariance model(cfg.variance, cfg.range, cfg.smoothness,
+                                        cfg.nugget);
+  Dataset d;
+  d.values = geostat::simulate_grf(model, locs, rng);
+  d.locations = std::move(locs);
+  return d;
+}
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+SpaceTimeDataset make_et_like(const EtConfig& cfg) {
+  GSX_REQUIRE(cfg.spatial_n >= 9 && cfg.months >= 2, "make_et_like: dataset too small");
+  GSX_REQUIRE(cfg.history_years >= 1, "make_et_like: need history for the climatology");
+  Rng rng(cfg.seed);
+
+  std::vector<Location> spatial = geostat::perturbed_grid_locations(cfg.spatial_n, rng);
+  geostat::sort_morton(spatial);
+  std::vector<Location> locs = geostat::replicate_in_time(spatial, cfg.months, 1.0);
+
+  const geostat::GneitingCovariance model(cfg.variance, cfg.range_s, cfg.smooth_s,
+                                          cfg.range_t, cfg.smooth_t, cfg.beta, cfg.nugget);
+
+  // history_years of "past" fields + the final observed year, all sharing
+  // one factorization.
+  const auto years = geostat::simulate_grf_many(model, locs, rng, cfg.history_years + 1);
+  const std::vector<double>& final_year = years.back();
+
+  SpaceTimeDataset out;
+  out.spatial_n = cfg.spatial_n;
+  out.months = cfg.months;
+  const std::size_t n = locs.size();
+  out.raw.resize(n);
+  out.climatology.resize(n);
+  out.truth_residual = final_year;
+
+  for (std::size_t m = 0; m < cfg.months; ++m) {
+    const double month_frac = static_cast<double>(m) / static_cast<double>(cfg.months);
+    // Year-specific (final-year) linear spatial trend — what the per-month
+    // OLS step of the pipeline must remove.
+    const double bx = cfg.spatial_trend * std::sin(kTwoPi * month_frac + 1.0);
+    const double by = cfg.spatial_trend * std::cos(kTwoPi * month_frac + 2.0);
+    for (std::size_t s = 0; s < cfg.spatial_n; ++s) {
+      const std::size_t idx = m * cfg.spatial_n + s;
+      const Location& l = locs[idx];
+      // Seasonal climatology, identical every year — what the monthly-mean
+      // subtraction must remove.
+      const double seasonal =
+          cfg.seasonal_amplitude * std::cos(kTwoPi * month_frac + l.x * 3.141592653589793) *
+          (1.0 + 0.3 * l.y);
+      double hist_mean = 0.0;
+      for (std::size_t yy = 0; yy < cfg.history_years; ++yy) hist_mean += years[yy][idx];
+      hist_mean /= static_cast<double>(cfg.history_years);
+      out.climatology[idx] = seasonal + hist_mean;
+      out.raw[idx] = seasonal + bx * l.x + by * l.y + final_year[idx];
+    }
+  }
+  out.locations = std::move(locs);
+  return out;
+}
+
+namespace detail {
+
+std::vector<double> detrend_monthly_linear(std::span<const Location> locs,
+                                           std::span<const double> values,
+                                           std::size_t spatial_n, std::size_t months) {
+  GSX_REQUIRE(locs.size() == values.size() && locs.size() == spatial_n * months,
+              "detrend_monthly_linear: size mismatch");
+  std::vector<double> out(values.begin(), values.end());
+  std::vector<double> xy(spatial_n * 2);
+  std::vector<double> y(spatial_n);
+  for (std::size_t m = 0; m < months; ++m) {
+    const std::size_t base = m * spatial_n;
+    for (std::size_t s = 0; s < spatial_n; ++s) {
+      xy[s] = locs[base + s].x;
+      xy[spatial_n + s] = locs[base + s].y;
+      y[s] = values[base + s];
+    }
+    const std::vector<double> beta = mathx::ols_fit(y, xy, spatial_n, 2);
+    const std::vector<double> yhat = mathx::ols_predict(beta, xy, spatial_n, 2);
+    for (std::size_t s = 0; s < spatial_n; ++s) out[base + s] = y[s] - yhat[s];
+  }
+  return out;
+}
+
+}  // namespace detail
+
+std::vector<double> detrend_et(const SpaceTimeDataset& d) {
+  GSX_REQUIRE(d.raw.size() == d.climatology.size() && !d.raw.empty(),
+              "detrend_et: incomplete dataset");
+  std::vector<double> residual(d.raw.size());
+  for (std::size_t i = 0; i < d.raw.size(); ++i)
+    residual[i] = d.raw[i] - d.climatology[i];
+  return detail::detrend_monthly_linear(d.locations, residual, d.spatial_n, d.months);
+}
+
+}  // namespace gsx::data

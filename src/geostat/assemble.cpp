@@ -1,0 +1,40 @@
+#include "geostat/assemble.hpp"
+
+#include "common/error.hpp"
+
+namespace gsx::geostat {
+
+la::Matrix<double> covariance_matrix(const CovarianceModel& model,
+                                     std::span<const Location> locs) {
+  const std::size_t n = locs.size();
+  GSX_REQUIRE(n > 0, "covariance_matrix: empty location set");
+  la::Matrix<double> sigma(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      const double c = model(locs[i], locs[j]);
+      sigma(i, j) = c;
+      sigma(j, i) = c;
+    }
+  }
+  return sigma;
+}
+
+la::Matrix<double> cross_covariance(const CovarianceModel& model,
+                                    std::span<const Location> a,
+                                    std::span<const Location> b) {
+  GSX_REQUIRE(!a.empty() && !b.empty(), "cross_covariance: empty location set");
+  la::Matrix<double> sigma(a.size(), b.size());
+  for (std::size_t j = 0; j < b.size(); ++j)
+    for (std::size_t i = 0; i < a.size(); ++i) sigma(i, j) = model(a[i], b[j]);
+  return sigma;
+}
+
+void fill_covariance_tiles(tile::SymTileMatrix& tiles, const CovarianceModel& model,
+                           std::span<const Location> locs, std::size_t num_workers) {
+  GSX_REQUIRE(locs.size() == tiles.n(), "fill_covariance_tiles: size mismatch");
+  tiles.generate(
+      [&](std::size_t gi, std::size_t gj) { return model(locs[gi], locs[gj]); },
+      num_workers);
+}
+
+}  // namespace gsx::geostat

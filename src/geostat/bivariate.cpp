@@ -1,0 +1,102 @@
+#include "geostat/bivariate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mathx/distance.hpp"
+
+namespace gsx::geostat {
+
+std::vector<Location> make_bivariate_locations(std::span<const Location> spatial) {
+  std::vector<Location> out;
+  out.reserve(2 * spatial.size());
+  for (int comp = 0; comp < 2; ++comp) {
+    for (const Location& l : spatial) {
+      Location tagged = l;
+      tagged.t = static_cast<double>(comp);
+      out.push_back(tagged);
+    }
+  }
+  return out;
+}
+
+double BivariateMaternCovariance::max_rho(double smooth1, double smooth2) {
+  // d = 2: rho_max = [Gamma(nu1+1) Gamma(nu2+1)]^{1/2} / Gamma(nu12+1)
+  //                  * Gamma(nu12) / [Gamma(nu1) Gamma(nu2)]^{1/2},
+  // nu12 = (nu1+nu2)/2 (Gneiting-Kleiber-Schlather, parsimonious case).
+  const double nu12 = 0.5 * (smooth1 + smooth2);
+  const double lg = 0.5 * (std::lgamma(smooth1 + 1.0) + std::lgamma(smooth2 + 1.0)) -
+                    std::lgamma(nu12 + 1.0) + std::lgamma(nu12) -
+                    0.5 * (std::lgamma(smooth1) + std::lgamma(smooth2));
+  return std::exp(lg);
+}
+
+BivariateMaternCovariance::BivariateMaternCovariance(double var1, double var2,
+                                                     double range, double smooth1,
+                                                     double smooth2, double rho,
+                                                     double nugget)
+    : var1_(var1),
+      var2_(var2),
+      range_(range),
+      smooth1_(smooth1),
+      smooth2_(smooth2),
+      rho_(rho),
+      nugget_(nugget) {
+  GSX_REQUIRE(var1 > 0 && var2 > 0 && range > 0 && smooth1 > 0 && smooth2 > 0 &&
+                  nugget >= 0,
+              "BivariateMaternCovariance: invalid scale parameters");
+  GSX_REQUIRE(std::fabs(rho) <= max_rho(smooth1, smooth2),
+              "BivariateMaternCovariance: |rho| exceeds the validity bound");
+}
+
+double BivariateMaternCovariance::operator()(const Location& a, const Location& b) const {
+  const double h = mathx::euclidean2d(a.x, a.y, b.x, b.y);
+  const int ca = static_cast<int>(a.t);
+  const int cb = static_cast<int>(b.t);
+  GSX_REQUIRE((ca == 0 || ca == 1) && (cb == 0 || cb == 1),
+              "BivariateMaternCovariance: component tag (Location::t) must be 0 or 1");
+  double c;
+  if (ca == cb) {
+    const double var = (ca == 0) ? var1_ : var2_;
+    const double nu = (ca == 0) ? smooth1_ : smooth2_;
+    c = var * matern_correlation(nu, h / range_);
+    if (h == 0.0) c += nugget_;
+  } else {
+    const double nu12 = 0.5 * (smooth1_ + smooth2_);
+    c = rho_ * std::sqrt(var1_ * var2_) * matern_correlation(nu12, h / range_);
+  }
+  return c;
+}
+
+std::vector<double> BivariateMaternCovariance::params() const {
+  return {var1_, var2_, range_, smooth1_, smooth2_, rho_};
+}
+
+void BivariateMaternCovariance::set_params(std::span<const double> theta) {
+  GSX_REQUIRE(theta.size() == 6, "BivariateMaternCovariance: expects 6 parameters");
+  GSX_REQUIRE(theta[0] > 0 && theta[1] > 0 && theta[2] > 0 && theta[3] > 0 && theta[4] > 0,
+              "BivariateMaternCovariance: invalid scale parameters");
+  GSX_REQUIRE(std::fabs(theta[5]) <= max_rho(theta[3], theta[4]),
+              "BivariateMaternCovariance: |rho| exceeds the validity bound");
+  var1_ = theta[0];
+  var2_ = theta[1];
+  range_ = theta[2];
+  smooth1_ = theta[3];
+  smooth2_ = theta[4];
+  rho_ = theta[5];
+}
+
+std::vector<double> BivariateMaternCovariance::lower_bounds() const {
+  return {0.01, 0.01, 0.005, 0.05, 0.05, -0.9};
+}
+std::vector<double> BivariateMaternCovariance::upper_bounds() const {
+  return {10.0, 10.0, 5.0, 3.0, 3.0, 0.9};
+}
+std::vector<std::string> BivariateMaternCovariance::param_names() const {
+  return {"variance-1", "variance-2", "range", "smooth-1", "smooth-2", "rho"};
+}
+std::unique_ptr<CovarianceModel> BivariateMaternCovariance::clone() const {
+  return std::make_unique<BivariateMaternCovariance>(*this);
+}
+
+}  // namespace gsx::geostat

@@ -1,0 +1,166 @@
+#include "geostat/covariance.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mathx/bessel.hpp"
+#include "mathx/distance.hpp"
+
+namespace gsx::geostat {
+
+double matern_correlation(double nu, double d) {
+  GSX_REQUIRE(nu > 0.0, "matern_correlation: smoothness must be positive");
+  GSX_REQUIRE(d >= 0.0, "matern_correlation: distance must be non-negative");
+  if (d == 0.0) return 1.0;
+  // Closed forms for half-integer smoothness (the common special cases).
+  if (nu == 0.5) return std::exp(-d);
+  if (nu == 1.5) return (1.0 + d) * std::exp(-d);
+  if (nu == 2.5) return (1.0 + d + d * d / 3.0) * std::exp(-d);
+  // General case; for large d the product underflows to 0, which is the
+  // correct limit, so compute through the scaled Bessel to avoid premature
+  // underflow: K_nu(d) = e^{-d} * K_scaled.
+  if (d > 700.0) return 0.0;
+  const double log_pref = (1.0 - nu) * std::log(2.0) - std::lgamma(nu) + nu * std::log(d);
+  const double k_scaled = mathx::bessel_k_scaled(nu, d);
+  const double val = std::exp(log_pref - d) * k_scaled;
+  return std::min(val, 1.0);  // guard tiny numerical overshoot near d -> 0
+}
+
+// ---------------------------------------------------------------- Matérn
+
+MaternCovariance::MaternCovariance(double variance, double range, double smoothness,
+                                   double nugget)
+    : variance_(variance), range_(range), smoothness_(smoothness), nugget_(nugget) {
+  GSX_REQUIRE(variance > 0 && range > 0 && smoothness > 0 && nugget >= 0,
+              "MaternCovariance: parameters must be positive (nugget >= 0)");
+}
+
+double MaternCovariance::operator()(const Location& a, const Location& b) const {
+  const double d = mathx::euclidean2d(a.x, a.y, b.x, b.y);
+  const double c = variance_ * matern_correlation(smoothness_, d / range_);
+  return (d == 0.0) ? c + nugget_ : c;
+}
+
+std::vector<double> MaternCovariance::params() const {
+  return {variance_, range_, smoothness_};
+}
+
+void MaternCovariance::set_params(std::span<const double> theta) {
+  GSX_REQUIRE(theta.size() == 3, "MaternCovariance: expects 3 parameters");
+  GSX_REQUIRE(theta[0] > 0 && theta[1] > 0 && theta[2] > 0,
+              "MaternCovariance: parameters must be positive");
+  variance_ = theta[0];
+  range_ = theta[1];
+  smoothness_ = theta[2];
+}
+
+std::vector<double> MaternCovariance::lower_bounds() const { return {0.01, 0.005, 0.05}; }
+std::vector<double> MaternCovariance::upper_bounds() const { return {10.0, 5.0, 5.0}; }
+std::vector<std::string> MaternCovariance::param_names() const {
+  return {"variance", "range", "smoothness"};
+}
+std::unique_ptr<CovarianceModel> MaternCovariance::clone() const {
+  return std::make_unique<MaternCovariance>(*this);
+}
+
+// ---------------------------------------------- Powered exponential
+
+PoweredExponentialCovariance::PoweredExponentialCovariance(double variance, double range,
+                                                           double power, double nugget)
+    : variance_(variance), range_(range), power_(power), nugget_(nugget) {
+  GSX_REQUIRE(variance > 0 && range > 0 && power > 0 && power <= 2.0 && nugget >= 0,
+              "PoweredExponentialCovariance: invalid parameters");
+}
+
+double PoweredExponentialCovariance::operator()(const Location& a, const Location& b) const {
+  const double d = mathx::euclidean2d(a.x, a.y, b.x, b.y);
+  const double c = variance_ * std::exp(-std::pow(d / range_, power_));
+  return (d == 0.0) ? c + nugget_ : c;
+}
+
+std::vector<double> PoweredExponentialCovariance::params() const {
+  return {variance_, range_, power_};
+}
+
+void PoweredExponentialCovariance::set_params(std::span<const double> theta) {
+  GSX_REQUIRE(theta.size() == 3, "PoweredExponentialCovariance: expects 3 parameters");
+  GSX_REQUIRE(theta[0] > 0 && theta[1] > 0 && theta[2] > 0 && theta[2] <= 2.0,
+              "PoweredExponentialCovariance: invalid parameters");
+  variance_ = theta[0];
+  range_ = theta[1];
+  power_ = theta[2];
+}
+
+std::vector<double> PoweredExponentialCovariance::lower_bounds() const {
+  return {0.01, 0.005, 0.05};
+}
+std::vector<double> PoweredExponentialCovariance::upper_bounds() const {
+  return {10.0, 5.0, 2.0};
+}
+std::vector<std::string> PoweredExponentialCovariance::param_names() const {
+  return {"variance", "range", "power"};
+}
+std::unique_ptr<CovarianceModel> PoweredExponentialCovariance::clone() const {
+  return std::make_unique<PoweredExponentialCovariance>(*this);
+}
+
+// ------------------------------------------------------ Gneiting
+
+GneitingCovariance::GneitingCovariance(double variance, double range_s, double smooth_s,
+                                       double range_t, double smooth_t, double beta,
+                                       double nugget)
+    : variance_(variance),
+      range_s_(range_s),
+      smooth_s_(smooth_s),
+      range_t_(range_t),
+      smooth_t_(smooth_t),
+      beta_(beta),
+      nugget_(nugget) {
+  GSX_REQUIRE(variance > 0 && range_s > 0 && smooth_s > 0 && range_t > 0,
+              "GneitingCovariance: scale parameters must be positive");
+  GSX_REQUIRE(smooth_t > 0 && smooth_t <= 1.0, "GneitingCovariance: alpha in (0, 1]");
+  GSX_REQUIRE(beta >= 0 && beta <= 1.0, "GneitingCovariance: beta in [0, 1]");
+  GSX_REQUIRE(nugget >= 0, "GneitingCovariance: nugget must be non-negative");
+}
+
+double GneitingCovariance::operator()(const Location& a, const Location& b) const {
+  const double h = mathx::euclidean2d(a.x, a.y, b.x, b.y);
+  const double u = std::fabs(a.t - b.t);
+  const double psi = range_t_ * std::pow(u, 2.0 * smooth_t_) + 1.0;
+  const double arg = h / (range_s_ * std::pow(psi, beta_ / 2.0));
+  const double c = variance_ / psi * matern_correlation(smooth_s_, arg);
+  return (h == 0.0 && u == 0.0) ? c + nugget_ : c;
+}
+
+std::vector<double> GneitingCovariance::params() const {
+  return {variance_, range_s_, smooth_s_, range_t_, smooth_t_, beta_};
+}
+
+void GneitingCovariance::set_params(std::span<const double> theta) {
+  GSX_REQUIRE(theta.size() == 6, "GneitingCovariance: expects 6 parameters");
+  GSX_REQUIRE(theta[0] > 0 && theta[1] > 0 && theta[2] > 0 && theta[3] > 0,
+              "GneitingCovariance: scale parameters must be positive");
+  GSX_REQUIRE(theta[4] > 0 && theta[4] <= 1.0, "GneitingCovariance: alpha in (0, 1]");
+  GSX_REQUIRE(theta[5] >= 0 && theta[5] <= 1.0, "GneitingCovariance: beta in [0, 1]");
+  variance_ = theta[0];
+  range_s_ = theta[1];
+  smooth_s_ = theta[2];
+  range_t_ = theta[3];
+  smooth_t_ = theta[4];
+  beta_ = theta[5];
+}
+
+std::vector<double> GneitingCovariance::lower_bounds() const {
+  return {0.01, 0.005, 0.05, 0.001, 0.01, 0.0};
+}
+std::vector<double> GneitingCovariance::upper_bounds() const {
+  return {10.0, 10.0, 5.0, 10.0, 1.0, 1.0};
+}
+std::vector<std::string> GneitingCovariance::param_names() const {
+  return {"variance", "range-space", "smooth-space", "range-time", "smooth-time", "beta"};
+}
+std::unique_ptr<CovarianceModel> GneitingCovariance::clone() const {
+  return std::make_unique<GneitingCovariance>(*this);
+}
+
+}  // namespace gsx::geostat

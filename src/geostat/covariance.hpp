@@ -1,0 +1,121 @@
+// Parametric covariance models: the statistical heart of the MLE.
+//
+// Space:      Matérn family (paper Section IV-A.3) and powered exponential.
+// Space-time: the non-separable Gneiting model of Eq. (6):
+//   C(h, u) = sigma^2 / psi(u) * M_nu( ||h|| / (a_s * psi(u)^{beta/2}) ),
+//   psi(u)  = a_t * |u|^{2*alpha} + 1,
+// where M_nu is the Matérn correlation, a_s/a_t space/time ranges,
+// nu spatial smoothness, alpha in (0, 1] temporal smoothness, and
+// beta in [0, 1] the space-time interaction (beta = 0 <=> separable).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geostat/locations.hpp"
+
+namespace gsx::geostat {
+
+/// Matérn correlation M_nu(d): 2^{1-nu}/Gamma(nu) * d^nu * K_nu(d), with
+/// M_nu(0) = 1. Fast closed forms for nu = 0.5, 1.5, 2.5.
+double matern_correlation(double nu, double d);
+
+/// A parametric covariance function over locations, exposing its parameter
+/// vector for the optimizer. Implementations are cheap value types behind
+/// clone(); the MLE perturbs parameters via set_params() between likelihood
+/// evaluations.
+class CovarianceModel {
+ public:
+  virtual ~CovarianceModel() = default;
+
+  /// Covariance between two locations (including nugget when a == b is
+  /// indicated by zero distance in space and time).
+  [[nodiscard]] virtual double operator()(const Location& a, const Location& b) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_params() const = 0;
+  [[nodiscard]] virtual std::vector<double> params() const = 0;
+  virtual void set_params(std::span<const double> theta) = 0;
+  [[nodiscard]] virtual std::vector<double> lower_bounds() const = 0;
+  [[nodiscard]] virtual std::vector<double> upper_bounds() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> param_names() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<CovarianceModel> clone() const = 0;
+};
+
+/// Isotropic Matérn in the plane: theta = (variance, range, smoothness),
+/// matching Table I's (theta_0, theta_1, theta_2). Optional fixed nugget
+/// (measurement-error variance) is not estimated.
+class MaternCovariance final : public CovarianceModel {
+ public:
+  MaternCovariance(double variance, double range, double smoothness, double nugget = 0.0);
+
+  double operator()(const Location& a, const Location& b) const override;
+  std::size_t num_params() const override { return 3; }
+  std::vector<double> params() const override;
+  void set_params(std::span<const double> theta) override;
+  std::vector<double> lower_bounds() const override;
+  std::vector<double> upper_bounds() const override;
+  std::vector<std::string> param_names() const override;
+  std::unique_ptr<CovarianceModel> clone() const override;
+
+  [[nodiscard]] double nugget() const noexcept { return nugget_; }
+
+ private:
+  double variance_;
+  double range_;
+  double smoothness_;
+  double nugget_;
+};
+
+/// Powered exponential: C(d) = variance * exp(-(d/range)^power), power in
+/// (0, 2]. A cheaper spatial alternative exercised by tests and ablations.
+class PoweredExponentialCovariance final : public CovarianceModel {
+ public:
+  PoweredExponentialCovariance(double variance, double range, double power,
+                               double nugget = 0.0);
+
+  double operator()(const Location& a, const Location& b) const override;
+  std::size_t num_params() const override { return 3; }
+  std::vector<double> params() const override;
+  void set_params(std::span<const double> theta) override;
+  std::vector<double> lower_bounds() const override;
+  std::vector<double> upper_bounds() const override;
+  std::vector<std::string> param_names() const override;
+  std::unique_ptr<CovarianceModel> clone() const override;
+
+ private:
+  double variance_;
+  double range_;
+  double power_;
+  double nugget_;
+};
+
+/// Non-separable Gneiting space-time model (Eq. 6). theta = (variance,
+/// range_space, smooth_space, range_time, smooth_time, beta), matching
+/// Table II's (theta_0 .. theta_5).
+class GneitingCovariance final : public CovarianceModel {
+ public:
+  GneitingCovariance(double variance, double range_s, double smooth_s, double range_t,
+                     double smooth_t, double beta, double nugget = 0.0);
+
+  double operator()(const Location& a, const Location& b) const override;
+  std::size_t num_params() const override { return 6; }
+  std::vector<double> params() const override;
+  void set_params(std::span<const double> theta) override;
+  std::vector<double> lower_bounds() const override;
+  std::vector<double> upper_bounds() const override;
+  std::vector<std::string> param_names() const override;
+  std::unique_ptr<CovarianceModel> clone() const override;
+
+ private:
+  double variance_;
+  double range_s_;
+  double smooth_s_;
+  double range_t_;
+  double smooth_t_;  ///< alpha in (0, 1]
+  double beta_;      ///< space-time interaction in [0, 1]
+  double nugget_;
+};
+
+}  // namespace gsx::geostat

@@ -1,0 +1,25 @@
+// Gaussian random field simulation: draw Z ~ N(0, Sigma(theta)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geostat/covariance.hpp"
+#include "geostat/locations.hpp"
+
+namespace gsx::geostat {
+
+/// Exact simulation via the Cholesky factor: Z = L w, w ~ N(0, I). O(n^3);
+/// intended for synthetic-data generation at the sizes of the accuracy
+/// experiments. Throws NumericalError if Sigma is not positive definite.
+std::vector<double> simulate_grf(const CovarianceModel& model,
+                                 std::span<const Location> locs, Rng& rng);
+
+/// `count` independent realizations reusing a single Cholesky factorization
+/// (used to synthesize the 21 "years" of the evapotranspiration pipeline).
+std::vector<std::vector<double>> simulate_grf_many(const CovarianceModel& model,
+                                                   std::span<const Location> locs, Rng& rng,
+                                                   std::size_t count);
+
+}  // namespace gsx::geostat

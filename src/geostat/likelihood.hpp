@@ -1,0 +1,29 @@
+// Gaussian log-likelihood, Eq. (1):
+//   l(theta) = -n/2 log(2 pi) - 1/2 log|Sigma(theta)| - 1/2 Z^T Sigma^{-1} Z.
+#pragma once
+
+#include <span>
+
+#include "geostat/covariance.hpp"
+#include "geostat/locations.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::geostat {
+
+struct LoglikValue {
+  double loglik = 0.0;
+  double logdet = 0.0;      ///< log|Sigma|
+  double quadratic = 0.0;   ///< Z^T Sigma^{-1} Z
+  bool ok = false;          ///< false if Sigma was not positive definite
+};
+
+/// Dense FP64 reference evaluation: assemble Sigma, factor, solve.
+LoglikValue dense_loglik(const CovarianceModel& model, std::span<const Location> locs,
+                         std::span<const double> z);
+
+/// Log-likelihood from a precomputed Cholesky factor L (lower triangle of
+/// `chol`) and observation vector z: used by the tile variants, which
+/// produce L by other means.
+LoglikValue loglik_from_cholesky(const la::Matrix<double>& chol, std::span<const double> z);
+
+}  // namespace gsx::geostat

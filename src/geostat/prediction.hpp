@@ -1,0 +1,35 @@
+// Kriging prediction at unobserved locations, Eqs. (4)-(5):
+//   Z_m = Sigma_mn Sigma_nn^{-1} Z_n,
+//   U_m = diag[Sigma_mm - Sigma_mn Sigma_nn^{-1} Sigma_nm].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geostat/covariance.hpp"
+#include "geostat/locations.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::geostat {
+
+struct KrigingResult {
+  std::vector<double> mean;      ///< predicted Z_m
+  std::vector<double> variance;  ///< prediction uncertainty U_m (if requested)
+};
+
+/// Dense kriging: factor Sigma_nn once, predict all test locations.
+/// Throws NumericalError if Sigma_nn is not positive definite.
+KrigingResult krige(const CovarianceModel& model, std::span<const Location> train_locs,
+                    std::span<const double> z_train, std::span<const Location> test_locs,
+                    bool with_variance = true);
+
+/// Kriging from a precomputed lower Cholesky factor of Sigma_nn (the tile
+/// variants reconstruct L and reuse this path).
+KrigingResult krige_with_cholesky(const CovarianceModel& model,
+                                  const la::Matrix<double>& chol,
+                                  std::span<const Location> train_locs,
+                                  std::span<const double> z_train,
+                                  std::span<const Location> test_locs,
+                                  bool with_variance = true);
+
+}  // namespace gsx::geostat

@@ -1,0 +1,75 @@
+#include "geostat/variogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mathx/distance.hpp"
+
+namespace gsx::geostat {
+
+std::vector<VariogramBin> empirical_variogram(std::span<const Location> locs,
+                                              std::span<const double> z,
+                                              const VariogramOptions& opts) {
+  const std::size_t n = locs.size();
+  GSX_REQUIRE(n >= 2 && z.size() == n, "empirical_variogram: need paired data");
+  GSX_REQUIRE(opts.num_bins >= 1, "empirical_variogram: need at least one bin");
+
+  double max_d = opts.max_distance;
+  if (max_d <= 0.0) {
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        dmax = std::max(dmax, mathx::euclidean2d(locs[i].x, locs[i].y, locs[j].x,
+                                                 locs[j].y));
+    max_d = 0.5 * dmax;
+  }
+  GSX_REQUIRE(max_d > 0.0, "empirical_variogram: degenerate location set");
+
+  std::vector<double> sums(opts.num_bins, 0.0);
+  std::vector<std::size_t> counts(opts.num_bins, 0);
+  const double width = max_d / static_cast<double>(opts.num_bins);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = mathx::euclidean2d(locs[i].x, locs[i].y, locs[j].x, locs[j].y);
+      if (d >= max_d || d == 0.0) continue;
+      const auto bin = static_cast<std::size_t>(d / width);
+      const double diff = z[i] - z[j];
+      sums[bin] += 0.5 * diff * diff;
+      ++counts[bin];
+    }
+  }
+
+  std::vector<VariogramBin> out;
+  for (std::size_t b = 0; b < opts.num_bins; ++b) {
+    if (counts[b] == 0) continue;
+    VariogramBin vb;
+    vb.distance = (static_cast<double>(b) + 0.5) * width;
+    vb.gamma = sums[b] / static_cast<double>(counts[b]);
+    vb.pairs = counts[b];
+    out.push_back(vb);
+  }
+  return out;
+}
+
+double model_semivariogram(const CovarianceModel& model, double h) {
+  GSX_REQUIRE(h >= 0.0, "model_semivariogram: negative lag");
+  const Location origin{0.0, 0.0, 0.0};
+  const Location at{h, 0.0, 0.0};
+  return model(origin, origin) - model(origin, at);
+}
+
+double variogram_wls(std::span<const VariogramBin> empirical,
+                     const CovarianceModel& model) {
+  GSX_REQUIRE(!empirical.empty(), "variogram_wls: empty variogram");
+  double score = 0.0;
+  for (const VariogramBin& b : empirical) {
+    const double g = model_semivariogram(model, b.distance);
+    if (g <= 0.0) continue;
+    const double r = b.gamma / g - 1.0;
+    score += static_cast<double>(b.pairs) * r * r;
+  }
+  return score;
+}
+
+}  // namespace gsx::geostat

@@ -1,0 +1,45 @@
+// Empirical semivariogram estimation and model comparison.
+//
+// The classical exploratory tool of geostatistics: gamma(h) =
+// 0.5 * E[(Z(s) - Z(s+h))^2], estimated by binning location pairs by
+// distance. Used to sanity-check fitted covariance models against data
+// (a fitted Matérn implies gamma(h) = sigma^2 + tau^2 - C(h)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geostat/covariance.hpp"
+#include "geostat/locations.hpp"
+
+namespace gsx::geostat {
+
+struct VariogramBin {
+  double distance = 0.0;     ///< bin-center lag
+  double gamma = 0.0;        ///< Matheron estimate 0.5 * mean squared diff
+  std::size_t pairs = 0;     ///< pair count contributing to the bin
+};
+
+struct VariogramOptions {
+  std::size_t num_bins = 15;
+  /// Largest lag to consider; 0 = half the maximum pairwise distance (the
+  /// standard heuristic: longer lags have too few independent pairs).
+  double max_distance = 0.0;
+};
+
+/// Matheron's classical estimator over all location pairs (O(n^2); intended
+/// for exploratory sizes). Empty bins are dropped.
+std::vector<VariogramBin> empirical_variogram(std::span<const Location> locs,
+                                              std::span<const double> z,
+                                              const VariogramOptions& opts = {});
+
+/// Theoretical semivariogram of a fitted model at lag h (isotropic):
+/// gamma(h) = C(0) - C(h), evaluated along the x-axis.
+double model_semivariogram(const CovarianceModel& model, double h);
+
+/// Weighted least-squares discrepancy between an empirical variogram and a
+/// model (Cressie's n_j / h_j^2 weights): the usual goodness-of-fit score.
+double variogram_wls(std::span<const VariogramBin> empirical,
+                     const CovarianceModel& model);
+
+}  // namespace gsx::geostat

@@ -1,0 +1,313 @@
+// Level-3 BLAS kernels over column-major views, templated on the scalar.
+//
+// These are the sequential task bodies of the tile algorithms: one GEMM /
+// SYRK / TRSM / POTRF call per tile task, scheduled by the runtime (the
+// paper executes SSL kernels the same way, one sequential kernel per task).
+// Loop orders are chosen so the innermost loop strides unit distance through
+// column-major storage and autovectorizes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/span2d.hpp"
+
+namespace gsx::la {
+
+enum class Uplo : unsigned char { Lower, Upper };
+enum class Trans : unsigned char { NoTrans, Trans };
+enum class Side : unsigned char { Left, Right };
+enum class Diag : unsigned char { NonUnit, Unit };
+
+namespace detail {
+
+/// Blocking depth in k for GEMM; keeps one panel of A and B in L1/L2.
+inline constexpr std::size_t kGemmKBlock = 256;
+
+template <typename T>
+void scale_matrix(T beta, Span2D<T> c) {
+  if (beta == T{1}) return;
+  for (std::size_t j = 0; j < c.cols(); ++j) {
+    T* cj = &c(0, j);
+    if (beta == T{0}) {
+      for (std::size_t i = 0; i < c.rows(); ++i) cj[i] = T{0};
+    } else {
+      for (std::size_t i = 0; i < c.rows(); ++i) cj[i] *= beta;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T beta,
+          Span2D<T> c) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+  GSX_REQUIRE(((ta == Trans::NoTrans) ? a.rows() : a.cols()) == m, "gemm: A shape mismatch");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.rows() : b.cols()) == k, "gemm: B inner mismatch");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.cols() : b.rows()) == n, "gemm: B outer mismatch");
+
+  detail::scale_matrix(beta, c);
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+
+  for (std::size_t k0 = 0; k0 < k; k0 += detail::kGemmKBlock) {
+    const std::size_t kb = std::min(detail::kGemmKBlock, k - k0);
+    if (ta == Trans::NoTrans && tb == Trans::NoTrans) {
+      // C(:,j) += alpha * A(:,l) * B(l,j): unit-stride axpy in i.
+      for (std::size_t j = 0; j < n; ++j) {
+        T* cj = &c(0, j);
+        for (std::size_t l = 0; l < kb; ++l) {
+          const T blj = alpha * b(k0 + l, j);
+          if (blj == T{0}) continue;
+          const T* al = &a(0, k0 + l);
+          for (std::size_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+        }
+      }
+    } else if (ta == Trans::Trans && tb == Trans::NoTrans) {
+      // C(i,j) += alpha * dot(A(:,i), B(:,j)): unit-stride dot in l.
+      for (std::size_t j = 0; j < n; ++j) {
+        const T* bj = &b(k0, j);
+        for (std::size_t i = 0; i < m; ++i) {
+          const T* ai = &a(k0, i);
+          T s{};
+          for (std::size_t l = 0; l < kb; ++l) s += ai[l] * bj[l];
+          c(i, j) += alpha * s;
+        }
+      }
+    } else if (ta == Trans::NoTrans && tb == Trans::Trans) {
+      // C(:,j) += alpha * A(:,l) * B(j,l).
+      for (std::size_t j = 0; j < n; ++j) {
+        T* cj = &c(0, j);
+        for (std::size_t l = 0; l < kb; ++l) {
+          const T blj = alpha * b(j, k0 + l);
+          if (blj == T{0}) continue;
+          const T* al = &a(0, k0 + l);
+          for (std::size_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+        }
+      }
+    } else {  // Trans, Trans
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < m; ++i) {
+          const T* ai = &a(k0, i);
+          T s{};
+          for (std::size_t l = 0; l < kb; ++l) s += ai[l] * b(j, k0 + l);
+          c(i, j) += alpha * s;
+        }
+      }
+    }
+  }
+}
+
+/// C = alpha * op(A) * op(A)^T + beta * C, touching only the `uplo` triangle.
+/// op(A) is n x k; C is n x n.
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, Span2D<const T> a, T beta, Span2D<T> c) {
+  const std::size_t n = c.rows();
+  GSX_REQUIRE(c.cols() == n, "syrk: C must be square");
+  const std::size_t k = (trans == Trans::NoTrans) ? a.cols() : a.rows();
+  GSX_REQUIRE(((trans == Trans::NoTrans) ? a.rows() : a.cols()) == n, "syrk: A shape mismatch");
+
+  // Scale the addressed triangle.
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t ibeg = (uplo == Uplo::Lower) ? j : 0;
+    const std::size_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (std::size_t i = ibeg; i < iend; ++i)
+      c(i, j) = (beta == T{0}) ? T{0} : c(i, j) * beta;
+  }
+  if (alpha == T{0} || k == 0) return;
+
+  if (trans == Trans::NoTrans) {
+    // C(i,j) += alpha * A(i,l) * A(j,l): axpy over i within the triangle.
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t l = 0; l < k; ++l) {
+        const T ajl = alpha * a(j, l);
+        if (ajl == T{0}) continue;
+        const T* al = &a(0, l);
+        if (uplo == Uplo::Lower) {
+          T* cj = &c(0, j);
+          for (std::size_t i = j; i < n; ++i) cj[i] += al[i] * ajl;
+        } else {
+          T* cj = &c(0, j);
+          for (std::size_t i = 0; i <= j; ++i) cj[i] += al[i] * ajl;
+        }
+      }
+    }
+  } else {
+    // C(i,j) += alpha * dot(A(:,i), A(:,j)).
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t ibeg = (uplo == Uplo::Lower) ? j : 0;
+      const std::size_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+      const T* aj = &a(0, j);
+      for (std::size_t i = ibeg; i < iend; ++i) {
+        const T* ai = &a(0, i);
+        T s{};
+        for (std::size_t l = 0; l < k; ++l) s += ai[l] * aj[l];
+        c(i, j) += alpha * s;
+      }
+    }
+  }
+}
+
+/// B = alpha * op(A)^{-1} * B (Side::Left) or B = alpha * B * op(A)^{-1}
+/// (Side::Right), with A triangular. Reference algorithm (netlib TRSM).
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans ta, Diag diag, T alpha, Span2D<const T> a,
+          Span2D<T> b) {
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+  const std::size_t na = (side == Side::Left) ? m : n;
+  GSX_REQUIRE(a.rows() == na && a.cols() == na, "trsm: A shape mismatch");
+  const bool unit = (diag == Diag::Unit);
+
+  detail::scale_matrix(alpha, b);
+  if (m == 0 || n == 0) return;
+
+  if (side == Side::Left) {
+    if (ta == Trans::NoTrans) {
+      if (uplo == Uplo::Lower) {
+        // Forward substitution, column-oriented.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          for (std::size_t kk = 0; kk < m; ++kk) {
+            if (!unit) bj[kk] /= a(kk, kk);
+            const T bkj = bj[kk];
+            if (bkj == T{0}) continue;
+            const T* ak = &a(0, kk);
+            for (std::size_t i = kk + 1; i < m; ++i) bj[i] -= ak[i] * bkj;
+          }
+        }
+      } else {
+        // Backward substitution.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          for (std::size_t kk = m; kk-- > 0;) {
+            if (!unit) bj[kk] /= a(kk, kk);
+            const T bkj = bj[kk];
+            if (bkj == T{0}) continue;
+            const T* ak = &a(0, kk);
+            for (std::size_t i = 0; i < kk; ++i) bj[i] -= ak[i] * bkj;
+          }
+        }
+      }
+    } else {  // op(A) = A^T
+      if (uplo == Uplo::Lower) {
+        // Solve L^T X = B: backward, dot-product form.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          for (std::size_t ii = m; ii-- > 0;) {
+            const T* ai = &a(0, ii);
+            T s = bj[ii];
+            for (std::size_t kk = ii + 1; kk < m; ++kk) s -= ai[kk] * bj[kk];
+            bj[ii] = unit ? s : s / a(ii, ii);
+          }
+        }
+      } else {
+        // Solve U^T X = B: forward, dot-product form.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          for (std::size_t ii = 0; ii < m; ++ii) {
+            T s = bj[ii];
+            for (std::size_t kk = 0; kk < ii; ++kk) s -= a(kk, ii) * bj[kk];
+            bj[ii] = unit ? s : s / a(ii, ii);
+          }
+        }
+      }
+    }
+  } else {  // Side::Right: B := B * op(A)^{-1}
+    if (ta == Trans::NoTrans) {
+      if (uplo == Uplo::Lower) {
+        // X L = B: process columns right-to-left.
+        for (std::size_t j = n; j-- > 0;) {
+          T* bj = &b(0, j);
+          if (!unit) {
+            const T d = T{1} / a(j, j);
+            for (std::size_t i = 0; i < m; ++i) bj[i] *= d;
+          }
+          for (std::size_t kk = 0; kk < j; ++kk) {
+            const T akj = a(j, kk);
+            if (akj == T{0}) continue;
+            T* bk = &b(0, kk);
+            for (std::size_t i = 0; i < m; ++i) bk[i] -= bj[i] * akj;
+          }
+        }
+      } else {
+        // X U = B: left-to-right.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          if (!unit) {
+            const T d = T{1} / a(j, j);
+            for (std::size_t i = 0; i < m; ++i) bj[i] *= d;
+          }
+          for (std::size_t kk = j + 1; kk < n; ++kk) {
+            const T ajk = a(j, kk);
+            if (ajk == T{0}) continue;
+            T* bk = &b(0, kk);
+            for (std::size_t i = 0; i < m; ++i) bk[i] -= bj[i] * ajk;
+          }
+        }
+      }
+    } else {  // B := B * op(A)^{-T}
+      if (uplo == Uplo::Lower) {
+        // X L^T = B: left-to-right; the tile-Cholesky panel solve.
+        for (std::size_t j = 0; j < n; ++j) {
+          T* bj = &b(0, j);
+          for (std::size_t kk = 0; kk < j; ++kk) {
+            const T ajk = a(j, kk);
+            if (ajk == T{0}) continue;
+            const T* bk = &b(0, kk);
+            for (std::size_t i = 0; i < m; ++i) bj[i] -= bk[i] * ajk;
+          }
+          if (!unit) {
+            const T d = T{1} / a(j, j);
+            for (std::size_t i = 0; i < m; ++i) bj[i] *= d;
+          }
+        }
+      } else {
+        // X U^T = B: right-to-left.
+        for (std::size_t j = n; j-- > 0;) {
+          T* bj = &b(0, j);
+          for (std::size_t kk = j + 1; kk < n; ++kk) {
+            const T akj = a(j, kk);
+            if (akj == T{0}) continue;
+            const T* bk = &b(0, kk);
+            for (std::size_t i = 0; i < m; ++i) bj[i] -= bk[i] * akj;
+          }
+          if (!unit) {
+            const T d = T{1} / a(j, j);
+            for (std::size_t i = 0; i < m; ++i) bj[i] *= d;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// y = alpha * op(A) x + beta * y.
+template <typename T>
+void gemv(Trans ta, T alpha, Span2D<const T> a, const T* x, T beta, T* y) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t leny = (ta == Trans::NoTrans) ? m : n;
+  for (std::size_t i = 0; i < leny; ++i) y[i] = (beta == T{0}) ? T{0} : y[i] * beta;
+  if (ta == Trans::NoTrans) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const T xj = alpha * x[j];
+      if (xj == T{0}) continue;
+      const T* aj = &a(0, j);
+      for (std::size_t i = 0; i < m; ++i) y[i] += aj[i] * xj;
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      const T* aj = &a(0, j);
+      T s{};
+      for (std::size_t i = 0; i < m; ++i) s += aj[i] * x[i];
+      y[j] += alpha * s;
+    }
+  }
+}
+
+}  // namespace gsx::la

@@ -1,0 +1,65 @@
+#include "la/convert.hpp"
+
+#include "common/error.hpp"
+
+namespace gsx::la {
+
+namespace {
+
+template <typename S, typename D>
+void convert_impl(Span2D<const S> src, Span2D<D> dst) {
+  GSX_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+              "convert: shape mismatch");
+  for (std::size_t j = 0; j < src.cols(); ++j) {
+    const S* s = &src(0, j);
+    D* d = &dst(0, j);
+    for (std::size_t i = 0; i < src.rows(); ++i) {
+      if constexpr (std::is_same_v<D, half>) {
+        d[i] = half(static_cast<float>(s[i]));
+      } else if constexpr (std::is_same_v<D, bfloat16>) {
+        d[i] = bfloat16(static_cast<float>(s[i]));
+      } else if constexpr (std::is_same_v<S, half> || std::is_same_v<S, bfloat16>) {
+        d[i] = static_cast<D>(static_cast<float>(s[i]));
+      } else {
+        d[i] = static_cast<D>(s[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void convert(Span2D<const double> src, Span2D<float> dst) { convert_impl(src, dst); }
+void convert(Span2D<const double> src, Span2D<half> dst) { convert_impl(src, dst); }
+void convert(Span2D<const float> src, Span2D<double> dst) { convert_impl(src, dst); }
+void convert(Span2D<const float> src, Span2D<half> dst) { convert_impl(src, dst); }
+void convert(Span2D<const half> src, Span2D<double> dst) { convert_impl(src, dst); }
+void convert(Span2D<const half> src, Span2D<float> dst) { convert_impl(src, dst); }
+void convert(Span2D<const double> src, Span2D<double> dst) { convert_impl(src, dst); }
+void convert(Span2D<const float> src, Span2D<float> dst) { convert_impl(src, dst); }
+void convert(Span2D<const half> src, Span2D<half> dst) { convert_impl(src, dst); }
+void convert(Span2D<const double> src, Span2D<bfloat16> dst) { convert_impl(src, dst); }
+void convert(Span2D<const float> src, Span2D<bfloat16> dst) { convert_impl(src, dst); }
+void convert(Span2D<const bfloat16> src, Span2D<double> dst) { convert_impl(src, dst); }
+void convert(Span2D<const bfloat16> src, Span2D<float> dst) { convert_impl(src, dst); }
+void convert(Span2D<const bfloat16> src, Span2D<bfloat16> dst) { convert_impl(src, dst); }
+
+void round_through_float(Span2D<double> a) {
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      a(i, j) = static_cast<double>(static_cast<float>(a(i, j)));
+}
+
+void round_through_half(Span2D<double> a) {
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      a(i, j) = static_cast<double>(half(a(i, j)));
+}
+
+void round_through_bfloat16(Span2D<double> a) {
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      a(i, j) = static_cast<double>(bfloat16(a(i, j)));
+}
+
+}  // namespace gsx::la

@@ -1,0 +1,37 @@
+// Precision conversion of column-major blocks.
+//
+// The runtime inserts these conversions "on demand" when a kernel's lead
+// operand precision differs from an input's storage precision (Algorithm 1:
+// the '*' operands are converted in flight to match the '+' lead operand).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bfloat16.hpp"
+#include "common/half.hpp"
+#include "common/span2d.hpp"
+
+namespace gsx::la {
+
+void convert(Span2D<const double> src, Span2D<float> dst);
+void convert(Span2D<const double> src, Span2D<half> dst);
+void convert(Span2D<const float> src, Span2D<double> dst);
+void convert(Span2D<const float> src, Span2D<half> dst);
+void convert(Span2D<const half> src, Span2D<double> dst);
+void convert(Span2D<const half> src, Span2D<float> dst);
+void convert(Span2D<const double> src, Span2D<double> dst);
+void convert(Span2D<const float> src, Span2D<float> dst);
+void convert(Span2D<const half> src, Span2D<half> dst);
+void convert(Span2D<const double> src, Span2D<bfloat16> dst);
+void convert(Span2D<const float> src, Span2D<bfloat16> dst);
+void convert(Span2D<const bfloat16> src, Span2D<double> dst);
+void convert(Span2D<const bfloat16> src, Span2D<float> dst);
+void convert(Span2D<const bfloat16> src, Span2D<bfloat16> dst);
+
+/// Round-trip a block through a lower precision in place (double storage):
+/// the storage-rounding operator applied when a tile is demoted.
+void round_through_float(Span2D<double> a);
+void round_through_half(Span2D<double> a);
+void round_through_bfloat16(Span2D<double> a);
+
+}  // namespace gsx::la

@@ -1,0 +1,60 @@
+#include "la/half_blas.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/convert.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::la {
+
+namespace {
+
+/// Widen the 16-bit-storage operands to a float scratch and run the FP32
+/// kernel (FP32 accumulation semantics of FP16/BF16 matrix engines).
+template <typename T16>
+void shgemm_impl(Trans ta, Trans tb, float alpha, Span2D<const T16> a,
+                 Span2D<const T16> b, float beta, Span2D<float> c) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+  GSX_REQUIRE(((ta == Trans::NoTrans) ? a.rows() : a.cols()) == m, "shgemm: A shape");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.rows() : b.cols()) == k, "shgemm: B inner");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.cols() : b.rows()) == n, "shgemm: B outer");
+
+  Matrix<float> af((ta == Trans::NoTrans) ? m : k, (ta == Trans::NoTrans) ? k : m);
+  Matrix<float> bf((tb == Trans::NoTrans) ? k : n, (tb == Trans::NoTrans) ? n : k);
+  convert(a, af.view());
+  convert(b, bf.view());
+  gemm<float>(ta, tb, alpha, af.cview(), bf.cview(), beta, c);
+}
+
+}  // namespace
+
+void shgemm(Trans ta, Trans tb, float alpha, Span2D<const half> a, Span2D<const half> b,
+            float beta, Span2D<float> c) {
+  shgemm_impl(ta, tb, alpha, a, b, beta, c);
+}
+
+void hgemm(Trans ta, Trans tb, float alpha, Span2D<const half> a, Span2D<const half> b,
+           float beta, Span2D<half> c) {
+  Matrix<float> cf(c.rows(), c.cols());
+  convert(Span2D<const half>(c.data(), c.rows(), c.cols(), c.ld()), cf.view());
+  shgemm_impl(ta, tb, alpha, a, b, beta, cf.view());
+  convert(cf.cview(), c);
+}
+
+void sbgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+            Span2D<const bfloat16> b, float beta, Span2D<float> c) {
+  shgemm_impl(ta, tb, alpha, a, b, beta, c);
+}
+
+void bgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+           Span2D<const bfloat16> b, float beta, Span2D<bfloat16> c) {
+  Matrix<float> cf(c.rows(), c.cols());
+  convert(Span2D<const bfloat16>(c.data(), c.rows(), c.cols(), c.ld()), cf.view());
+  shgemm_impl(ta, tb, alpha, a, b, beta, cf.view());
+  convert(cf.cview(), c);
+}
+
+}  // namespace gsx::la

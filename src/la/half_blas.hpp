@@ -1,0 +1,34 @@
+// FP16-storage BLAS kernels with FP32 accumulation ("SHGEMM").
+//
+// Fugaku's SSL lacked exactly this kernel (the paper borrowed a BLIS
+// implementation); here operands are stored in binary16 and panels are
+// widened to FP32 on the fly, with all arithmetic and accumulation in FP32.
+#pragma once
+
+#include "common/bfloat16.hpp"
+#include "common/half.hpp"
+#include "common/span2d.hpp"
+#include "la/blas.hpp"
+
+namespace gsx::la {
+
+/// C(fp32) = alpha * op(A_h) * op(B_h) + beta * C. FP32 accumulation.
+void shgemm(Trans ta, Trans tb, float alpha, Span2D<const half> a, Span2D<const half> b,
+            float beta, Span2D<float> c);
+
+/// C(fp16) = alpha * op(A_h) * op(B_h) + beta * C_h; accumulates in FP32 and
+/// rounds the result to binary16 on store.
+void hgemm(Trans ta, Trans tb, float alpha, Span2D<const half> a, Span2D<const half> b,
+           float beta, Span2D<half> c);
+
+/// C(fp32) = alpha * op(A_bf) * op(B_bf) + beta * C; BF16 storage with FP32
+/// accumulation — the "SBGEMM" semantics of BF16 matrix engines.
+void sbgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+            Span2D<const bfloat16> b, float beta, Span2D<float> c);
+
+/// C(bf16) = alpha * op(A_bf) * op(B_bf) + beta * C_bf; FP32 accumulation,
+/// BF16 store.
+void bgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+           Span2D<const bfloat16> b, float beta, Span2D<bfloat16> c);
+
+}  // namespace gsx::la

@@ -1,0 +1,69 @@
+// Owning column-major matrix container (BLAS convention).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/span2d.hpp"
+
+namespace gsx::la {
+
+/// Dense column-major matrix owning its storage. Leading dimension == rows.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) noexcept { return data_[i + j * rows_]; }
+  const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i + j * rows_];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] Span2D<T> view() noexcept { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] Span2D<const T> view() const noexcept {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] Span2D<const T> cview() const noexcept { return view(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t j = 0; j < cols_; ++j)
+      for (std::size_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gsx::la

@@ -1,0 +1,205 @@
+#include "mathx/bessel.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gsx::mathx {
+
+namespace {
+
+constexpr double kEps = 1.0e-16;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+constexpr int kMaxIter = 10000;
+constexpr double kXMin = 2.0;  // series/continued-fraction switch point
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Chebyshev series evaluation on [a, b].
+double chebev(double a, double b, const double* c, int m, double x) {
+  double d = 0.0, dd = 0.0;
+  const double y = (2.0 * x - a - b) / (b - a);
+  const double y2 = 2.0 * y;
+  for (int j = m - 1; j >= 1; --j) {
+    const double sv = d;
+    d = y2 * d - dd + c[j];
+    dd = sv;
+  }
+  return y * d - dd + 0.5 * c[0];
+}
+
+struct GammaPair {
+  double gam1;   // [1/Gamma(1-x) - 1/Gamma(1+x)] / (2x)
+  double gam2;   // [1/Gamma(1-x) + 1/Gamma(1+x)] / 2
+  double gampl;  // 1/Gamma(1+x)
+  double gammi;  // 1/Gamma(1-x)
+};
+
+/// Chebyshev fits for the Gamma combinations needed by Temme's series,
+/// valid for |x| <= 1/2 (Numerical Recipes "beschb").
+GammaPair beschb(double x) {
+  static constexpr std::array<double, 7> c1 = {
+      -1.142022680371168e0, 6.5165112670737e-3,  3.087090173086e-4,
+      -3.4706269649e-6,     6.9437664e-9,        3.67795e-11,
+      -1.356e-13};
+  static constexpr std::array<double, 8> c2 = {
+      1.843740587300905e0, -7.68528408447867e-2, 1.2719271366546e-3,
+      -4.9717367042e-6,    -3.31261198e-8,       2.423096e-10,
+      -1.702e-13,          -1.49e-15};
+  const double xx = 8.0 * x * x - 1.0;
+  GammaPair g{};
+  g.gam1 = chebev(-1.0, 1.0, c1.data(), static_cast<int>(c1.size()), xx);
+  g.gam2 = chebev(-1.0, 1.0, c2.data(), static_cast<int>(c2.size()), xx);
+  g.gampl = g.gam2 - x * g.gam1;
+  g.gammi = g.gam2 + x * g.gam1;
+  return g;
+}
+
+struct BessIK {
+  double i;  // I_nu(x)
+  double k;  // K_nu(x), scaled by exp(x) if `scaled`
+};
+
+/// Joint evaluation of I_nu and K_nu following the Steed/Temme scheme.
+/// With scaled=true returns K multiplied by exp(x) (I is then invalid).
+BessIK bessik(double nu, double x, bool scaled) {
+  GSX_REQUIRE(std::isfinite(x) && x > 0.0, "bessel: x must be positive and finite");
+  GSX_REQUIRE(std::isfinite(nu), "bessel: nu must be finite");
+  nu = std::fabs(nu);  // K_{-nu} = K_nu; I only requested for nu >= 0
+
+  const int nl = static_cast<int>(nu + 0.5);
+  const double xmu = nu - nl;  // in [-1/2, 1/2]
+  const double xmu2 = xmu * xmu;
+  const double xi = 1.0 / x;
+  const double xi2 = 2.0 * xi;
+
+  // CF1 for I'_nu/I_nu.
+  double h = nu * xi;
+  if (h < kFpMin) h = kFpMin;
+  double b = xi2 * nu;
+  double d = 0.0;
+  double c = h;
+  int iter = 0;
+  for (; iter < kMaxIter; ++iter) {
+    b += xi2;
+    d = 1.0 / (b + d);
+    c = b + 1.0 / c;
+    const double del = c * d;
+    h = del * h;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  GSX_REQUIRE(iter < kMaxIter, "bessel: CF1 failed to converge (x too large for order?)");
+
+  // Downward recurrence of an unnormalised I from order nu to xmu.
+  double ril = kFpMin;
+  double ripl = h * ril;
+  const double ril1 = ril;
+  double fact = nu * xi;
+  for (int l = nl; l >= 1; --l) {
+    const double ritemp = fact * ril + ripl;
+    fact -= xi;
+    ripl = fact * ritemp + ril;
+    ril = ritemp;
+  }
+  const double f = ripl / ril;  // I'_xmu/I_xmu
+
+  double rkmu, rk1;
+  if (x < kXMin) {
+    // Temme's series for K_xmu and K_{xmu+1}.
+    const double x2 = 0.5 * x;
+    const double pimu = kPi * xmu;
+    const double fct = (std::fabs(pimu) < kEps) ? 1.0 : pimu / std::sin(pimu);
+    double dlog = -std::log(x2);
+    double e = xmu * dlog;
+    const double fact2 = (std::fabs(e) < kEps) ? 1.0 : std::sinh(e) / e;
+    const GammaPair g = beschb(xmu);
+    double ff = fct * (g.gam1 * std::cosh(e) + g.gam2 * fact2 * dlog);
+    double sum = ff;
+    e = std::exp(e);
+    double p = 0.5 * e / g.gampl;
+    double q = 0.5 / (e * g.gammi);
+    double cc = 1.0;
+    const double d2 = x2 * x2;
+    double sum1 = p;
+    int i = 1;
+    for (; i <= kMaxIter; ++i) {
+      ff = (i * ff + p + q) / (i * i - xmu2);
+      cc *= d2 / i;
+      p /= (i - xmu);
+      q /= (i + xmu);
+      const double del = cc * ff;
+      sum += del;
+      const double del1 = cc * (p - i * ff);
+      sum1 += del1;
+      if (std::fabs(del) < std::fabs(sum) * kEps) break;
+    }
+    GSX_REQUIRE(i <= kMaxIter, "bessel: Temme series failed to converge");
+    rkmu = sum;
+    rk1 = sum1 * xi2;
+    if (scaled) {
+      const double ex = std::exp(x);
+      rkmu *= ex;
+      rk1 *= ex;
+    }
+  } else {
+    // Steed's CF2 for K_xmu; yields exp(-x)-scaled values naturally.
+    double bb = 2.0 * (1.0 + x);
+    double dd = 1.0 / bb;
+    double delh = dd;
+    double hh = delh;
+    double q1 = 0.0, q2 = 1.0;
+    const double a1 = 0.25 - xmu2;
+    double qq = a1;
+    double cc = a1;
+    double aa = -a1;
+    double s = 1.0 + qq * delh;
+    int i = 2;
+    for (; i <= kMaxIter; ++i) {
+      aa -= 2 * (i - 1);
+      cc = -aa * cc / i;
+      const double qnew = (q1 - bb * q2) / aa;
+      q1 = q2;
+      q2 = qnew;
+      qq += cc * qnew;
+      bb += 2.0;
+      dd = 1.0 / (bb + aa * dd);
+      delh = (bb * dd - 1.0) * delh;
+      hh += delh;
+      const double dels = qq * delh;
+      s += dels;
+      if (std::fabs(dels / s) < kEps) break;
+    }
+    GSX_REQUIRE(i <= kMaxIter, "bessel: CF2 failed to converge");
+    hh = a1 * hh;
+    const double scale = scaled ? 1.0 : std::exp(-x);
+    rkmu = std::sqrt(kPi / (2.0 * x)) * scale / s;
+    rk1 = rkmu * (xmu + x + 0.5 - hh) * xi;
+  }
+
+  // I_xmu from the Wronskian, then recurrences back up to order nu.
+  const double rkmup = xmu * xi * rkmu - rk1;
+  const double rimu = xi / (f * rkmu - rkmup);
+  const double ri = (rimu * ril1) / ril;
+  double kmu = rkmu;
+  double k1 = rk1;
+  for (int i = 1; i <= nl; ++i) {
+    const double rktemp = (xmu + i) * xi2 * k1 + kmu;
+    kmu = k1;
+    k1 = rktemp;
+  }
+  return BessIK{ri, kmu};
+}
+
+}  // namespace
+
+double bessel_k(double nu, double x) { return bessik(nu, x, /*scaled=*/false).k; }
+
+double bessel_k_scaled(double nu, double x) { return bessik(nu, x, /*scaled=*/true).k; }
+
+double bessel_i(double nu, double x) {
+  GSX_REQUIRE(nu >= 0.0, "bessel_i: order must be non-negative");
+  return bessik(nu, x, /*scaled=*/false).i;
+}
+
+}  // namespace gsx::mathx

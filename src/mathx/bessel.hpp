@@ -1,0 +1,25 @@
+// Modified Bessel function of the second kind, K_nu, for real order nu >= 0.
+//
+// The Matérn covariance C(r) = sigma^2 * 2^{1-nu}/Gamma(nu) * (r)^nu * K_nu(r)
+// requires K_nu for arbitrary real smoothness nu, evaluated O(n^2) times
+// during covariance-matrix generation. The implementation follows the
+// classical approach (Temme's series for x <= 2, Steed's second continued
+// fraction for x > 2, upward recurrence in the order).
+#pragma once
+
+namespace gsx::mathx {
+
+/// K_nu(x) for x > 0, any real nu (K_{-nu} = K_nu). Throws InvalidArgument
+/// for x <= 0 or non-finite inputs. Relative accuracy ~1e-14 over the range
+/// exercised by geostatistics (x in [1e-8, 700], nu in [0.01, 30]).
+double bessel_k(double nu, double x);
+
+/// exp(x) * K_nu(x): numerically stable for large x where K_nu underflows.
+double bessel_k_scaled(double nu, double x);
+
+/// Modified Bessel function of the first kind, I_nu(x), x > 0, nu >= 0.
+/// (Computed by the same routine; exposed for testing the Wronskian
+/// identity I_nu(x) K_{nu+1}(x) + I_{nu+1}(x) K_nu(x) = 1/x.)
+double bessel_i(double nu, double x);
+
+}  // namespace gsx::mathx

@@ -1,0 +1,171 @@
+#include "optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gsx::optim {
+
+namespace {
+
+/// Box <-> unconstrained transform: x = lo + (hi-lo) * sigmoid(u).
+class BoxTransform {
+ public:
+  BoxTransform(std::span<const double> lo, std::span<const double> hi)
+      : lo_(lo.begin(), lo.end()), hi_(hi.begin(), hi.end()) {
+    GSX_REQUIRE(lo_.size() == hi_.size(), "BoxTransform: bound size mismatch");
+    for (std::size_t i = 0; i < lo_.size(); ++i)
+      GSX_REQUIRE(lo_[i] < hi_[i], "BoxTransform: lower bound must be below upper");
+  }
+
+  [[nodiscard]] std::vector<double> to_box(std::span<const double> u) const {
+    std::vector<double> x(u.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const double s = 1.0 / (1.0 + std::exp(-u[i]));
+      x[i] = lo_[i] + (hi_[i] - lo_[i]) * s;
+    }
+    return x;
+  }
+
+  [[nodiscard]] std::vector<double> from_box(std::span<const double> x) const {
+    std::vector<double> u(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      // Clamp strictly inside the box before the logit.
+      const double w = (hi_[i] - lo_[i]);
+      double s = (x[i] - lo_[i]) / w;
+      s = std::clamp(s, 1e-6, 1.0 - 1e-6);
+      u[i] = std::log(s / (1.0 - s));
+    }
+    return u;
+  }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace
+
+OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
+                        std::span<const double> lo, std::span<const double> hi,
+                        const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  GSX_REQUIRE(n >= 1, "nelder_mead: empty parameter vector");
+  GSX_REQUIRE(lo.size() == n && hi.size() == n, "nelder_mead: bound size mismatch");
+  const BoxTransform box(lo, hi);
+
+  OptimResult result;
+  auto eval = [&](std::span<const double> u) {
+    ++result.evals;
+    const std::vector<double> x = box.to_box(u);
+    const double v = f(x);
+    return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+  };
+
+  // Initial simplex around the transformed start.
+  std::vector<std::vector<double>> simplex(n + 1, box.from_box(x0));
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) simplex[i][i - 1] += opts.initial_step;
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = eval(simplex[i]);
+
+  // Adaptive Nelder-Mead coefficients (Gao & Han) help in higher dimension.
+  const double nd = static_cast<double>(n);
+  const double alpha = 1.0;
+  const double gamma = 1.0 + 2.0 / nd;
+  const double rho = 0.75 - 1.0 / (2.0 * nd);
+  const double sigma = 1.0 - 1.0 / nd;
+
+  std::vector<std::size_t> order(n + 1);
+  while (result.evals < opts.max_evals) {
+    ++result.iterations;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: spread of values and of vertices.
+    double fspread = std::fabs(fvals[worst] - fvals[best]);
+    double xspread = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      xspread = std::max(xspread, std::fabs(simplex[worst][i] - simplex[best][i]));
+    if (fspread < opts.ftol && xspread < opts.xtol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v <= n; ++v) {
+      if (v == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v][i];
+    }
+    for (double& c : centroid) c /= nd;
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = centroid[i] + coef * (centroid[i] - simplex[worst][i]);
+      return p;
+    };
+
+    const std::vector<double> reflected = blend(alpha);
+    const double fr = eval(reflected);
+    if (fr < fvals[best]) {
+      const std::vector<double> expanded = blend(gamma);
+      const double fe = eval(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        fvals[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fvals[second_worst]) {
+      simplex[worst] = reflected;
+      fvals[worst] = fr;
+      continue;
+    }
+    // Contraction (outside if the reflection improved on the worst).
+    if (fr < fvals[worst]) {
+      const std::vector<double> contracted = blend(rho);
+      const double fc = eval(contracted);
+      if (fc <= fr) {
+        simplex[worst] = contracted;
+        fvals[worst] = fc;
+        continue;
+      }
+    } else {
+      const std::vector<double> contracted = blend(-rho);
+      const double fc = eval(contracted);
+      if (fc < fvals[worst]) {
+        simplex[worst] = contracted;
+        fvals[worst] = fc;
+        continue;
+      }
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t v = 0; v <= n; ++v) {
+      if (v == best) continue;
+      for (std::size_t i = 0; i < n; ++i)
+        simplex[v][i] = simplex[best][i] + sigma * (simplex[v][i] - simplex[best][i]);
+      fvals[v] = eval(simplex[v]);
+      if (result.evals >= opts.max_evals) break;
+    }
+  }
+
+  const auto best_it = std::min_element(fvals.begin(), fvals.end());
+  const std::size_t best_idx = static_cast<std::size_t>(best_it - fvals.begin());
+  result.x = box.to_box(simplex[best_idx]);
+  result.fval = fvals[best_idx];
+  return result;
+}
+
+}  // namespace gsx::optim

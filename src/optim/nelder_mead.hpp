@@ -1,0 +1,42 @@
+// Derivative-free minimization for the MLE loop.
+//
+// The log-likelihood surface is smooth but derivatives of the Matérn family
+// w.r.t. smoothness are awkward; ExaGeoStat optimizes with derivative-free
+// methods (BOBYQA in the original, particle swarm for parallel training).
+// Here: Nelder-Mead simplex over a logit-transformed box (bounds respected
+// exactly) and PSO (see pso.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gsx::optim {
+
+/// Objective to MINIMIZE (the MLE drivers pass the negative log-likelihood).
+/// May return +infinity for infeasible points (e.g. non-SPD covariance).
+using Objective = std::function<double(std::span<const double>)>;
+
+struct NelderMeadOptions {
+  std::size_t max_evals = 600;
+  double xtol = 1.0e-5;  ///< simplex spread tolerance (transformed space)
+  double ftol = 1.0e-8;  ///< function spread tolerance
+  /// Initial simplex step in the transformed (unconstrained) space.
+  double initial_step = 0.25;
+};
+
+struct OptimResult {
+  std::vector<double> x;
+  double fval = 0.0;
+  std::size_t evals = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Nelder-Mead on f over the box [lo, hi], started at x0 (clamped inside).
+OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
+                        std::span<const double> lo, std::span<const double> hi,
+                        const NelderMeadOptions& opts = {});
+
+}  // namespace gsx::optim

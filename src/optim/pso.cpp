@@ -1,0 +1,104 @@
+#include "optim/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace gsx::optim {
+
+OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
+                           std::span<const double> hi, const PsoOptions& opts) {
+  const std::size_t n = lo.size();
+  GSX_REQUIRE(n >= 1 && hi.size() == n, "particle_swarm: bad bounds");
+  GSX_REQUIRE(opts.swarm_size >= 2, "particle_swarm: need at least two particles");
+  for (std::size_t i = 0; i < n; ++i)
+    GSX_REQUIRE(lo[i] < hi[i], "particle_swarm: lower bound must be below upper");
+
+  struct Particle {
+    std::vector<double> x, v, best_x;
+    double best_f = std::numeric_limits<double>::infinity();
+    double f = std::numeric_limits<double>::infinity();
+    Rng rng;
+  };
+
+  Rng master(opts.seed);
+  std::vector<Particle> swarm(opts.swarm_size);
+  for (auto& p : swarm) {
+    p.rng = master.split();
+    p.x.resize(n);
+    p.v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = hi[i] - lo[i];
+      p.x[i] = lo[i] + w * p.rng.uniform();
+      p.v[i] = w * (p.rng.uniform() - 0.5) * 0.2;
+    }
+    p.best_x = p.x;
+  }
+
+  OptimResult result;
+  std::vector<double> gbest_x;
+  double gbest_f = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    ++result.iterations;
+    // Parallel likelihood evaluations — the paper's weak-scaling axis.
+    rt::parallel_for(0, swarm.size(), opts.workers, [&](std::size_t pi) {
+      Particle& p = swarm[pi];
+      const double v = f(p.x);
+      p.f = std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+    });
+    result.evals += swarm.size();
+
+    const double prev_gbest = gbest_f;
+    for (auto& p : swarm) {
+      if (p.f < p.best_f) {
+        p.best_f = p.f;
+        p.best_x = p.x;
+      }
+      if (p.f < gbest_f) {
+        gbest_f = p.f;
+        gbest_x = p.x;
+      }
+    }
+    if (gbest_x.empty()) gbest_x = swarm.front().best_x;  // all-infeasible start
+    if (prev_gbest - gbest_f < opts.ftol) {
+      if (++stall >= opts.stall_iters) break;
+    } else {
+      stall = 0;
+    }
+
+    for (auto& p : swarm) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r1 = p.rng.uniform();
+        const double r2 = p.rng.uniform();
+        p.v[i] = opts.inertia * p.v[i] +
+                 opts.cognitive * r1 * (p.best_x[i] - p.x[i]) +
+                 opts.social * r2 * (gbest_x[i] - p.x[i]);
+        p.x[i] += p.v[i];
+        // Reflective bounds keep particles inside the box.
+        if (p.x[i] < lo[i]) {
+          p.x[i] = lo[i] + (lo[i] - p.x[i]);
+          p.v[i] = -p.v[i];
+        }
+        if (p.x[i] > hi[i]) {
+          p.x[i] = hi[i] - (p.x[i] - hi[i]);
+          p.v[i] = -p.v[i];
+        }
+        p.x[i] = std::clamp(p.x[i], lo[i], hi[i]);
+      }
+    }
+  }
+
+  result.x = gbest_x;
+  result.fval = gbest_f;
+  result.converged = std::isfinite(gbest_f);
+  return result;
+}
+
+}  // namespace gsx::optim

@@ -1,0 +1,36 @@
+// Particle Swarm Optimization with parallel objective evaluation.
+//
+// The paper (Section VI-D) accelerates training by launching independent
+// log-likelihood evaluations — one per particle — in an embarrassingly
+// parallel fashion, synchronizing loosely each iteration; this is the weak
+// scaling dimension on Fugaku. Here particles evaluate concurrently on the
+// worker pool.
+#pragma once
+
+#include <cstdint>
+
+#include "optim/nelder_mead.hpp"
+
+namespace gsx::optim {
+
+struct PsoOptions {
+  std::size_t swarm_size = 16;
+  std::size_t max_iters = 60;
+  double inertia = 0.72;
+  double cognitive = 1.49;  ///< pull toward the particle's own best
+  double social = 1.49;     ///< pull toward the swarm best
+  std::uint64_t seed = 1;
+  std::size_t workers = 1;  ///< concurrent objective evaluations
+  /// Stop early when the swarm best has not improved by ftol for
+  /// `stall_iters` consecutive iterations.
+  double ftol = 1.0e-8;
+  std::size_t stall_iters = 10;
+};
+
+/// Minimize f over the box [lo, hi]. The objective MUST be safe to call
+/// concurrently from `workers` threads (the MLE objective is: each call
+/// builds its own covariance matrix).
+OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
+                           std::span<const double> hi, const PsoOptions& opts = {});
+
+}  // namespace gsx::optim

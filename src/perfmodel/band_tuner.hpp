@@ -1,0 +1,37 @@
+// Algorithm 2: auto-tuning band_size_dense.
+//
+// Given a matrix compressed with band_size = 1 (everything off-diagonal
+// low-rank) and the kernel performance model, grow the dense band while the
+// predicted dense time of each sub-diagonal beats the predicted TLR time
+// (within a fluctuation factor). High-rank tiles cluster near the diagonal
+// under Morton ordering, so the loop terminates after a few sub-diagonals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perfmodel/kernel_model.hpp"
+#include "tile/sym_tile_matrix.hpp"
+
+namespace gsx::perfmodel {
+
+struct BandDecision {
+  std::size_t band_size_dense = 1;
+  /// Predicted dense/TLR seconds per examined sub-diagonal (diagnostics).
+  std::vector<double> dense_seconds;
+  std::vector<double> tlr_seconds;
+};
+
+/// `a` must hold its off-diagonal tiles compressed (band_size = 1). The
+/// returned band_size_dense counts the diagonal, i.e. a value of 3 means
+/// sub-diagonals 1 and 2 should be stored dense (cf. Fig. 3(b)).
+BandDecision tune_band_size(const tile::SymTileMatrix& a, const KernelModel& model,
+                            double fluctuation = 1.0);
+
+/// Predict the per-sub-diagonal cost of TRSM+GEMM executed dense at the
+/// given precision mix vs executed low-rank (exposed for the ablation
+/// bench; `tune_band_size` wraps it).
+void predict_subdiagonal_cost(const tile::SymTileMatrix& a, const KernelModel& model,
+                              std::size_t subdiag, double& dense_out, double& tlr_out);
+
+}  // namespace gsx::perfmodel

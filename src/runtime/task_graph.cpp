@@ -1,0 +1,292 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace gsx::rt {
+
+std::size_t TaskGraph::submit(std::string name, const std::vector<Dep>& deps,
+                              std::function<void()> body, int priority) {
+  GSX_REQUIRE(body != nullptr, "submit: task body must be callable");
+  const std::size_t id = tasks_.size();
+  Task t;
+  t.name = std::move(name);
+  t.body = std::move(body);
+  t.priority = priority;
+  tasks_.push_back(std::move(t));
+  last_edge_target_.push_back(-1);
+
+  for (const Dep& d : deps) {
+    DatumState& st = data_[d.datum.key];
+    switch (d.mode) {
+      case Access::Read:
+        if (st.last_writer >= 0) add_edge(static_cast<std::size_t>(st.last_writer), id);
+        st.readers_since_write.push_back(id);
+        break;
+      case Access::Write:
+      case Access::ReadWrite:
+        if (st.readers_since_write.empty()) {
+          if (st.last_writer >= 0) add_edge(static_cast<std::size_t>(st.last_writer), id);
+        } else {
+          for (std::size_t r : st.readers_since_write)
+            if (r != id) add_edge(r, id);
+          // Readers already depend on last_writer, so the WAW edge through
+          // them is transitively implied, but keep the direct edge when the
+          // writer itself also read (ReadWrite chains).
+          if (st.last_writer >= 0 &&
+              std::find(st.readers_since_write.begin(), st.readers_since_write.end(),
+                        static_cast<std::size_t>(st.last_writer)) ==
+                  st.readers_since_write.end()) {
+            add_edge(static_cast<std::size_t>(st.last_writer), id);
+          }
+        }
+        st.last_writer = static_cast<std::ptrdiff_t>(id);
+        st.readers_since_write.clear();
+        if (d.mode == Access::ReadWrite) {
+          // A ReadWrite also counts as a reader of its own write for
+          // subsequent writers; not needed — successor writers depend on the
+          // last_writer directly.
+        }
+        break;
+    }
+  }
+  return id;
+}
+
+void TaskGraph::add_edge(std::size_t from, std::size_t to) {
+  if (from == to) return;
+  // Cheap de-duplication: tile algorithms generate runs of identical edges.
+  if (last_edge_target_[from] == static_cast<std::ptrdiff_t>(to)) return;
+  tasks_[from].successors.push_back(to);
+  last_edge_target_[from] = static_cast<std::ptrdiff_t>(to);
+  ++tasks_[to].num_predecessors;
+  ++stats_.num_edges;
+}
+
+namespace {
+
+/// Min-heap comparator selecting the highest-priority, earliest-submitted task.
+struct ReadyCompare {
+  const std::vector<int>* priorities;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const int pa = (*priorities)[a];
+    const int pb = (*priorities)[b];
+    if (pa != pb) return pa < pb;  // higher priority first
+    return a > b;                  // earlier submission first
+  }
+};
+
+}  // namespace
+
+void TaskGraph::run(std::size_t num_workers) {
+  GSX_REQUIRE(num_workers >= 1, "run: need at least one worker");
+  stats_.num_tasks = tasks_.size();
+  exec_order_.clear();
+  trace_.clear();
+  if (tasks_.empty()) return;
+
+  // Remaining-predecessor counters; seeded from the static DAG.
+  std::vector<std::size_t> remaining(tasks_.size());
+  std::vector<int> priorities(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    remaining[i] = tasks_[i].num_predecessors;
+    priorities[i] = tasks_[i].priority;
+  }
+
+  std::mutex mtx;
+  std::condition_variable cv;
+  std::deque<std::size_t> fifo;
+  std::priority_queue<std::size_t, std::vector<std::size_t>, ReadyCompare> prio(
+      ReadyCompare{&priorities});
+  // WorkStealing: one deque per worker; owner works LIFO on the back, idle
+  // workers steal FIFO from the front of the fullest deque.
+  std::vector<std::deque<std::size_t>> deques(num_workers);
+  std::size_t ready_count = 0;
+  std::size_t steal_count = 0;
+  std::size_t completed = 0;
+  std::exception_ptr first_error;
+  std::atomic<bool> aborting{false};
+
+  auto push_ready = [&](std::size_t id, std::size_t worker_hint) {
+    switch (policy_) {
+      case SchedPolicy::Priority: prio.push(id); break;
+      case SchedPolicy::Lifo: fifo.push_front(id); break;
+      case SchedPolicy::Fifo: fifo.push_back(id); break;
+      case SchedPolicy::WorkStealing:
+        deques[worker_hint % num_workers].push_back(id);
+        break;
+    }
+    ++ready_count;
+  };
+  auto have_ready = [&] { return ready_count > 0; };
+  auto pop_ready = [&](std::size_t worker) {
+    std::size_t id = 0;
+    switch (policy_) {
+      case SchedPolicy::Priority:
+        id = prio.top();
+        prio.pop();
+        break;
+      case SchedPolicy::Lifo:
+      case SchedPolicy::Fifo:
+        id = fifo.front();
+        fifo.pop_front();
+        break;
+      case SchedPolicy::WorkStealing: {
+        auto& own = deques[worker % num_workers];
+        if (!own.empty()) {
+          id = own.back();
+          own.pop_back();
+        } else {
+          // Steal from the fullest victim's front.
+          std::size_t victim = num_workers;
+          std::size_t best = 0;
+          for (std::size_t w = 0; w < num_workers; ++w) {
+            if (deques[w].size() > best) {
+              best = deques[w].size();
+              victim = w;
+            }
+          }
+          id = deques[victim].front();
+          deques[victim].pop_front();
+          ++steal_count;
+        }
+        break;
+      }
+    }
+    --ready_count;
+    return id;
+  };
+
+  {
+    std::lock_guard lk(mtx);
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      if (remaining[i] == 0) push_ready(i, i);
+  }
+
+  Timer wall;
+  auto worker_loop = [&](std::size_t worker_id) {
+    for (;;) {
+      std::size_t id;
+      {
+        std::unique_lock lk(mtx);
+        cv.wait(lk, [&] {
+          return have_ready() || completed == tasks_.size() || aborting.load();
+        });
+        if (completed == tasks_.size() || (aborting.load() && !have_ready())) return;
+        if (!have_ready()) continue;
+        id = pop_ready(worker_id);
+        exec_order_.push_back(id);
+      }
+
+      Task& t = tasks_[id];
+      const double t0 = wall.seconds();
+      if (!aborting.load(std::memory_order_acquire)) {
+        try {
+          t.body();
+        } catch (...) {
+          std::lock_guard lk(mtx);
+          if (!first_error) first_error = std::current_exception();
+          aborting.store(true, std::memory_order_release);
+        }
+      }
+      const double t1 = wall.seconds();
+      t.duration_seconds = t1 - t0;
+
+      {
+        std::lock_guard lk(mtx);
+        if (tracing_) trace_.push_back(TraceEvent{t.name, worker_id, t0, t1});
+        ++completed;
+        for (std::size_t s : t.successors) {
+          GSX_REQUIRE(remaining[s] > 0, "runtime: dependency counter underflow");
+          if (--remaining[s] == 0) push_ready(s, worker_id);
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
+  if (num_workers == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w)
+      pool.emplace_back(worker_loop, w);
+    // jthread joins on destruction (CP.25): scope end is the barrier.
+  }
+
+  stats_.makespan_seconds = wall.seconds();
+  stats_.steals = steal_count;
+  stats_.total_task_seconds = 0.0;
+  for (const Task& t : tasks_) stats_.total_task_seconds += t.duration_seconds;
+  compute_critical_path();
+
+  if (first_error) std::rethrow_exception(first_error);
+  GSX_REQUIRE(completed == tasks_.size(), "runtime: DAG did not quiesce (cycle?)");
+}
+
+void TaskGraph::compute_critical_path() {
+  // Longest path by task count and by measured duration, via reverse
+  // topological order (tasks_ indices are already topologically consistent:
+  // every edge goes from a lower to a higher submission index).
+  const std::size_t n = tasks_.size();
+  std::vector<std::size_t> depth(n, 1);
+  std::vector<double> wdepth(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) wdepth[i] = tasks_[i].duration_seconds;
+  std::size_t best = 0;
+  double wbest = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t s : tasks_[i].successors) {
+      depth[i] = std::max(depth[i], 1 + depth[s]);
+      wdepth[i] = std::max(wdepth[i], tasks_[i].duration_seconds + wdepth[s]);
+    }
+    best = std::max(best, depth[i]);
+    wbest = std::max(wbest, wdepth[i]);
+  }
+  stats_.critical_path_tasks = best;
+  stats_.critical_path_seconds = wbest;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t num_workers,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  num_workers = std::max<std::size_t>(1, std::min(num_workers, n));
+  if (num_workers == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex err_mtx;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) return;
+          try {
+            body(i);
+          } catch (...) {
+            std::lock_guard lk(err_mtx);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gsx::rt

@@ -1,0 +1,155 @@
+// Dataflow task graph: the dynamic-runtime substrate standing in for PaRSEC.
+//
+// Tasks are submitted with declared data accesses (sequential task flow, as
+// in StarPU/PaRSEC's DTD interface); the graph derives
+// read-after-write, write-after-read and write-after-write dependencies and
+// executes the DAG asynchronously on a worker pool. The tile Cholesky
+// variants submit one task per kernel (POTRF/TRSM/SYRK/GEMM) plus on-demand
+// precision-conversion tasks, exactly the structure the paper builds inside
+// PaRSEC. Priorities let the panel chain (the critical path of Cholesky)
+// overtake trailing updates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gsx::rt {
+
+/// Access mode of one task on one datum.
+enum class Access : unsigned char { Read, Write, ReadWrite };
+
+/// Opaque datum identity. Any stable pointer works (e.g. a tile's address);
+/// purely logical data may use small integers cast through `from_index`.
+struct DatumId {
+  std::uintptr_t key = 0;
+
+  static DatumId from_pointer(const void* p) noexcept {
+    return DatumId{reinterpret_cast<std::uintptr_t>(p)};
+  }
+  static DatumId from_index(std::size_t i) noexcept {
+    // Tag logical indices so they cannot collide with real addresses
+    // (pointers never have the top bit set on our platforms).
+    return DatumId{(std::uintptr_t{1} << 63) | i};
+  }
+  friend bool operator==(DatumId a, DatumId b) noexcept { return a.key == b.key; }
+};
+
+/// One declared access.
+struct Dep {
+  DatumId datum;
+  Access mode = Access::Read;
+};
+
+/// Ready-task selection policy.
+enum class SchedPolicy : unsigned char {
+  Fifo,          ///< submission order among ready tasks
+  Lifo,          ///< depth-first: favours locality down the DAG
+  Priority,      ///< highest user priority first, FIFO tie-break
+  WorkStealing,  ///< per-worker deques; successors stay with the finishing
+                 ///< worker (locality), idle workers steal from the fullest
+};
+
+/// Post-execution DAG statistics.
+struct GraphStats {
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t critical_path_tasks = 0;   ///< longest chain, in tasks
+  double critical_path_seconds = 0.0;    ///< longest chain, measured durations
+  double total_task_seconds = 0.0;       ///< sum of task durations
+  double makespan_seconds = 0.0;         ///< wall time of run()
+  std::size_t steals = 0;                ///< WorkStealing: tasks taken remotely
+  double parallel_efficiency(std::size_t workers) const {
+    return (makespan_seconds > 0.0 && workers > 0)
+               ? total_task_seconds / (makespan_seconds * static_cast<double>(workers))
+               : 0.0;
+  }
+};
+
+/// One trace record (enabled via set_tracing).
+struct TraceEvent {
+  std::string name;
+  std::size_t worker = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// A statically-unrolled task DAG executed by run().
+///
+/// Usage:
+///   TaskGraph g;
+///   g.submit("potrf(0)", {{id, Access::ReadWrite}}, [&]{ ... }, /*priority=*/10);
+///   ...
+///   g.run(4);
+///
+/// Thread-safety: submit() is not thread-safe (tasks are inserted by the
+/// algorithm author in sequential program order — that order defines the
+/// dependencies); run() executes bodies concurrently. Bodies must touch only
+/// data they declared (CP.2/CP.3: the graph is the sharing discipline).
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Add a task. Returns its index (usable for testing/tracing).
+  std::size_t submit(std::string name, const std::vector<Dep>& deps,
+                     std::function<void()> body, int priority = 0);
+
+  /// Execute the whole DAG on `num_workers` threads; blocks until complete.
+  /// Rethrows the first task exception after quiescing the pool.
+  void run(std::size_t num_workers);
+
+  void set_policy(SchedPolicy p) noexcept { policy_ = p; }
+  void set_tracing(bool on) noexcept { tracing_ = on; }
+
+  [[nodiscard]] const GraphStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Execution order observed during run() (task indices). With one worker
+  /// this is a deterministic topological order — used by correctness tests.
+  [[nodiscard]] const std::vector<std::size_t>& execution_order() const noexcept {
+    return exec_order_;
+  }
+
+ private:
+  struct Task {
+    std::string name;
+    std::function<void()> body;
+    int priority = 0;
+    std::vector<std::size_t> successors;
+    std::size_t num_predecessors = 0;
+    double duration_seconds = 0.0;
+  };
+
+  struct DatumState {
+    // Last task that wrote the datum, and readers since that write.
+    std::ptrdiff_t last_writer = -1;
+    std::vector<std::size_t> readers_since_write;
+  };
+
+  void add_edge(std::size_t from, std::size_t to);
+  void compute_critical_path();
+
+  std::vector<Task> tasks_;
+  std::unordered_map<std::uintptr_t, DatumState> data_;
+  // De-duplication of edges during construction (cheap bloom via last edge).
+  std::vector<std::ptrdiff_t> last_edge_target_;
+  SchedPolicy policy_ = SchedPolicy::Priority;
+  bool tracing_ = false;
+  GraphStats stats_;
+  std::vector<TraceEvent> trace_;
+  std::vector<std::size_t> exec_order_;
+};
+
+/// Parallel loop over [begin, end) with static chunking on a transient pool.
+/// Used by covariance-matrix generation (one task per tile row block).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t num_workers,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gsx::rt

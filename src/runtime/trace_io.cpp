@@ -1,0 +1,51 @@
+#include "runtime/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gsx::rt {
+
+void write_trace_json(const TaskGraph& graph, const std::string& path) {
+  std::ofstream os(path);
+  GSX_REQUIRE(os.good(), "write_trace_json: cannot open " + path);
+  os << "[\n";
+  bool first = true;
+  for (const TraceEvent& ev : graph.trace()) {
+    if (!first) os << ",\n";
+    first = false;
+    // Timestamps in microseconds, as the format expects.
+    os << R"(  {"name": ")" << ev.name << R"(", "cat": "task", "ph": "X", "ts": )"
+       << std::fixed << std::setprecision(3) << ev.start_seconds * 1e6 << R"(, "dur": )"
+       << (ev.end_seconds - ev.start_seconds) * 1e6 << R"(, "pid": 1, "tid": )"
+       << ev.worker << "}";
+  }
+  os << "\n]\n";
+  GSX_REQUIRE(os.good(), "write_trace_json: write failed for " + path);
+}
+
+std::string utilization_summary(const TaskGraph& graph, std::size_t num_workers) {
+  std::vector<double> busy(num_workers, 0.0);
+  std::vector<std::size_t> count(num_workers, 0);
+  double horizon = 0.0;
+  for (const TraceEvent& ev : graph.trace()) {
+    if (ev.worker < num_workers) {
+      busy[ev.worker] += ev.end_seconds - ev.start_seconds;
+      ++count[ev.worker];
+    }
+    horizon = std::max(horizon, ev.end_seconds);
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const double pct = horizon > 0.0 ? 100.0 * busy[w] / horizon : 0.0;
+    os << "worker " << w << ": " << count[w] << " tasks, " << pct << "% busy\n";
+  }
+  return os.str();
+}
+
+}  // namespace gsx::rt

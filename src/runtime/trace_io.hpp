@@ -1,0 +1,21 @@
+// Execution-trace export in the Chrome tracing ("catapult") JSON format.
+//
+// Load the produced file in chrome://tracing or Perfetto to inspect the
+// per-worker task timeline of a factorization — the load-imbalance view the
+// paper uses to motivate the dynamic runtime.
+#pragma once
+
+#include <string>
+
+#include "runtime/task_graph.hpp"
+
+namespace gsx::rt {
+
+/// Write the recorded trace (set_tracing(true) before run()) to `path`.
+/// Each task becomes a complete ("X") event on its worker's row.
+void write_trace_json(const TaskGraph& graph, const std::string& path);
+
+/// Render a compact per-worker utilization summary from the trace.
+std::string utilization_summary(const TaskGraph& graph, std::size_t num_workers);
+
+}  // namespace gsx::rt

@@ -1,0 +1,99 @@
+// A tile: one block of the covariance matrix, stored dense in one of three
+// precisions or compressed low-rank (U V^T) in FP64 or FP32.
+//
+// The per-tile (format, precision) pair is exactly the runtime decision the
+// paper embeds in PaRSEC: structure-aware (dense vs TLR, Algorithm 2) and
+// precision-aware (Frobenius rule, Section VI.C).
+#pragma once
+
+#include <cstddef>
+#include <variant>
+
+#include "common/bfloat16.hpp"
+#include "common/half.hpp"
+#include "common/precision.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::tile {
+
+enum class TileFormat : unsigned char { Dense, LowRank };
+
+/// Low-rank factorization payload: block = U * V^T, U: rows x k, V: cols x k.
+template <typename T>
+struct LowRankStorage {
+  la::Matrix<T> u;
+  la::Matrix<T> v;
+
+  [[nodiscard]] std::size_t rank() const noexcept { return u.cols(); }
+};
+
+/// Tagged storage for one tile.
+class Tile {
+ public:
+  Tile() = default;
+
+  /// Dense tiles.
+  static Tile dense64(la::Matrix<double> m);
+  static Tile dense32(la::Matrix<float> m);
+  static Tile dense16(la::Matrix<half> m);
+  static Tile dense_bf16(la::Matrix<bfloat16> m);
+
+  /// Low-rank tiles (FP64/FP32 only; the paper never stores LR in FP16).
+  static Tile lowrank64(la::Matrix<double> u, la::Matrix<double> v);
+  static Tile lowrank32(la::Matrix<float> u, la::Matrix<float> v);
+
+  [[nodiscard]] TileFormat format() const noexcept { return format_; }
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  /// Rank of a low-rank tile; for dense tiles returns min(rows, cols).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Storage footprint in bytes (payload only).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Frobenius norm of the represented block.
+  [[nodiscard]] double frobenius() const;
+
+  /// Typed access; throws unless format/precision match.
+  [[nodiscard]] la::Matrix<double>& d64();
+  [[nodiscard]] const la::Matrix<double>& d64() const;
+  [[nodiscard]] la::Matrix<float>& d32();
+  [[nodiscard]] const la::Matrix<float>& d32() const;
+  [[nodiscard]] la::Matrix<half>& d16();
+  [[nodiscard]] const la::Matrix<half>& d16() const;
+  [[nodiscard]] la::Matrix<bfloat16>& dbf16();
+  [[nodiscard]] const la::Matrix<bfloat16>& dbf16() const;
+  [[nodiscard]] LowRankStorage<double>& lr64();
+  [[nodiscard]] const LowRankStorage<double>& lr64() const;
+  [[nodiscard]] LowRankStorage<float>& lr32();
+  [[nodiscard]] const LowRankStorage<float>& lr32() const;
+
+  /// Convert a dense tile's storage precision in place (rounds on demotion).
+  /// No-op if already at `p`. Throws for low-rank tiles.
+  void convert_dense(Precision p);
+
+  /// Materialize the represented block as dense FP64 (works for any state).
+  [[nodiscard]] la::Matrix<double> to_dense64() const;
+
+  /// Replace the payload with dense FP64 content (decompression).
+  void assign_dense64(la::Matrix<double> m);
+
+  /// One-letter code for decision heat maps: 'D' dense FP64, 'S' dense FP32,
+  /// 'H' dense FP16, 'B' dense BF16, 'L' LR FP64, 'l' LR FP32.
+  [[nodiscard]] char decision_code() const noexcept;
+
+ private:
+  using Payload = std::variant<std::monostate, la::Matrix<double>, la::Matrix<float>,
+                               la::Matrix<half>, la::Matrix<bfloat16>,
+                               LowRankStorage<double>, LowRankStorage<float>>;
+
+  TileFormat format_ = TileFormat::Dense;
+  Precision precision_ = Precision::FP64;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Payload payload_;
+};
+
+}  // namespace gsx::tile

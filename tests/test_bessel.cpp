@@ -1,0 +1,156 @@
+// Tests for K_nu: closed forms, reference values, identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mathx/bessel.hpp"
+
+namespace gsx::mathx {
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+double k_half(double x) { return std::sqrt(kPi / (2.0 * x)) * std::exp(-x); }
+
+TEST(Bessel, HalfIntegerClosedFormNuHalf) {
+  // K_{1/2}(x) = sqrt(pi/(2x)) e^{-x}.
+  for (double x : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(bessel_k(0.5, x), k_half(x), 1e-12 * k_half(x)) << "x = " << x;
+  }
+}
+
+TEST(Bessel, HalfIntegerClosedFormNuThreeHalves) {
+  // K_{3/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 1/x).
+  for (double x : {0.05, 0.3, 1.0, 3.0, 10.0, 50.0}) {
+    const double expect = k_half(x) * (1.0 + 1.0 / x);
+    EXPECT_NEAR(bessel_k(1.5, x), expect, 1e-12 * expect) << "x = " << x;
+  }
+}
+
+TEST(Bessel, HalfIntegerClosedFormNuFiveHalves) {
+  // K_{5/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 3/x + 3/x^2).
+  for (double x : {0.1, 1.0, 4.0, 12.0}) {
+    const double expect = k_half(x) * (1.0 + 3.0 / x + 3.0 / (x * x));
+    EXPECT_NEAR(bessel_k(2.5, x), expect, 1e-12 * expect) << "x = " << x;
+  }
+}
+
+TEST(Bessel, ReferenceValuesIntegerOrder) {
+  // Abramowitz & Stegun / verified high-precision references.
+  EXPECT_NEAR(bessel_k(0.0, 1.0), 0.42102443824070834, 1e-14);
+  EXPECT_NEAR(bessel_k(1.0, 1.0), 0.60190723019723458, 1e-14);
+  EXPECT_NEAR(bessel_k(0.0, 2.0), 0.11389387274953344, 1e-14);
+  EXPECT_NEAR(bessel_k(1.0, 2.0), 0.13986588181652243, 1e-14);
+  EXPECT_NEAR(bessel_k(2.0, 2.0), 0.25375975456605586, 1e-14);
+  EXPECT_NEAR(bessel_k(5.0, 10.0), 5.7541849985e-05, 1e-14);
+}
+
+/// Oracle via the integral representation
+///   K_nu(x) = \int_0^inf exp(-x cosh t) cosh(nu t) dt
+/// evaluated with composite Simpson on a truncated domain.
+double bessel_k_quadrature(double nu, double x) {
+  double tmax = 2.0;
+  while (x * std::cosh(tmax) < 750.0) tmax += 0.5;
+  const int n = 40000;  // even
+  const double h = tmax / n;
+  auto f = [&](double t) { return std::exp(-x * std::cosh(t)) * std::cosh(nu * t); };
+  double s = f(0.0) + f(tmax);
+  for (int i = 1; i < n; ++i) s += f(i * h) * ((i % 2) ? 4.0 : 2.0);
+  return s * h / 3.0;
+}
+
+struct NuX {
+  double nu, x;
+};
+
+class BesselQuadrature : public ::testing::TestWithParam<NuX> {};
+
+TEST_P(BesselQuadrature, MatchesIntegralRepresentation) {
+  const auto [nu, x] = GetParam();
+  const double oracle = bessel_k_quadrature(nu, x);
+  EXPECT_NEAR(bessel_k(nu, x), oracle, 1e-10 * oracle) << "nu=" << nu << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionalOrders, BesselQuadrature,
+                         ::testing::Values(NuX{0.25, 1.0}, NuX{0.44, 0.3}, NuX{0.44, 1.7},
+                                           NuX{0.75, 0.5}, NuX{1.25, 0.5}, NuX{1.9, 2.2},
+                                           NuX{3.3, 4.0}, NuX{0.32, 5.0}, NuX{2.5, 0.7},
+                                           NuX{4.75, 3.1}));
+
+TEST(Bessel, RecurrenceIdentity) {
+  // K_{nu+1}(x) = K_{nu-1}(x) + (2 nu / x) K_nu(x).
+  for (double nu : {0.3, 0.44, 1.0, 1.7, 2.9}) {
+    for (double x : {0.2, 1.0, 3.0, 8.0}) {
+      const double lhs = bessel_k(nu + 1.0, x);
+      const double rhs = bessel_k(nu - 1.0 < 0 ? -(nu - 1.0) : nu - 1.0, x) +
+                         (2.0 * nu / x) * bessel_k(nu, x);
+      EXPECT_NEAR(lhs, rhs, 1e-11 * std::fabs(rhs)) << "nu=" << nu << " x=" << x;
+    }
+  }
+}
+
+TEST(Bessel, WronskianIdentity) {
+  // I_nu(x) K_{nu+1}(x) + I_{nu+1}(x) K_nu(x) = 1/x.
+  for (double nu : {0.0, 0.4, 1.3, 2.5}) {
+    for (double x : {0.3, 1.0, 2.5, 6.0}) {
+      const double w = bessel_i(nu, x) * bessel_k(nu + 1.0, x) +
+                       bessel_i(nu + 1.0, x) * bessel_k(nu, x);
+      EXPECT_NEAR(w, 1.0 / x, 1e-11 / x) << "nu=" << nu << " x=" << x;
+    }
+  }
+}
+
+TEST(Bessel, SymmetricInOrder) {
+  for (double x : {0.5, 2.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(bessel_k(-0.7, x), bessel_k(0.7, x));
+    EXPECT_DOUBLE_EQ(bessel_k(-2.0, x), bessel_k(2.0, x));
+  }
+}
+
+TEST(Bessel, ScaledMatchesUnscaled) {
+  for (double nu : {0.44, 1.0, 3.2}) {
+    for (double x : {0.5, 2.0, 10.0, 30.0}) {
+      const double scaled = bessel_k_scaled(nu, x);
+      const double unscaled = bessel_k(nu, x);
+      EXPECT_NEAR(scaled, unscaled * std::exp(x), 1e-11 * scaled);
+    }
+  }
+}
+
+TEST(Bessel, ScaledStableForLargeArgument) {
+  // Unscaled underflows near x ~ 705; the scaled variant stays O(sqrt(pi/2x)).
+  const double v = bessel_k_scaled(0.5, 900.0);
+  EXPECT_NEAR(v, std::sqrt(kPi / 1800.0), 1e-12);
+}
+
+TEST(Bessel, MonotoneDecreasingInArgument) {
+  double prev = bessel_k(0.44, 0.05);
+  for (double x = 0.1; x < 20.0; x += 0.37) {
+    const double cur = bessel_k(0.44, x);
+    EXPECT_LT(cur, prev) << "x = " << x;
+    prev = cur;
+  }
+}
+
+TEST(Bessel, IncreasingInOrder) {
+  // For fixed x, K_nu increases with nu >= 0.
+  for (double x : {0.5, 1.0, 4.0}) {
+    double prev = bessel_k(0.1, x);
+    for (double nu = 0.3; nu < 5.0; nu += 0.4) {
+      const double cur = bessel_k(nu, x);
+      EXPECT_GT(cur, prev) << "nu=" << nu << " x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Bessel, RejectsBadArguments) {
+  EXPECT_THROW(bessel_k(0.5, 0.0), InvalidArgument);
+  EXPECT_THROW(bessel_k(0.5, -1.0), InvalidArgument);
+  EXPECT_THROW(bessel_k(std::nan(""), 1.0), InvalidArgument);
+  EXPECT_THROW(bessel_i(-1.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gsx::mathx

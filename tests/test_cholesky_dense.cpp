@@ -1,0 +1,174 @@
+// Mixed-precision dense tile Cholesky against the LAPACK-style reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cholesky/factorize.hpp"
+#include "cholesky/tile_solve.hpp"
+#include "la/lapack.hpp"
+#include "test_utils.hpp"
+
+namespace gsx::cholesky {
+namespace {
+
+using gsx::test::rel_frobenius_diff;
+
+/// SPD covariance-like test matrix with exponential decay.
+tile::SymTileMatrix make_spd_tiles(std::size_t n, std::size_t ts, double rate) {
+  tile::SymTileMatrix a(n, ts);
+  a.generate(
+      [&](std::size_t i, std::size_t j) {
+        const double d = static_cast<double>(i > j ? i - j : j - i);
+        return std::exp(-rate * d) + (i == j ? 0.5 : 0.0);
+      },
+      1);
+  return a;
+}
+
+la::Matrix<double> reference_chol(const tile::SymTileMatrix& a) {
+  la::Matrix<double> full = a.to_full();
+  EXPECT_EQ(la::potrf<double>(la::Uplo::Lower, full.view()), 0);
+  for (std::size_t j = 0; j < full.cols(); ++j)
+    for (std::size_t i = 0; i < j; ++i) full(i, j) = 0.0;
+  return full;
+}
+
+struct DenseCase {
+  std::size_t n, ts, workers;
+};
+
+class DenseCholesky : public ::testing::TestWithParam<DenseCase> {};
+
+TEST_P(DenseCholesky, Fp64MatchesLapackReference) {
+  const auto [n, ts, workers] = GetParam();
+  auto a = make_spd_tiles(n, ts, 0.3);
+  const la::Matrix<double> expect = reference_chol(a);
+
+  FactorOptions opts;
+  opts.workers = workers;
+  const FactorReport rep = tile_cholesky_dense(a, opts);
+  ASSERT_EQ(rep.info, 0);
+  EXPECT_LT(rel_frobenius_diff(reconstruct_lower(a), expect), 1e-12);
+
+  // Task count: nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + gemms.
+  const std::size_t nt = a.nt();
+  const std::size_t expected_tasks =
+      nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 + nt * (nt - 1) * (nt - 2) / 6;
+  EXPECT_EQ(rep.graph.num_tasks, expected_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DenseCholesky,
+                         ::testing::Values(DenseCase{16, 16, 1},   // single tile
+                                           DenseCase{32, 8, 1},
+                                           DenseCase{45, 8, 1},    // ragged edge
+                                           DenseCase{64, 16, 4},   // parallel
+                                           DenseCase{96, 16, 8},
+                                           DenseCase{33, 32, 2})); // 2 tiles ragged
+
+TEST(DenseCholesky, ParallelMatchesSequentialExactly) {
+  auto a1 = make_spd_tiles(80, 16, 0.4);
+  auto a2 = make_spd_tiles(80, 16, 0.4);
+  FactorOptions seq, par;
+  seq.workers = 1;
+  par.workers = 8;
+  ASSERT_EQ(tile_cholesky_dense(a1, seq).info, 0);
+  ASSERT_EQ(tile_cholesky_dense(a2, par).info, 0);
+  // FP64 tile kernels are deterministic: results must agree bit-for-bit.
+  EXPECT_EQ(rel_frobenius_diff(reconstruct_lower(a1), reconstruct_lower(a2)), 0.0);
+}
+
+TEST(DenseCholesky, AllSchedulingPoliciesAgree) {
+  const la::Matrix<double> expect = [] {
+    auto a = make_spd_tiles(64, 16, 0.4);
+    return reference_chol(a);
+  }();
+  for (rt::SchedPolicy pol :
+       {rt::SchedPolicy::Fifo, rt::SchedPolicy::Lifo, rt::SchedPolicy::Priority}) {
+    auto a = make_spd_tiles(64, 16, 0.4);
+    FactorOptions opts;
+    opts.workers = 4;
+    opts.sched = pol;
+    ASSERT_EQ(tile_cholesky_dense(a, opts).info, 0);
+    EXPECT_LT(rel_frobenius_diff(reconstruct_lower(a), expect), 1e-12);
+  }
+}
+
+TEST(DenseCholesky, MixedPrecisionBandStaysAccurate) {
+  auto a = make_spd_tiles(96, 16, 0.8);
+  const la::Matrix<double> expect = reference_chol(a);
+
+  PrecisionPolicy p;
+  p.rule = PrecisionRule::Band;
+  p.band = BandConfig{2, 4};
+  apply_precision_policy(a, p);
+
+  FactorOptions opts;
+  opts.workers = 4;
+  ASSERT_EQ(tile_cholesky_dense(a, opts).info, 0);
+  // FP32/FP16 off-band tiles: accuracy driven by the demoted storage.
+  EXPECT_LT(rel_frobenius_diff(reconstruct_lower(a), expect), 5e-3);
+}
+
+TEST(DenseCholesky, AdaptivePrecisionTracksEpsTarget) {
+  double prev_err = -1.0;
+  for (double eps : {1e-2, 1e-6, 1e-12}) {
+    auto a = make_spd_tiles(96, 16, 1.0);
+    const la::Matrix<double> expect = reference_chol(a);
+    PrecisionPolicy p;
+    p.rule = PrecisionRule::AdaptiveFrobenius;
+    p.eps_target = eps;
+    apply_precision_policy(a, p);
+    FactorOptions opts;
+    ASSERT_EQ(tile_cholesky_dense(a, opts).info, 0);
+    const double err = rel_frobenius_diff(reconstruct_lower(a), expect);
+    if (prev_err >= 0.0)
+      EXPECT_LE(err, prev_err * 1.5 + 1e-15) << "tighter eps must not lose accuracy";
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-11) << "eps=1e-12 keeps everything FP64";
+}
+
+TEST(DenseCholesky, TilePrecisionPreservedThroughFactorization) {
+  auto a = make_spd_tiles(64, 16, 1.5);
+  PrecisionPolicy p;
+  p.rule = PrecisionRule::Band;
+  p.band = BandConfig{1, 2};
+  apply_precision_policy(a, p);
+  std::vector<Precision> before;
+  for (std::size_t j = 0; j < a.nt(); ++j)
+    for (std::size_t i = j; i < a.nt(); ++i) before.push_back(a.at(i, j).precision());
+  FactorOptions opts;
+  ASSERT_EQ(tile_cholesky_dense(a, opts).info, 0);
+  std::size_t idx = 0;
+  for (std::size_t j = 0; j < a.nt(); ++j)
+    for (std::size_t i = j; i < a.nt(); ++i)
+      EXPECT_EQ(a.at(i, j).precision(), before[idx++]) << "storage precision is sticky";
+}
+
+TEST(DenseCholesky, NonSpdReportsPivot) {
+  tile::SymTileMatrix a(32, 8);
+  a.generate(
+      [](std::size_t i, std::size_t j) {
+        if (i != j) return 0.01;
+        return (i == 20) ? -5.0 : 1.0;  // negative pivot in tile 2
+      },
+      1);
+  FactorOptions opts;
+  const FactorReport rep = tile_cholesky_dense(a, opts);
+  EXPECT_NE(rep.info, 0);
+  EXPECT_GT(rep.info, 16);  // failure after the first two tiles
+  EXPECT_LE(rep.info, 24);
+}
+
+TEST(DenseCholesky, LogdetMatchesReference) {
+  auto a = make_spd_tiles(48, 16, 0.6);
+  const la::Matrix<double> ref = reference_chol(a);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < 48; ++i) expect += 2.0 * std::log(ref(i, i));
+  FactorOptions opts;
+  ASSERT_EQ(tile_cholesky_dense(a, opts).info, 0);
+  EXPECT_NEAR(tile_logdet(a), expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace gsx::cholesky

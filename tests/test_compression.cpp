@@ -1,0 +1,179 @@
+// Low-rank compression: error bounds, rank recovery, recompression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geostat/covariance.hpp"
+#include "la/lapack.hpp"
+#include "test_utils.hpp"
+#include "tlr/compression.hpp"
+
+namespace gsx::tlr {
+namespace {
+
+using gsx::test::random_lowrank;
+using gsx::test::random_matrix;
+
+/// A covariance-like block: smooth decay with distance, numerically low-rank.
+la::Matrix<double> covariance_block(std::size_t m, std::size_t n, double sep) {
+  la::Matrix<double> a(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = static_cast<double>(i) / static_cast<double>(m);
+      const double xj = sep + static_cast<double>(j) / static_cast<double>(n);
+      a(i, j) = std::exp(-std::fabs(xi - xj) * 3.0);
+    }
+  return a;
+}
+
+struct MethodCase {
+  CompressionMethod method;
+  const char* name;
+};
+
+class CompressionMethods : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(CompressionMethods, MeetsAbsoluteTolerance) {
+  Rng rng(11);
+  const auto a = covariance_block(40, 36, 1.5);
+  for (double tol : {1e-2, 1e-4, 1e-8}) {
+    Rng local(5);
+    const Compressed c = compress(GetParam().method, a.cview(), tol, local,
+                                  TolMode::Absolute);
+    EXPECT_LE(lowrank_error(a.cview(), c.u, c.v), tol * 1.0001)
+        << GetParam().name << " tol=" << tol;
+  }
+}
+
+TEST_P(CompressionMethods, MeetsRelativeTolerance) {
+  const auto a = covariance_block(32, 32, 2.0);
+  const double norm = la::norm_frobenius<double>(a.cview());
+  for (double tol : {1e-3, 1e-6}) {
+    Rng local(6);
+    const Compressed c = compress(GetParam().method, a.cview(), tol, local,
+                                  TolMode::RelativeFrobenius);
+    EXPECT_LE(lowrank_error(a.cview(), c.u, c.v), tol * norm * 1.0001)
+        << GetParam().name << " tol=" << tol;
+  }
+}
+
+TEST_P(CompressionMethods, RecoversExactRank) {
+  Rng rng(21);
+  const auto a = random_lowrank(30, 25, 4, rng);
+  Rng local(7);
+  const Compressed c = compress(GetParam().method, a.cview(), 1e-10, local,
+                                TolMode::RelativeFrobenius);
+  EXPECT_GE(c.rank(), 4u) << GetParam().name;
+  EXPECT_LE(c.rank(), 8u) << GetParam().name << ": rank should stay near the true rank";
+  EXPECT_LE(lowrank_error(a.cview(), c.u, c.v),
+            1e-9 * la::norm_frobenius<double>(a.cview()));
+}
+
+TEST_P(CompressionMethods, TighterToleranceNeverLowersRank) {
+  const auto a = covariance_block(36, 36, 1.2);
+  Rng r1(8), r2(8);
+  const Compressed loose = compress(GetParam().method, a.cview(), 1e-2, r1,
+                                    TolMode::Absolute);
+  const Compressed tight = compress(GetParam().method, a.cview(), 1e-9, r2,
+                                    TolMode::Absolute);
+  EXPECT_LE(loose.rank(), tight.rank()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CompressionMethods,
+                         ::testing::Values(MethodCase{CompressionMethod::SVD, "svd"},
+                                           MethodCase{CompressionMethod::ACA, "aca"},
+                                           MethodCase{CompressionMethod::RSVD, "rsvd"}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CompressSvd, ZeroMatrixGivesRankZero) {
+  const la::Matrix<double> a(10, 10);
+  const Compressed c = compress_svd(a.cview(), 1e-8, TolMode::Absolute);
+  EXPECT_EQ(c.rank(), 0u);
+}
+
+TEST(CompressSvd, RectangularBlocks) {
+  Rng rng(31);
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{20, 8},
+                      std::pair<std::size_t, std::size_t>{8, 20}}) {
+    const auto a = random_lowrank(m, n, 3, rng);
+    const Compressed c = compress_svd(a.cview(), 1e-12, TolMode::RelativeFrobenius);
+    EXPECT_EQ(c.u.rows(), m);
+    EXPECT_EQ(c.v.rows(), n);
+    EXPECT_LE(lowrank_error(a.cview(), c.u, c.v),
+              1e-10 * la::norm_frobenius<double>(a.cview()));
+  }
+}
+
+TEST(Recompress, ReducesInflatedRank) {
+  Rng rng(41);
+  // Build an exactly rank-3 block represented with rank 12 factors.
+  const auto a = random_lowrank(24, 20, 3, rng);
+  Compressed c = compress_svd(a.cview(), 1e-14, TolMode::Absolute);
+  const std::size_t true_rank = c.rank();
+  // Inflate: duplicate columns scaled by 0.5 (same span, higher rank).
+  la::Matrix<double> u2(24, 2 * true_rank), v2(20, 2 * true_rank);
+  for (std::size_t j = 0; j < true_rank; ++j) {
+    for (std::size_t i = 0; i < 24; ++i) {
+      u2(i, j) = 0.5 * c.u(i, j);
+      u2(i, true_rank + j) = 0.5 * c.u(i, j);
+    }
+    for (std::size_t i = 0; i < 20; ++i) {
+      v2(i, j) = c.v(i, j);
+      v2(i, true_rank + j) = c.v(i, j);
+    }
+  }
+  recompress(u2, v2, 1e-10, TolMode::Absolute);
+  EXPECT_EQ(u2.cols(), true_rank);
+  EXPECT_LE(lowrank_error(a.cview(), u2, v2), 1e-8);
+}
+
+TEST(Recompress, PreservesValueWithinTolerance) {
+  Rng rng(42);
+  const std::size_t m = 30, n = 26, k = 9;
+  auto u = random_matrix(m, k, rng);
+  auto v = random_matrix(n, k, rng);
+  la::Matrix<double> before(m, n);
+  la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, 1.0, u.cview(), v.cview(), 0.0,
+                   before.view());
+  recompress(u, v, 1e-6, TolMode::Absolute);
+  EXPECT_LE(lowrank_error(before.cview(), u, v), 1e-6 * 1.0001);
+}
+
+TEST(Recompress, RankZeroIsNoop) {
+  la::Matrix<double> u(10, 0), v(8, 0);
+  recompress(u, v, 1e-8, TolMode::Absolute);
+  EXPECT_EQ(u.cols(), 0u);
+}
+
+TEST(Recompress, WideFactorsFallBackToDenseSvd) {
+  Rng rng(43);
+  // k > min(m, n): the QR path is invalid; must fall back gracefully.
+  const std::size_t m = 6, n = 5, k = 9;
+  auto u = random_matrix(m, k, rng);
+  auto v = random_matrix(n, k, rng);
+  la::Matrix<double> before(m, n);
+  la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, 1.0, u.cview(), v.cview(), 0.0,
+                   before.view());
+  recompress(u, v, 1e-10, TolMode::Absolute);
+  EXPECT_LE(u.cols(), std::min(m, n));
+  EXPECT_LE(lowrank_error(before.cview(), u, v), 1e-8);
+}
+
+TEST(Compression, MatérnOffDiagonalBlockIsLowRank) {
+  // The actual application structure: a far off-diagonal block of a Matérn
+  // covariance matrix over 1-D sorted locations compresses to low rank.
+  const geostat::MaternCovariance model(1.0, 0.1, 0.5);
+  const std::size_t b = 48;
+  la::Matrix<double> block(b, b);
+  for (std::size_t j = 0; j < b; ++j)
+    for (std::size_t i = 0; i < b; ++i) {
+      const geostat::Location p{static_cast<double>(i) / b, 0.0, 0.0};
+      const geostat::Location q{2.0 + static_cast<double>(j) / b, 0.0, 0.0};
+      block(i, j) = model(p, q);
+    }
+  const Compressed c = compress_svd(block.cview(), 1e-8, TolMode::Absolute);
+  EXPECT_LT(c.rank(), b / 4) << "separated covariance blocks must be low-rank";
+}
+
+}  // namespace
+}  // namespace gsx::tlr

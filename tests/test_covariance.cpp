@@ -1,0 +1,189 @@
+// Covariance models: values, SPD property, parameter plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geostat/assemble.hpp"
+#include "geostat/covariance.hpp"
+#include "la/lapack.hpp"
+#include "test_utils.hpp"
+
+namespace gsx::geostat {
+namespace {
+
+TEST(MaternCorrelation, ClosedFormHalf) {
+  for (double d : {0.1, 0.5, 1.0, 3.0})
+    EXPECT_NEAR(matern_correlation(0.5, d), std::exp(-d), 1e-14);
+}
+
+TEST(MaternCorrelation, ClosedFormThreeHalves) {
+  for (double d : {0.1, 0.5, 2.0})
+    EXPECT_NEAR(matern_correlation(1.5, d), (1.0 + d) * std::exp(-d), 1e-14);
+}
+
+TEST(MaternCorrelation, ClosedFormFiveHalves) {
+  for (double d : {0.2, 1.0, 4.0})
+    EXPECT_NEAR(matern_correlation(2.5, d), (1.0 + d + d * d / 3.0) * std::exp(-d), 1e-14);
+}
+
+TEST(MaternCorrelation, GeneralOrderContinuityWithClosedForms) {
+  // The Bessel path evaluated *at* nu = 0.5 +/- tiny must agree with the
+  // closed form (continuity across the special-case dispatch).
+  for (double d : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(matern_correlation(0.5 + 1e-9, d), std::exp(-d), 1e-6);
+    EXPECT_NEAR(matern_correlation(1.5 + 1e-9, d), (1.0 + d) * std::exp(-d), 1e-6);
+  }
+}
+
+TEST(MaternCorrelation, BasicProperties) {
+  for (double nu : {0.2, 0.44, 1.0, 2.7}) {
+    EXPECT_DOUBLE_EQ(matern_correlation(nu, 0.0), 1.0);
+    double prev = 1.0;
+    for (double d = 0.05; d < 10.0; d *= 1.7) {
+      const double c = matern_correlation(nu, d);
+      EXPECT_GT(c, 0.0);
+      EXPECT_LE(c, 1.0);
+      EXPECT_LT(c, prev) << "monotone decreasing, nu=" << nu << " d=" << d;
+      prev = c;
+    }
+  }
+}
+
+TEST(MaternCorrelation, UnderflowsToZeroGracefully) {
+  EXPECT_EQ(matern_correlation(0.44, 800.0), 0.0);
+  EXPECT_GT(matern_correlation(0.44, 600.0), 0.0);
+}
+
+TEST(MaternCovariance, ValueAndNugget) {
+  const MaternCovariance m(2.0, 0.5, 1.5, 0.1);
+  const Location a{0.0, 0.0, 0.0};
+  const Location b{0.3, 0.4, 0.0};  // distance 0.5
+  EXPECT_NEAR(m(a, b), 2.0 * (1.0 + 1.0) * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m(a, a), 2.0 + 0.1, 1e-12);  // nugget only on the diagonal
+}
+
+TEST(MaternCovariance, ParameterRoundTrip) {
+  MaternCovariance m(1.0, 0.1, 0.5);
+  const std::vector<double> theta = {0.7, 0.22, 1.3};
+  m.set_params(theta);
+  EXPECT_EQ(m.params(), theta);
+  EXPECT_EQ(m.num_params(), 3u);
+  EXPECT_EQ(m.param_names().size(), 3u);
+  EXPECT_EQ(m.lower_bounds().size(), 3u);
+  EXPECT_EQ(m.upper_bounds().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(m.lower_bounds()[i], m.upper_bounds()[i]);
+  }
+}
+
+TEST(MaternCovariance, RejectsInvalidParameters) {
+  EXPECT_THROW(MaternCovariance(-1.0, 0.1, 0.5), InvalidArgument);
+  EXPECT_THROW(MaternCovariance(1.0, 0.0, 0.5), InvalidArgument);
+  MaternCovariance m(1.0, 0.1, 0.5);
+  const std::vector<double> bad = {1.0, -0.1, 0.5};
+  EXPECT_THROW(m.set_params(bad), InvalidArgument);
+  const std::vector<double> wrong_size = {1.0, 0.1};
+  EXPECT_THROW(m.set_params(wrong_size), InvalidArgument);
+}
+
+TEST(MaternCovariance, CloneIsIndependent) {
+  MaternCovariance m(1.0, 0.1, 0.5);
+  auto c = m.clone();
+  const std::vector<double> theta = {2.0, 0.3, 1.0};
+  c->set_params(theta);
+  EXPECT_NE(m.params(), c->params());
+}
+
+TEST(PoweredExponential, GaussianAndExponentialLimits) {
+  const PoweredExponentialCovariance e1(1.0, 1.0, 1.0);
+  const PoweredExponentialCovariance e2(1.0, 1.0, 2.0);
+  const Location a{0, 0, 0}, b{1, 0, 0};
+  EXPECT_NEAR(e1(a, b), std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(e2(a, b), std::exp(-1.0), 1e-14);
+  const Location c{2, 0, 0};
+  EXPECT_NEAR(e2(a, c), std::exp(-4.0), 1e-14);
+  EXPECT_THROW(PoweredExponentialCovariance(1.0, 1.0, 2.5), InvalidArgument);
+}
+
+TEST(Gneiting, SeparableWhenBetaZero) {
+  const GneitingCovariance g(1.0, 0.5, 0.8, 0.7, 0.6, 0.0);
+  const Location a{0, 0, 0}, b{0.3, 0, 2.0};
+  // beta = 0: C(h, u) = sigma^2/psi(u) * M(h/a_s) factors exactly.
+  const double psi = 0.7 * std::pow(2.0, 2 * 0.6) + 1.0;
+  const double expect = 1.0 / psi * matern_correlation(0.8, 0.3 / 0.5);
+  EXPECT_NEAR(g(a, b), expect, 1e-13);
+}
+
+TEST(Gneiting, NonseparableCouplesSpaceAndTime) {
+  const GneitingCovariance g(1.0, 0.5, 0.8, 0.7, 0.6, 0.8);
+  const Location a{0, 0, 0};
+  const Location b{0.3, 0, 0.0};
+  const Location c{0.3, 0, 2.0};
+  // With beta > 0, the effective spatial range grows with |u|: the spatial
+  // *correlation ratio* differs from the separable product.
+  const double psi = 0.7 * std::pow(2.0, 2 * 0.6) + 1.0;
+  const double separable_value = g(a, b) / psi;
+  EXPECT_GT(g(a, c), separable_value);
+}
+
+TEST(Gneiting, TemporalDecay) {
+  const GneitingCovariance g(1.0, 0.5, 0.8, 0.7, 0.6, 0.5);
+  const Location a{0, 0, 0};
+  double prev = g(a, a);
+  for (double t = 1.0; t < 6.0; t += 1.0) {
+    const Location b{0, 0, t};
+    const double c = g(a, b);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Gneiting, ParameterValidation) {
+  EXPECT_THROW(GneitingCovariance(1, 1, 1, 1, 1.5, 0.5), InvalidArgument);  // alpha > 1
+  EXPECT_THROW(GneitingCovariance(1, 1, 1, 1, 0.5, 1.5), InvalidArgument);  // beta > 1
+  EXPECT_NO_THROW(GneitingCovariance(1, 1, 1, 1, 1.0, 1.0));
+  GneitingCovariance g(1, 1, 1, 1, 0.5, 0.5);
+  EXPECT_EQ(g.num_params(), 6u);
+  const std::vector<double> theta = {1.0, 2.0, 0.3, 0.01, 0.9, 0.19};
+  g.set_params(theta);
+  EXPECT_EQ(g.params(), theta);
+}
+
+class SpdCheck : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpdCheck, MaternCovarianceMatrixIsSpd) {
+  const double range = GetParam();
+  Rng rng(11);
+  auto locs = perturbed_grid_locations(80, rng);
+  const MaternCovariance model(1.0, range, 0.44, 1e-8);
+  la::Matrix<double> sigma = covariance_matrix(model, locs);
+  EXPECT_EQ(la::potrf<double>(la::Uplo::Lower, sigma.view()), 0)
+      << "Matérn covariance must be SPD at range " << range;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, SpdCheck, ::testing::Values(0.03, 0.1, 0.3));
+
+TEST(SpdCheckSpaceTime, GneitingCovarianceMatrixIsSpd) {
+  Rng rng(13);
+  auto spatial = perturbed_grid_locations(25, rng);
+  auto locs = replicate_in_time(spatial, 6, 1.0);
+  const GneitingCovariance model(1.0, 0.2, 0.5, 0.5, 0.9, 0.3, 1e-8);
+  la::Matrix<double> sigma = covariance_matrix(model, locs);
+  EXPECT_EQ(la::potrf<double>(la::Uplo::Lower, sigma.view()), 0);
+}
+
+TEST(CrossCovariance, MatchesElementwiseModel) {
+  Rng rng(17);
+  auto a = perturbed_grid_locations(9, rng);
+  auto b = perturbed_grid_locations(16, rng);
+  const MaternCovariance model(1.5, 0.2, 0.5);
+  const auto sigma = cross_covariance(model, a, b);
+  ASSERT_EQ(sigma.rows(), 9u);
+  ASSERT_EQ(sigma.cols(), 16u);
+  for (std::size_t j = 0; j < 16; ++j)
+    for (std::size_t i = 0; i < 9; ++i)
+      EXPECT_DOUBLE_EQ(sigma(i, j), model(a[i], b[j]));
+}
+
+}  // namespace
+}  // namespace gsx::geostat

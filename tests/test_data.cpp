@@ -1,0 +1,187 @@
+// Dataset builders, splitting, detrending pipeline, CSV round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "mathx/stats.hpp"
+
+namespace gsx::data {
+namespace {
+
+TEST(SplitTrainTest, SizesAndDisjointness) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.locations.push_back({static_cast<double>(i), 0.0, 0.0});
+    d.values.push_back(static_cast<double>(i));
+  }
+  Rng rng(1);
+  const TrainTestSplit s = split_train_test(d, 0.8, rng);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.test.size(), 20u);
+  // Values are the indices: train and test must partition them.
+  std::set<double> seen;
+  for (double v : s.train.values) seen.insert(v);
+  for (double v : s.test.values) {
+    EXPECT_EQ(seen.count(v), 0u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SplitTrainTest, LocationValuePairingPreserved) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.locations.push_back({static_cast<double>(i), static_cast<double>(2 * i), 0.0});
+    d.values.push_back(static_cast<double>(i) * 10.0);
+  }
+  Rng rng(2);
+  const TrainTestSplit s = split_train_test(d, 0.5, rng);
+  for (std::size_t i = 0; i < s.train.size(); ++i)
+    EXPECT_DOUBLE_EQ(s.train.values[i], s.train.locations[i].x * 10.0);
+  for (std::size_t i = 0; i < s.test.size(); ++i)
+    EXPECT_DOUBLE_EQ(s.test.values[i], s.test.locations[i].x * 10.0);
+}
+
+TEST(SplitTrainTest, InvalidFractionThrows) {
+  Dataset d;
+  d.locations.push_back({0, 0, 0});
+  d.locations.push_back({1, 0, 0});
+  d.values = {1.0, 2.0};
+  Rng rng(3);
+  EXPECT_THROW(split_train_test(d, 0.0, rng), InvalidArgument);
+  EXPECT_THROW(split_train_test(d, 1.0, rng), InvalidArgument);
+}
+
+TEST(Csv, RoundTripPreservesData) {
+  Dataset d;
+  Rng rng(4);
+  for (int i = 0; i < 25; ++i) {
+    d.locations.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    d.values.push_back(rng.normal());
+  }
+  const std::string path = "/tmp/gsx_test_dataset.csv";
+  write_csv(path, d);
+  const Dataset back = read_csv(path);
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.locations[i].x, d.locations[i].x);
+    EXPECT_DOUBLE_EQ(back.locations[i].y, d.locations[i].y);
+    EXPECT_DOUBLE_EQ(back.locations[i].t, d.locations[i].t);
+    EXPECT_DOUBLE_EQ(back.values[i], d.values[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/tmp/gsx_definitely_missing_42.csv"), InvalidArgument);
+}
+
+TEST(SoilMoisture, GeneratesPlausibleField) {
+  SoilMoistureConfig cfg;
+  cfg.n = 300;
+  const Dataset d = make_soil_moisture_like(cfg);
+  ASSERT_EQ(d.size(), 300u);
+  // Sample variance near the configured variance.
+  EXPECT_NEAR(mathx::variance(d.values), cfg.variance, cfg.variance);
+  // Locations are Morton sorted: consecutive points are near.
+  double mean_step = 0.0;
+  for (std::size_t i = 1; i < d.size(); ++i)
+    mean_step += std::hypot(d.locations[i].x - d.locations[i - 1].x,
+                            d.locations[i].y - d.locations[i - 1].y);
+  mean_step /= static_cast<double>(d.size() - 1);
+  EXPECT_LT(mean_step, 0.15);
+}
+
+TEST(SoilMoisture, DeterministicForSeed) {
+  SoilMoistureConfig cfg;
+  cfg.n = 100;
+  const Dataset a = make_soil_moisture_like(cfg);
+  const Dataset b = make_soil_moisture_like(cfg);
+  EXPECT_EQ(a.values, b.values);
+  cfg.seed = 999;
+  const Dataset c = make_soil_moisture_like(cfg);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(EtDataset, ShapesAndDeterminism) {
+  EtConfig cfg;
+  cfg.spatial_n = 25;
+  cfg.months = 4;
+  cfg.history_years = 3;
+  const SpaceTimeDataset d = make_et_like(cfg);
+  EXPECT_EQ(d.locations.size(), 100u);
+  EXPECT_EQ(d.raw.size(), 100u);
+  EXPECT_EQ(d.climatology.size(), 100u);
+  EXPECT_EQ(d.truth_residual.size(), 100u);
+  const SpaceTimeDataset e = make_et_like(cfg);
+  EXPECT_EQ(d.raw, e.raw);
+}
+
+TEST(EtDataset, RawContainsLargeTrend) {
+  EtConfig cfg;
+  cfg.spatial_n = 36;
+  cfg.months = 6;
+  cfg.history_years = 4;
+  const SpaceTimeDataset d = make_et_like(cfg);
+  // The raw data variance dwarfs the residual variance (trend dominates).
+  EXPECT_GT(mathx::variance(d.raw), 1.5 * mathx::variance(d.truth_residual));
+}
+
+TEST(Detrend, RecoversStationaryResidual) {
+  EtConfig cfg;
+  cfg.spatial_n = 49;
+  cfg.months = 6;
+  cfg.history_years = 12;
+  const SpaceTimeDataset d = make_et_like(cfg);
+  const std::vector<double> residual = detrend_et(d);
+  ASSERT_EQ(residual.size(), d.raw.size());
+
+  // Detrended residuals approximate the underlying GRF: correlation with
+  // the truth must be strong, and much stronger than the raw data's.
+  auto corr_with_truth = [&](const std::vector<double>& v) {
+    double sv = 0, st = 0, svt = 0;
+    const double mv = mathx::mean(v);
+    const double mt = mathx::mean(d.truth_residual);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      svt += (v[i] - mv) * (d.truth_residual[i] - mt);
+      sv += (v[i] - mv) * (v[i] - mv);
+      st += (d.truth_residual[i] - mt) * (d.truth_residual[i] - mt);
+    }
+    return svt / std::sqrt(sv * st);
+  };
+  EXPECT_GT(corr_with_truth(residual), 0.75);
+  EXPECT_GT(corr_with_truth(residual), corr_with_truth(d.raw) + 0.1);
+
+  // Per-month means near zero (trend removed).
+  for (std::size_t m = 0; m < cfg.months; ++m) {
+    double mmean = 0.0;
+    for (std::size_t s = 0; s < cfg.spatial_n; ++s)
+      mmean += residual[m * cfg.spatial_n + s];
+    mmean /= static_cast<double>(cfg.spatial_n);
+    EXPECT_NEAR(mmean, 0.0, 0.2) << "month " << m;
+  }
+}
+
+TEST(DetrendMonthlyLinear, RemovesExactLinearField) {
+  // Pure linear field per month: residual must vanish identically.
+  Rng rng(5);
+  const std::size_t sn = 30, months = 3;
+  std::vector<geostat::Location> locs;
+  std::vector<double> values;
+  for (std::size_t m = 0; m < months; ++m)
+    for (std::size_t s = 0; s < sn; ++s) {
+      geostat::Location l{rng.uniform(), rng.uniform(), static_cast<double>(m)};
+      locs.push_back(l);
+      values.push_back(1.0 + 2.0 * static_cast<double>(m) * l.x - 3.0 * l.y);
+    }
+  const auto residual = detail::detrend_monthly_linear(locs, values, sn, months);
+  for (double r : residual) EXPECT_NEAR(r, 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace gsx::data

@@ -1,0 +1,119 @@
+// Tests for the software IEEE 754 binary16 type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace gsx {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(static_cast<float>(half(0.0f)), 0.0f);
+  EXPECT_EQ(half(0.0f).bits(), 0u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(static_cast<float>(half(-0.0f)), -0.0f);
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(static_cast<float>(half(f)), f) << "integer " << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xbc00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bffu);  // max finite
+  EXPECT_EQ(half(6.103515625e-05f).bits(), 0x0400u);  // min normal
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());  // rounds up past max finite
+  EXPECT_TRUE(half(1.0e10f).is_inf());
+  EXPECT_TRUE(half(-1.0e10f).is_inf());
+  EXPECT_LT(static_cast<float>(half(-1.0e10f)), 0.0f);
+}
+
+TEST(Half, JustBelowOverflowRoundsToMax) {
+  // 65519.999 rounds to 65504 (max), not infinity.
+  EXPECT_EQ(static_cast<float>(half(65519.0f)), 65504.0f);
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half(tiny).bits(), 0x0001u);
+  EXPECT_EQ(static_cast<float>(half(tiny)), tiny);
+  // Half of that underflows to zero (round to even).
+  EXPECT_EQ(half(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+}
+
+TEST(Half, NanPropagates) {
+  const half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+  EXPECT_FALSE(h == h);  // IEEE: NaN != NaN
+}
+
+TEST(Half, InfinityRoundTrips) {
+  const half h(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(h.is_inf());
+  EXPECT_TRUE(std::isinf(static_cast<float>(h)));
+  EXPECT_GT(static_cast<float>(h), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10: rounds to even (1).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half(halfway).bits(), half(1.0f).bits());
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to 1+2^-9.
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(static_cast<float>(half(halfway2)), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, RelativeErrorWithinUnitRoundoff) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.normal() * std::exp(rng.uniform(-3.0, 3.0)));
+    if (std::fabs(x) < kHalfMinNormal || std::fabs(x) > kHalfMax) continue;
+    const float rt = static_cast<float>(half(x));
+    EXPECT_LE(std::fabs(rt - x), kHalfEps * std::fabs(x)) << "x = " << x;
+  }
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Conversion to float and back must be the identity on every finite half.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan()) continue;  // NaN payloads may be quietened
+    const half rt(static_cast<float>(h));
+    EXPECT_EQ(rt.bits(), h.bits()) << "bits " << b;
+  }
+}
+
+TEST(Half, ArithmeticPromotesToFloat) {
+  const half a(1.5f), b(2.25f);
+  EXPECT_FLOAT_EQ(a + b, 3.75f);
+  EXPECT_FLOAT_EQ(a - b, -0.75f);
+  EXPECT_FLOAT_EQ(a * b, 3.375f);
+  EXPECT_FLOAT_EQ(a / b, 1.5f / 2.25f);
+}
+
+TEST(Half, DoubleConstructorMatchesFloat) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 100.0;
+    EXPECT_EQ(half(x).bits(), half(static_cast<float>(x)).bits());
+  }
+}
+
+}  // namespace
+}  // namespace gsx

@@ -1,0 +1,249 @@
+// End-to-end GsxModel: evaluate / fit / predict across all three compute
+// variants, on space and space-time data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "data/synthetic.hpp"
+#include "geostat/field.hpp"
+#include "mathx/stats.hpp"
+
+namespace gsx::core {
+namespace {
+
+using geostat::Location;
+
+struct SpaceData {
+  std::vector<Location> locs;
+  std::vector<double> z;
+};
+
+SpaceData make_space_data(std::size_t n, double range, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  SpaceData d;
+  d.locs = geostat::perturbed_grid_locations(n, rng);
+  geostat::sort_morton(d.locs);
+  const geostat::MaternCovariance model(1.0, range, 0.5, 1e-6);
+  d.z = geostat::simulate_grf(model, d.locs, rng);
+  return d;
+}
+
+ModelConfig base_config(ComputeVariant v) {
+  ModelConfig cfg;
+  cfg.variant = v;
+  cfg.tile_size = 32;
+  cfg.workers = 2;
+  cfg.eps_target = 1e-8;
+  cfg.tlr_tol = 1e-8;
+  cfg.auto_band = false;
+  cfg.band_size = 2;
+  return cfg;
+}
+
+class AllVariants : public ::testing::TestWithParam<ComputeVariant> {};
+
+TEST_P(AllVariants, EvaluateAgreesWithDenseReference) {
+  const SpaceData d = make_space_data(160, 0.1);
+  const geostat::MaternCovariance proto(1.0, 0.1, 0.5, 1e-6);
+  const std::vector<double> theta = {1.0, 0.1, 0.5};
+
+  const geostat::LoglikValue ref = geostat::dense_loglik(proto, d.locs, d.z);
+  ASSERT_TRUE(ref.ok);
+
+  GsxModel model(proto.clone(), base_config(GetParam()));
+  EvalBreakdown bd;
+  const geostat::LoglikValue got = model.evaluate(theta, d.locs, d.z, &bd);
+  ASSERT_TRUE(got.ok) << variant_name(GetParam());
+  // The paper's Tables I/II: variants agree on llh to ~4-5 significant digits.
+  EXPECT_NEAR(got.loglik, ref.loglik, 1e-3 * std::fabs(ref.loglik))
+      << variant_name(GetParam());
+  EXPECT_GT(bd.factor.graph.num_tasks, 0u);
+  EXPECT_GT(bd.total_seconds, 0.0);
+}
+
+TEST_P(AllVariants, PredictBeatsZeroPredictor) {
+  const SpaceData d = make_space_data(220, 0.12);
+  const geostat::MaternCovariance proto(1.0, 0.12, 0.5, 1e-6);
+  const std::vector<double> theta = {1.0, 0.12, 0.5};
+
+  const std::size_t ntrain = 180;
+  GsxModel model(proto.clone(), base_config(GetParam()));
+  const std::span<const Location> train(d.locs.data(), ntrain);
+  const std::span<const Location> test(d.locs.data() + ntrain, d.locs.size() - ntrain);
+  const std::span<const double> ztrain(d.z.data(), ntrain);
+  const std::vector<double> ztest(d.z.begin() + ntrain, d.z.end());
+
+  const geostat::KrigingResult r = model.predict(theta, train, ztrain, test);
+  const double err = mathx::mspe(r.mean, ztest);
+  double zero = 0.0;
+  for (double v : ztest) zero += v * v;
+  zero /= static_cast<double>(ztest.size());
+  // nu = 0.5 (rough field): kriging gains are modest but must be real.
+  EXPECT_LT(err, 0.85 * zero) << variant_name(GetParam());
+  ASSERT_EQ(r.variance.size(), ztest.size());
+  for (double v : r.variance) EXPECT_GE(v, -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AllVariants,
+                         ::testing::Values(ComputeVariant::DenseFP64,
+                                           ComputeVariant::MPDense,
+                                           ComputeVariant::MPDenseTLR),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ComputeVariant::DenseFP64: return "DenseFP64";
+                             case ComputeVariant::MPDense: return "MPDense";
+                             default: return "MPDenseTLR";
+                           }
+                         });
+
+TEST(GsxModel, VariantsAgreePairwiseOnLoglik) {
+  const SpaceData d = make_space_data(192, 0.08);
+  const geostat::MaternCovariance proto(1.0, 0.08, 0.5, 1e-6);
+  const std::vector<double> theta = {0.9, 0.09, 0.6};
+  double vals[3];
+  int i = 0;
+  for (ComputeVariant v : {ComputeVariant::DenseFP64, ComputeVariant::MPDense,
+                           ComputeVariant::MPDenseTLR}) {
+    GsxModel m(proto.clone(), base_config(v));
+    const auto r = m.evaluate(theta, d.locs, d.z);
+    ASSERT_TRUE(r.ok);
+    vals[i++] = r.loglik;
+  }
+  EXPECT_NEAR(vals[1], vals[0], 1e-3 * std::fabs(vals[0]));
+  EXPECT_NEAR(vals[2], vals[0], 1e-3 * std::fabs(vals[0]));
+}
+
+TEST(GsxModel, FitRecoversParametersSmallProblem) {
+  // Parameter recovery on a modest problem: estimates should land near the
+  // truth (cf. Fig. 6 boxplots; a single replicate has sampling noise).
+  const SpaceData d = make_space_data(256, 0.1, 21);
+  geostat::MaternCovariance proto(0.5, 0.05, 1.0, 1e-6);  // start away from truth
+
+  ModelConfig cfg = base_config(ComputeVariant::DenseFP64);
+  cfg.nm.max_evals = 250;
+  GsxModel model(proto.clone(), cfg);
+  const FitResult fit = model.fit(d.locs, d.z);
+  ASSERT_EQ(fit.theta.size(), 3u);
+  EXPECT_GT(fit.evaluations, 10u);
+  // Loose recovery bounds: one replicate of n=256.
+  EXPECT_GT(fit.theta[0], 0.3);
+  EXPECT_LT(fit.theta[0], 3.0);
+  EXPECT_GT(fit.theta[1], 0.02);
+  EXPECT_LT(fit.theta[1], 0.5);
+  // The fit's loglik must beat the starting point's.
+  const auto start = model.evaluate(proto.params(), d.locs, d.z);
+  EXPECT_GE(fit.loglik, start.loglik);
+}
+
+TEST(GsxModel, MpDenseReducesFootprint) {
+  const SpaceData d = make_space_data(256, 0.03);
+  const geostat::MaternCovariance proto(1.0, 0.03, 0.5, 1e-6);
+  const std::vector<double> theta = {1.0, 0.03, 0.5};
+
+  EvalBreakdown dense_bd, mp_bd, tlr_bd;
+  GsxModel dense(proto.clone(), base_config(ComputeVariant::DenseFP64));
+  GsxModel mp(proto.clone(), base_config(ComputeVariant::MPDense));
+  GsxModel tlr(proto.clone(), base_config(ComputeVariant::MPDenseTLR));
+  ASSERT_TRUE(dense.evaluate(theta, d.locs, d.z, &dense_bd).ok);
+  ASSERT_TRUE(mp.evaluate(theta, d.locs, d.z, &mp_bd).ok);
+  ASSERT_TRUE(tlr.evaluate(theta, d.locs, d.z, &tlr_bd).ok);
+
+  EXPECT_LT(mp_bd.footprint_bytes, dense_bd.footprint_bytes)
+      << "MP must reduce the memory footprint";
+  EXPECT_LT(tlr_bd.footprint_bytes, mp_bd.footprint_bytes)
+      << "MP+TLR must reduce it further (paper Fig. 9)";
+  EXPECT_EQ(dense_bd.footprint_bytes, dense_bd.dense_fp64_bytes);
+}
+
+TEST(GsxModel, AutoBandTuningRuns) {
+  const SpaceData d = make_space_data(192, 0.06);
+  const geostat::MaternCovariance proto(1.0, 0.06, 0.5, 1e-6);
+  ModelConfig cfg = base_config(ComputeVariant::MPDenseTLR);
+  cfg.auto_band = true;
+  GsxModel model(proto.clone(), cfg);
+  EvalBreakdown bd;
+  const std::vector<double> theta = {1.0, 0.06, 0.5};
+  ASSERT_TRUE(model.evaluate(theta, d.locs, d.z, &bd).ok);
+  EXPECT_GE(bd.band_size_dense, 1u);
+  EXPECT_LE(bd.band_size_dense, 6u);  // nt = 6 at n=192, ts=32
+}
+
+TEST(GsxModel, DecisionMatrixMatchesVariantSemantics) {
+  const SpaceData d = make_space_data(192, 0.05);
+  const geostat::MaternCovariance proto(1.0, 0.05, 0.5, 1e-6);
+  const std::vector<double> theta = {1.0, 0.05, 0.5};
+
+  GsxModel tlr(proto.clone(), base_config(ComputeVariant::MPDenseTLR));
+  const tile::SymTileMatrix a = tlr.build_decision_matrix(theta, d.locs);
+  const auto counts = a.decision_counts();
+  std::size_t lr = 0, dense = 0;
+  for (const auto& [code, cnt] : counts) {
+    if (code == 'L' || code == 'l') lr += cnt;
+    else dense += cnt;
+  }
+  EXPECT_GT(lr, 0u) << "off-band tiles must be low-rank";
+  EXPECT_GE(dense, a.nt()) << "diagonal (at least) stays dense";
+
+  GsxModel d64(proto.clone(), base_config(ComputeVariant::DenseFP64));
+  const tile::SymTileMatrix b = d64.build_decision_matrix(theta, d.locs);
+  const auto bc = b.decision_counts();
+  ASSERT_EQ(bc.size(), 1u);
+  EXPECT_EQ(bc.begin()->first, 'D');
+}
+
+TEST(GsxModel, NonSpdParameterPointReturnsNotOk) {
+  // A zero-nugget model at duplicate locations cannot factor.
+  std::vector<Location> locs = {{0.1, 0.1, 0}, {0.1, 0.1, 0}, {0.5, 0.5, 0},
+                                {0.9, 0.2, 0}, {0.3, 0.7, 0}, {0.6, 0.6, 0},
+                                {0.2, 0.4, 0}, {0.8, 0.8, 0}};
+  std::vector<double> z(locs.size(), 1.0);
+  const geostat::MaternCovariance proto(1.0, 0.1, 0.5, 0.0);
+  ModelConfig cfg = base_config(ComputeVariant::DenseFP64);
+  cfg.tile_size = 8;
+  GsxModel model(proto.clone(), cfg);
+  const std::vector<double> theta = {1.0, 0.1, 0.5};
+  const auto r = model.evaluate(theta, locs, z);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(GsxModel, SpaceTimeEndToEnd) {
+  data::EtConfig cfg;
+  cfg.spatial_n = 36;
+  cfg.months = 5;
+  cfg.history_years = 8;
+  const data::SpaceTimeDataset ds = data::make_et_like(cfg);
+  const std::vector<double> residual = data::detrend_et(ds);
+
+  const geostat::GneitingCovariance proto(cfg.variance, cfg.range_s, cfg.smooth_s,
+                                          cfg.range_t, cfg.smooth_t, cfg.beta, 1e-4);
+  ModelConfig mc = base_config(ComputeVariant::MPDenseTLR);
+  mc.tile_size = 36;
+  GsxModel model(proto.clone(), mc);
+  const auto r = model.evaluate(proto.params(), ds.locations, residual);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(std::isfinite(r.loglik));
+
+  // The dense reference agrees.
+  const auto ref = geostat::dense_loglik(proto, ds.locations, residual);
+  ASSERT_TRUE(ref.ok);
+  EXPECT_NEAR(r.loglik, ref.loglik, 1e-3 * std::fabs(ref.loglik));
+}
+
+TEST(GsxModel, PsoOptimizerPathWorks) {
+  const SpaceData d = make_space_data(128, 0.1, 31);
+  const geostat::MaternCovariance proto(1.0, 0.1, 0.5, 1e-6);
+  ModelConfig cfg = base_config(ComputeVariant::DenseFP64);
+  cfg.optimizer = OptimizerKind::ParticleSwarm;
+  cfg.pso.swarm_size = 8;
+  cfg.pso.max_iters = 6;
+  cfg.pso.workers = 4;
+  GsxModel model(proto.clone(), cfg);
+  const FitResult fit = model.fit(d.locs, d.z);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GE(fit.evaluations, 8u);  // at least one swarm round
+  EXPECT_TRUE(std::isfinite(fit.loglik));
+}
+
+}  // namespace
+}  // namespace gsx::core

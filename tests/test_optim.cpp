@@ -1,0 +1,198 @@
+// Optimizers: convergence on standard problems, bound handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "optim/nelder_mead.hpp"
+#include "optim/pso.hpp"
+
+namespace gsx::optim {
+namespace {
+
+double sphere(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += (v - 0.5) * (v - 0.5);
+  return s;
+}
+
+double rosenbrock(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    s += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) + std::pow(1.0 - x[i], 2);
+  }
+  return s;
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const std::vector<double> x0 = {0.1, 0.9, 0.3};
+  const std::vector<double> lo = {0.0, 0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0, 1.0};
+  const OptimResult r = nelder_mead(sphere, x0, lo, hi);
+  EXPECT_LT(r.fval, 1e-8);
+  for (double v : r.x) EXPECT_NEAR(v, 0.5, 1e-3);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const std::vector<double> x0 = {-0.5, 0.5};
+  const std::vector<double> lo = {-2.0, -2.0};
+  const std::vector<double> hi = {2.0, 2.0};
+  NelderMeadOptions opts;
+  opts.max_evals = 2000;
+  const OptimResult r = nelder_mead(rosenbrock, x0, lo, hi, opts);
+  EXPECT_LT(r.fval, 1e-5);
+  EXPECT_NEAR(r.x[0], 1.0, 0.01);
+  EXPECT_NEAR(r.x[1], 1.0, 0.01);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  // Unconstrained minimum at 2.0, outside the box [0, 1].
+  auto f = [](std::span<const double> x) { return (x[0] - 2.0) * (x[0] - 2.0); };
+  const std::vector<double> x0 = {0.5};
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  const OptimResult r = nelder_mead(f, x0, lo, hi);
+  EXPECT_GE(r.x[0], 0.0);
+  EXPECT_LE(r.x[0], 1.0);
+  EXPECT_GT(r.x[0], 0.98) << "solution must push against the active bound";
+}
+
+TEST(NelderMead, SurvivesInfeasibleRegions) {
+  // Objective returns +inf on half the box.
+  auto f = [](std::span<const double> x) {
+    if (x[0] > 0.6) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.4) * (x[0] - 0.4);
+  };
+  const std::vector<double> x0 = {0.3};
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  const OptimResult r = nelder_mead(f, x0, lo, hi);
+  EXPECT_NEAR(r.x[0], 0.4, 1e-2);
+}
+
+TEST(NelderMead, TreatsNanAsInfeasible) {
+  auto f = [](std::span<const double> x) {
+    if (x[0] < 0.2) return std::nan("");
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  const std::vector<double> x0 = {0.6};
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  const OptimResult r = nelder_mead(f, x0, lo, hi);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-2);
+}
+
+TEST(NelderMead, EvalBudgetRespected) {
+  std::size_t calls = 0;
+  auto f = [&](std::span<const double> x) {
+    ++calls;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.max_evals = 50;
+  const std::vector<double> x0 = {0.9};
+  const std::vector<double> lo = {-1.0};
+  const std::vector<double> hi = {1.0};
+  const OptimResult r = nelder_mead(f, x0, lo, hi, opts);
+  EXPECT_LE(calls, 55u);  // small overshoot from the final shrink loop
+  EXPECT_EQ(r.evals, calls);
+}
+
+TEST(NelderMead, ReportsConvergence) {
+  const std::vector<double> x0 = {0.2, 0.8};
+  const std::vector<double> lo = {0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0};
+  NelderMeadOptions opts;
+  opts.max_evals = 5000;
+  const OptimResult r = nelder_mead(sphere, x0, lo, hi, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, BadBoundsThrow) {
+  const std::vector<double> x0 = {0.5};
+  const std::vector<double> lo = {1.0};
+  const std::vector<double> hi = {0.0};
+  EXPECT_THROW(nelder_mead(sphere, x0, lo, hi), InvalidArgument);
+}
+
+TEST(Pso, MinimizesSphere) {
+  const std::vector<double> lo = {0.0, 0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0, 1.0};
+  PsoOptions opts;
+  opts.seed = 3;
+  opts.max_iters = 100;
+  const OptimResult r = particle_swarm(sphere, lo, hi, opts);
+  EXPECT_LT(r.fval, 1e-4);
+}
+
+TEST(Pso, DeterministicGivenSeed) {
+  const std::vector<double> lo = {-2.0, -2.0};
+  const std::vector<double> hi = {2.0, 2.0};
+  PsoOptions opts;
+  opts.seed = 11;
+  opts.max_iters = 30;
+  const OptimResult a = particle_swarm(rosenbrock, lo, hi, opts);
+  const OptimResult b = particle_swarm(rosenbrock, lo, hi, opts);
+  EXPECT_EQ(a.fval, b.fval);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(Pso, ParallelEvaluationMatchesSequential) {
+  const std::vector<double> lo = {-2.0, -2.0};
+  const std::vector<double> hi = {2.0, 2.0};
+  PsoOptions seq, par;
+  seq.seed = par.seed = 5;
+  seq.max_iters = par.max_iters = 40;
+  seq.workers = 1;
+  par.workers = 4;
+  const OptimResult a = particle_swarm(rosenbrock, lo, hi, seq);
+  const OptimResult b = particle_swarm(rosenbrock, lo, hi, par);
+  EXPECT_EQ(a.fval, b.fval) << "parallel evaluation must not change the search";
+}
+
+TEST(Pso, ParticlesStayInBounds) {
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  auto f = [&](std::span<const double> x) {
+    EXPECT_GE(x[0], 0.0);
+    EXPECT_LE(x[0], 1.0);
+    return (x[0] - 2.0) * (x[0] - 2.0);  // pushes against the bound
+  };
+  PsoOptions opts;
+  opts.max_iters = 40;
+  const OptimResult r = particle_swarm(f, lo, hi, opts);
+  EXPECT_GT(r.x[0], 0.95);
+}
+
+TEST(Pso, HandlesAllInfeasibleStart) {
+  std::size_t calls = 0;
+  auto f = [&](std::span<const double> x) {
+    ++calls;
+    // Feasible only in a narrow slice; most random starts are infeasible.
+    if (x[0] < 0.9) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.95) * (x[0] - 0.95);
+  };
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  PsoOptions opts;
+  opts.seed = 7;
+  opts.max_iters = 80;
+  opts.swarm_size = 24;
+  const OptimResult r = particle_swarm(f, lo, hi, opts);
+  EXPECT_LT(r.fval, 1e-2);
+}
+
+TEST(Pso, StallDetectionStopsEarly) {
+  PsoOptions opts;
+  opts.max_iters = 10000;
+  opts.stall_iters = 5;
+  const std::vector<double> lo = {0.0};
+  const std::vector<double> hi = {1.0};
+  auto f = [](std::span<const double>) { return 1.0; };  // flat: stalls at once
+  const OptimResult r = particle_swarm(f, lo, hi, opts);
+  EXPECT_LT(r.iterations, 20u);
+}
+
+}  // namespace
+}  // namespace gsx::optim

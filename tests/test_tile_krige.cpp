@@ -1,0 +1,153 @@
+// Multi-RHS tile solves and kriging through the tile factor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cholesky/factorize.hpp"
+#include "cholesky/tile_solve.hpp"
+#include "geostat/assemble.hpp"
+#include "geostat/field.hpp"
+#include "geostat/prediction.hpp"
+#include "la/lapack.hpp"
+#include "test_utils.hpp"
+
+namespace gsx::cholesky {
+namespace {
+
+using gsx::test::max_abs_diff;
+using gsx::test::random_matrix;
+
+struct Problem {
+  std::vector<geostat::Location> locs;
+  std::vector<double> z;
+  geostat::MaternCovariance model{1.0, 0.08, 0.8, 1e-6};
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  Problem p;
+  p.locs = geostat::perturbed_grid_locations(n, rng);
+  geostat::sort_morton(p.locs);
+  p.z = geostat::simulate_grf(p.model, p.locs, rng);
+  return p;
+}
+
+tile::SymTileMatrix factor_dense(const Problem& p, std::size_t ts) {
+  tile::SymTileMatrix a(p.locs.size(), ts);
+  geostat::fill_covariance_tiles(a, p.model, p.locs, 1);
+  FactorOptions opts;
+  EXPECT_EQ(tile_cholesky_dense(a, opts).info, 0);
+  return a;
+}
+
+tile::SymTileMatrix factor_tlr(const Problem& p, std::size_t ts, double tol) {
+  tile::SymTileMatrix a(p.locs.size(), ts);
+  geostat::fill_covariance_tiles(a, p.model, p.locs, 1);
+  TlrCompressOptions copt;
+  copt.tol = tol;
+  copt.band_size = 1;
+  copt.lr_fp32 = false;
+  compress_offband(a, copt, 1);
+  FactorOptions opts;
+  EXPECT_EQ(tile_cholesky_tlr(a, tol, opts).info, 0);
+  return a;
+}
+
+TEST(MultiRhsSolve, MatchesColumnwiseSingleSolves) {
+  const Problem p = make_problem(96);
+  const auto a = factor_dense(p, 32);
+
+  Rng rng(5);
+  const std::size_t m = 7;
+  auto b = random_matrix(96, m, rng);
+  la::Matrix<double> b_multi = b;
+  tile_forward_solve_multi(a, b_multi.view());
+
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<double> col(96);
+    for (std::size_t i = 0; i < 96; ++i) col[i] = b(i, j);
+    tile_forward_solve(a, col);
+    for (std::size_t i = 0; i < 96; ++i)
+      EXPECT_NEAR(b_multi(i, j), col[i], 1e-11) << i << "," << j;
+  }
+}
+
+TEST(MultiRhsSolve, BackwardInvertsForward) {
+  const Problem p = make_problem(128);
+  const auto a = factor_tlr(p, 32, 1e-10);
+  const la::Matrix<double> sigma = [&] {
+    tile::SymTileMatrix s(128, 32);
+    geostat::fill_covariance_tiles(s, p.model, p.locs, 1);
+    return s.to_full();
+  }();
+
+  Rng rng(6);
+  const std::size_t m = 5;
+  const auto b = random_matrix(128, m, rng);
+  la::Matrix<double> x = b;
+  tile_forward_solve_multi(a, x.view());
+  tile_backward_solve_multi(a, x.view());
+  // Sigma * X == B within the compression tolerance.
+  la::Matrix<double> rec(128, m);
+  la::gemm<double>(la::Trans::NoTrans, la::Trans::NoTrans, 1.0, sigma.cview(), x.cview(),
+                   0.0, rec.view());
+  EXPECT_LT(max_abs_diff(rec, b), 1e-5);
+}
+
+TEST(TileKrige, MatchesDenseKrigingExactly) {
+  const Problem p = make_problem(160);
+  const auto a = factor_dense(p, 32);
+
+  const std::size_t ntrain = 140;
+  const std::span<const geostat::Location> train(p.locs.data(), ntrain);
+  const std::span<const geostat::Location> test(p.locs.data() + ntrain,
+                                                p.locs.size() - ntrain);
+  const std::span<const double> ztrain(p.z.data(), ntrain);
+
+  // Reference: dense kriging on the training subset.
+  tile::SymTileMatrix at(ntrain, 32);
+  geostat::fill_covariance_tiles(at, p.model, train, 1);
+  FactorOptions opts;
+  ASSERT_EQ(tile_cholesky_dense(at, opts).info, 0);
+  const auto tile_result = tile_krige(p.model, at, train, ztrain, test, true);
+  const auto dense_result = geostat::krige(p.model, train, ztrain, test, true);
+
+  ASSERT_EQ(tile_result.mean.size(), dense_result.mean.size());
+  for (std::size_t i = 0; i < tile_result.mean.size(); ++i) {
+    EXPECT_NEAR(tile_result.mean[i], dense_result.mean[i], 1e-8);
+    EXPECT_NEAR(tile_result.variance[i], dense_result.variance[i], 1e-8);
+  }
+}
+
+TEST(TileKrige, TlrFactorPredictsAccurately) {
+  const Problem p = make_problem(192);
+  const std::size_t ntrain = 160;
+  const std::span<const geostat::Location> train(p.locs.data(), ntrain);
+  const std::span<const geostat::Location> test(p.locs.data() + ntrain,
+                                                p.locs.size() - ntrain);
+  const std::span<const double> ztrain(p.z.data(), ntrain);
+
+  Problem sub = p;
+  sub.locs.assign(train.begin(), train.end());
+  const auto a = factor_tlr(sub, 32, 1e-9);
+  const auto tlr_result = tile_krige(p.model, a, train, ztrain, test, true);
+  const auto dense_result = geostat::krige(p.model, train, ztrain, test, true);
+  for (std::size_t i = 0; i < tlr_result.mean.size(); ++i) {
+    EXPECT_NEAR(tlr_result.mean[i], dense_result.mean[i], 1e-4);
+    EXPECT_NEAR(tlr_result.variance[i], dense_result.variance[i], 1e-4);
+  }
+}
+
+TEST(TileKrige, RejectsMismatchedSizes) {
+  const Problem p = make_problem(64);
+  const auto a = factor_dense(p, 32);
+  const std::vector<geostat::Location> test = {{0.5, 0.5, 0}};
+  const std::vector<double> wrong(63, 0.0);
+  EXPECT_THROW(
+      tile_krige(p.model, a, std::span<const geostat::Location>(p.locs.data(), 63), wrong,
+                 test, false),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gsx::cholesky

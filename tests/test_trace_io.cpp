@@ -1,0 +1,90 @@
+// Chrome-trace export and utilization summaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace gsx::rt {
+namespace {
+
+TEST(TraceIo, WritesWellFormedJson) {
+  TaskGraph g;
+  g.set_tracing(true);
+  for (int i = 0; i < 9; ++i) g.submit("job" + std::to_string(i), {}, [] {});
+  g.run(2);
+
+  const std::string path = "/tmp/gsx_trace_test.json";
+  write_trace_json(g, path);
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string content = buf.str();
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_EQ(content[content.size() - 2], ']');
+  // One event per task.
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = content.find("\"ph\": \"X\"", pos)) != std::string::npos;
+       ++pos)
+    ++events;
+  EXPECT_EQ(events, 9u);
+  EXPECT_NE(content.find("\"name\": \"job0\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsUnwritablePath) {
+  TaskGraph g;
+  g.set_tracing(true);
+  g.submit("t", {}, [] {});
+  g.run(1);
+  EXPECT_THROW(write_trace_json(g, "/nonexistent-dir/trace.json"), InvalidArgument);
+}
+
+TEST(TraceIo, UtilizationSummaryCoversWorkers) {
+  TaskGraph g;
+  g.set_tracing(true);
+  for (int i = 0; i < 20; ++i)
+    g.submit("w", {}, [] {
+      volatile double x = 0;
+      for (int k = 0; k < 10000; ++k) x = x + 1.0;
+    });
+  g.run(3);
+  const std::string s = utilization_summary(g, 3);
+  EXPECT_NE(s.find("worker 0"), std::string::npos);
+  EXPECT_NE(s.find("worker 2"), std::string::npos);
+  EXPECT_NE(s.find("% busy"), std::string::npos);
+  // Total task count across rows equals 20.
+  std::size_t total = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto colon = line.find(": ");
+    const auto tasks_pos = line.find(" tasks");
+    ASSERT_NE(colon, std::string::npos);
+    ASSERT_NE(tasks_pos, std::string::npos);
+    total += static_cast<std::size_t>(
+        std::stoul(line.substr(colon + 2, tasks_pos - colon - 2)));
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(TraceIo, EmptyTraceProducesEmptyArray) {
+  TaskGraph g;
+  g.run(1);
+  const std::string path = "/tmp/gsx_trace_empty.json";
+  write_trace_json(g, path);
+  std::ifstream is(path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_EQ(buf.str(), "[\n\n]\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gsx::rt

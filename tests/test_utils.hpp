@@ -1,0 +1,84 @@
+// Shared helpers for the GeoStatX test suite.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::test {
+
+inline la::Matrix<double> random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                                        double scale = 1.0) {
+  la::Matrix<double> m(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < rows; ++i) m(i, j) = scale * rng.normal();
+  return m;
+}
+
+/// Random SPD matrix: A = B B^T + n*I.
+inline la::Matrix<double> random_spd(std::size_t n, Rng& rng) {
+  const la::Matrix<double> b = random_matrix(n, n, rng);
+  la::Matrix<double> a(n, n);
+  la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, 1.0, b.cview(), b.cview(), 0.0,
+                   a.view());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+/// Rank-deficient matrix: A = U V^T with U, V random n x k.
+inline la::Matrix<double> random_lowrank(std::size_t rows, std::size_t cols, std::size_t k,
+                                         Rng& rng) {
+  const la::Matrix<double> u = random_matrix(rows, k, rng);
+  const la::Matrix<double> v = random_matrix(cols, k, rng);
+  la::Matrix<double> a(rows, cols);
+  la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, 1.0, u.cview(), v.cview(), 0.0,
+                   a.view());
+  return a;
+}
+
+/// Reference O(n^3) GEMM with explicit index arithmetic (oracle).
+template <typename T>
+la::Matrix<T> naive_gemm(la::Trans ta, la::Trans tb, T alpha, const la::Matrix<T>& a,
+                         const la::Matrix<T>& b, T beta, const la::Matrix<T>& c) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == la::Trans::NoTrans) ? a.cols() : a.rows();
+  la::Matrix<T> out = c;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      T s{};
+      for (std::size_t l = 0; l < k; ++l) {
+        const T av = (ta == la::Trans::NoTrans) ? a(i, l) : a(l, i);
+        const T bv = (tb == la::Trans::NoTrans) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      out(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+double max_abs_diff(const la::Matrix<T>& a, const la::Matrix<T>& b) {
+  double d = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      d = std::max(d, std::fabs(static_cast<double>(a(i, j)) - static_cast<double>(b(i, j))));
+  return d;
+}
+
+inline double rel_frobenius_diff(const la::Matrix<double>& a, const la::Matrix<double>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+      den += b(i, j) * b(i, j);
+    }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
+}
+
+}  // namespace gsx::test

@@ -1,0 +1,125 @@
+// Empirical variogram estimation against the generating model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geostat/field.hpp"
+#include "geostat/variogram.hpp"
+
+namespace gsx::geostat {
+namespace {
+
+TEST(Variogram, BinsCoverLagsAndCountPairs) {
+  Rng rng(1);
+  const auto locs = perturbed_grid_locations(100, rng);
+  std::vector<double> z(100);
+  for (auto& v : z) v = rng.normal();
+  const auto vg = empirical_variogram(locs, z);
+  ASSERT_FALSE(vg.empty());
+  std::size_t total_pairs = 0;
+  double prev_d = -1.0;
+  for (const auto& b : vg) {
+    EXPECT_GT(b.distance, prev_d);
+    EXPECT_GT(b.pairs, 0u);
+    EXPECT_GE(b.gamma, 0.0);
+    prev_d = b.distance;
+    total_pairs += b.pairs;
+  }
+  EXPECT_LE(total_pairs, 100u * 99u / 2u);
+  EXPECT_GT(total_pairs, 1000u);
+}
+
+TEST(Variogram, WhiteNoiseIsFlatAtVariance) {
+  Rng rng(2);
+  const auto locs = perturbed_grid_locations(400, rng);
+  std::vector<double> z(locs.size());
+  for (auto& v : z) v = rng.normal(0.0, 2.0);  // variance 4, no correlation
+  const auto vg = empirical_variogram(locs, z);
+  for (const auto& b : vg) {
+    if (b.pairs < 200) continue;
+    EXPECT_NEAR(b.gamma, 4.0, 1.0) << "lag " << b.distance;
+  }
+}
+
+TEST(Variogram, CorrelatedFieldRisesTowardSill) {
+  Rng rng(3);
+  const auto locs = perturbed_grid_locations(300, rng);
+  const MaternCovariance model(1.0, 0.15, 1.0, 0.0);
+  const auto z = simulate_grf(model, locs, rng);
+  const auto vg = empirical_variogram(locs, z);
+  ASSERT_GE(vg.size(), 4u);
+  // Short lags well below the sill; long lags near it.
+  EXPECT_LT(vg.front().gamma, 0.5);
+  EXPECT_GT(vg.back().gamma, vg.front().gamma);
+}
+
+TEST(Variogram, MatchesModelSemivariogramOnAverage) {
+  // Average empirical variograms over replicates: must track the model's
+  // gamma(h) = sigma^2 - C(h).
+  Rng rng(4);
+  const auto locs = perturbed_grid_locations(200, rng);
+  const MaternCovariance model(1.0, 0.2, 0.5, 0.0);
+  const std::size_t reps = 60;
+  const auto fields = simulate_grf_many(model, locs, rng, reps);
+
+  VariogramOptions opts;
+  opts.num_bins = 8;
+  std::vector<double> avg;
+  std::vector<double> lags;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto vg = empirical_variogram(locs, fields[r], opts);
+    if (avg.empty()) {
+      avg.assign(vg.size(), 0.0);
+      for (const auto& b : vg) lags.push_back(b.distance);
+    }
+    for (std::size_t b = 0; b < vg.size(); ++b) avg[b] += vg[b].gamma / reps;
+  }
+  for (std::size_t b = 0; b < avg.size(); ++b) {
+    const double expect = model_semivariogram(model, lags[b]);
+    EXPECT_NEAR(avg[b], expect, 0.12 + 0.1 * expect) << "lag " << lags[b];
+  }
+}
+
+TEST(Variogram, ModelSemivariogramProperties) {
+  const MaternCovariance m(2.0, 0.1, 0.5, 0.25);
+  EXPECT_NEAR(model_semivariogram(m, 0.0), 0.0, 1e-14);
+  // Approaches sill + nugget at long range.
+  EXPECT_NEAR(model_semivariogram(m, 10.0), 2.25, 1e-6);
+  // Monotone for Matérn.
+  double prev = 0.0;
+  for (double h = 0.02; h < 1.0; h += 0.07) {
+    const double g = model_semivariogram(m, h);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Variogram, WlsPrefersTheGeneratingModel) {
+  Rng rng(6);
+  const auto locs = perturbed_grid_locations(300, rng);
+  const MaternCovariance truth(1.0, 0.15, 1.0, 0.0);
+  // Average WLS over replicates to beat sampling noise.
+  const auto fields = simulate_grf_many(truth, locs, rng, 20);
+  const MaternCovariance wrong(1.0, 0.5, 1.0, 0.0);
+  double s_true = 0.0, s_wrong = 0.0;
+  for (const auto& z : fields) {
+    const auto vg = empirical_variogram(locs, z);
+    s_true += variogram_wls(vg, truth);
+    s_wrong += variogram_wls(vg, wrong);
+  }
+  EXPECT_LT(s_true, s_wrong);
+}
+
+TEST(Variogram, InputValidation) {
+  const std::vector<Location> one = {{0, 0, 0}};
+  const std::vector<double> z1 = {1.0};
+  EXPECT_THROW(empirical_variogram(one, z1), InvalidArgument);
+  const std::vector<Location> two = {{0, 0, 0}, {1, 0, 0}};
+  const std::vector<double> zbad = {1.0};
+  EXPECT_THROW(empirical_variogram(two, zbad), InvalidArgument);
+  EXPECT_THROW(model_semivariogram(MaternCovariance(1, 1, 1), -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gsx::geostat

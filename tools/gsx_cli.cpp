@@ -1,0 +1,215 @@
+// gsx_cli — command-line driver for GeoStatX (the role ExaGeoStat's R/CLI
+// front ends play for its users).
+//
+//   gsx_cli simulate --kernel matern --n 500 --theta 1,0.1,0.5 --out d.csv
+//   gsx_cli fit      --data d.csv --kernel matern --variant tlr --workers 2
+//   gsx_cli predict  --train d.csv --test t.csv --kernel matern \
+//                    --theta 1,0.1,0.5 --out pred.csv
+//
+// Kernels: matern (3 params), matern-nugget (4), powexp (3),
+//          aniso-matern (5), gneiting (6).
+// Variants: dense | mp | tlr.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "geostat/covariance_ext.hpp"
+#include "geostat/field.hpp"
+#include "mathx/stats.hpp"
+
+namespace {
+
+using namespace gsx;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: gsx_cli <simulate|fit|predict> [options]\n"
+               "  simulate --kernel K --n N --theta a,b,... [--seed S] [--spacetime T]"
+               " --out FILE\n"
+               "  fit      --data FILE --kernel K [--variant dense|mp|tlr]"
+               " [--tile TS] [--workers W] [--start a,b,...] [--max-evals E]\n"
+               "  predict  --train FILE --test FILE --kernel K --theta a,b,..."
+               " [--variant V] [--tile TS] [--workers W] [--out FILE]\n"
+               "kernels: matern matern-nugget powexp aniso-matern gneiting\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
+    key = key.substr(2);
+    if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& flags, const std::string& key,
+                 const std::string& fallback = "") {
+  const auto it = flags.find(key);
+  if (it != flags.end()) return it->second;
+  if (fallback.empty()) usage(("required flag --" + key).c_str());
+  return fallback;
+}
+
+std::vector<double> parse_theta(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) out.push_back(std::atof(item.c_str()));
+  if (out.empty()) usage("empty --theta / --start list");
+  return out;
+}
+
+std::unique_ptr<geostat::CovarianceModel> make_kernel(const std::string& name,
+                                                      const std::vector<double>* theta) {
+  auto pick = [&](std::size_t i, double dflt) {
+    return (theta && theta->size() > i) ? (*theta)[i] : dflt;
+  };
+  std::unique_ptr<geostat::CovarianceModel> m;
+  if (name == "matern") {
+    m = std::make_unique<geostat::MaternCovariance>(pick(0, 1.0), pick(1, 0.1),
+                                                    pick(2, 0.5), 1e-6);
+  } else if (name == "matern-nugget") {
+    m = std::make_unique<geostat::MaternNuggetCovariance>(pick(0, 1.0), pick(1, 0.1),
+                                                          pick(2, 0.5), pick(3, 0.01));
+  } else if (name == "powexp") {
+    m = std::make_unique<geostat::PoweredExponentialCovariance>(pick(0, 1.0), pick(1, 0.1),
+                                                                pick(2, 1.0), 1e-6);
+  } else if (name == "aniso-matern") {
+    m = std::make_unique<geostat::AnisotropicMaternCovariance>(
+        pick(0, 1.0), pick(1, 0.2), pick(2, 0.05), pick(3, 0.0), pick(4, 0.5), 1e-6);
+  } else if (name == "gneiting") {
+    m = std::make_unique<geostat::GneitingCovariance>(pick(0, 1.0), pick(1, 0.2),
+                                                      pick(2, 0.5), pick(3, 0.5),
+                                                      pick(4, 0.9), pick(5, 0.3), 1e-6);
+  } else {
+    usage(("unknown kernel: " + name).c_str());
+  }
+  if (theta && theta->size() != m->num_params())
+    usage(("kernel " + name + " expects " + std::to_string(m->num_params()) +
+           " parameters")
+              .c_str());
+  return m;
+}
+
+core::ModelConfig make_config(const std::map<std::string, std::string>& flags) {
+  core::ModelConfig cfg;
+  const std::string variant = flag(flags, "variant", "tlr");
+  if (variant == "dense") {
+    cfg.variant = core::ComputeVariant::DenseFP64;
+  } else if (variant == "mp") {
+    cfg.variant = core::ComputeVariant::MPDense;
+  } else if (variant == "tlr") {
+    cfg.variant = core::ComputeVariant::MPDenseTLR;
+  } else {
+    usage(("unknown variant: " + variant).c_str());
+  }
+  cfg.tile_size = static_cast<std::size_t>(std::atoll(flag(flags, "tile", "64").c_str()));
+  cfg.workers = static_cast<std::size_t>(std::atoll(flag(flags, "workers", "1").c_str()));
+  return cfg;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const std::vector<double> theta = parse_theta(flag(flags, "theta"));
+  const auto kernel = make_kernel(flag(flags, "kernel"), &theta);
+  const std::size_t n = static_cast<std::size_t>(std::atoll(flag(flags, "n").c_str()));
+  const auto seed = static_cast<std::uint64_t>(std::atoll(flag(flags, "seed", "1").c_str()));
+  const std::size_t slots =
+      static_cast<std::size_t>(std::atoll(flag(flags, "spacetime", "0").c_str()));
+
+  Rng rng(seed);
+  data::Dataset d;
+  if (slots > 0) {
+    auto spatial = geostat::perturbed_grid_locations(n, rng);
+    geostat::sort_morton(spatial);
+    d.locations = geostat::replicate_in_time(spatial, slots, 1.0);
+  } else {
+    d.locations = geostat::perturbed_grid_locations(n, rng);
+    geostat::sort_morton(d.locations);
+  }
+  d.values = geostat::simulate_grf(*kernel, d.locations, rng);
+  const std::string out = flag(flags, "out");
+  data::write_csv(out, d);
+  std::printf("wrote %zu observations to %s\n", d.size(), out.c_str());
+  return 0;
+}
+
+int cmd_fit(const std::map<std::string, std::string>& flags) {
+  const data::Dataset d = data::read_csv(flag(flags, "data"));
+  std::unique_ptr<geostat::CovarianceModel> kernel;
+  if (flags.count("start")) {
+    const std::vector<double> start = parse_theta(flags.at("start"));
+    kernel = make_kernel(flag(flags, "kernel"), &start);
+  } else {
+    kernel = make_kernel(flag(flags, "kernel"), nullptr);
+  }
+  core::ModelConfig cfg = make_config(flags);
+  cfg.nm.max_evals =
+      static_cast<std::size_t>(std::atoll(flag(flags, "max-evals", "200").c_str()));
+
+  const core::GsxModel model(kernel->clone(), cfg);
+  const core::FitResult fit = model.fit(d.locations, d.values);
+
+  std::printf("variant: %s\n", core::variant_name(cfg.variant));
+  const auto names = kernel->param_names();
+  for (std::size_t i = 0; i < fit.theta.size(); ++i)
+    std::printf("  %-14s %.6f\n", names[i].c_str(), fit.theta[i]);
+  std::printf("log-likelihood: %.6f\nevaluations: %zu\nconverged: %s\nseconds: %.2f\n",
+              fit.loglik, fit.evaluations, fit.converged ? "yes" : "no", fit.seconds);
+  return 0;
+}
+
+int cmd_predict(const std::map<std::string, std::string>& flags) {
+  const data::Dataset train = data::read_csv(flag(flags, "train"));
+  const data::Dataset test = data::read_csv(flag(flags, "test"));
+  const std::vector<double> theta = parse_theta(flag(flags, "theta"));
+  const auto kernel = make_kernel(flag(flags, "kernel"), &theta);
+  const core::ModelConfig cfg = make_config(flags);
+
+  const core::GsxModel model(kernel->clone(), cfg);
+  const geostat::KrigingResult pred =
+      model.predict(theta, train.locations, train.values, test.locations, true);
+
+  if (flags.count("out")) {
+    data::Dataset out;
+    out.locations = test.locations;
+    out.values = pred.mean;
+    data::write_csv(flags.at("out"), out);
+    std::printf("wrote %zu predictions to %s\n", out.size(), flags.at("out").c_str());
+  }
+  if (!test.values.empty()) {
+    std::printf("MSPE vs test values: %.6f\n", mathx::mspe(pred.mean, test.values));
+  }
+  double mean_sd = 0.0;
+  for (double v : pred.variance) mean_sd += std::sqrt(std::max(0.0, v));
+  std::printf("mean predictive sd: %.6f\n",
+              mean_sd / static_cast<double>(pred.variance.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "fit") return cmd_fit(flags);
+    if (cmd == "predict") return cmd_predict(flags);
+    usage(("unknown command: " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsx_cli: %s\n", e.what());
+    return 1;
+  }
+}
