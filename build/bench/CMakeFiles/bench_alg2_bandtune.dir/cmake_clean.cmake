@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg2_bandtune.dir/bench_alg2_bandtune.cpp.o"
+  "CMakeFiles/bench_alg2_bandtune.dir/bench_alg2_bandtune.cpp.o.d"
+  "bench_alg2_bandtune"
+  "bench_alg2_bandtune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg2_bandtune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

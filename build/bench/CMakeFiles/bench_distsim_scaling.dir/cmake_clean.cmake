@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distsim_scaling.dir/bench_distsim_scaling.cpp.o"
+  "CMakeFiles/bench_distsim_scaling.dir/bench_distsim_scaling.cpp.o.d"
+  "bench_distsim_scaling"
+  "bench_distsim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distsim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bf16.dir/bench_ext_bf16.cpp.o"
+  "CMakeFiles/bench_ext_bf16.dir/bench_ext_bf16.cpp.o.d"
+  "bench_ext_bf16"
+  "bench_ext_bf16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bf16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

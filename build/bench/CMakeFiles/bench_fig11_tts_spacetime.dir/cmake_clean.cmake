@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tts_spacetime.dir/bench_fig11_tts_spacetime.cpp.o"
+  "CMakeFiles/bench_fig11_tts_spacetime.dir/bench_fig11_tts_spacetime.cpp.o.d"
+  "bench_fig11_tts_spacetime"
+  "bench_fig11_tts_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tts_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_boxplots.cpp" "bench/CMakeFiles/bench_fig6_boxplots.dir/bench_fig6_boxplots.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_boxplots.dir/bench_fig6_boxplots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cholesky/CMakeFiles/gsx_cholesky.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gsx_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geostat/CMakeFiles/gsx_geostat.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/gsx_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gsx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/distsim/CMakeFiles/gsx_distsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlr/CMakeFiles/gsx_tlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/gsx_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gsx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gsx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathx/CMakeFiles/gsx_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

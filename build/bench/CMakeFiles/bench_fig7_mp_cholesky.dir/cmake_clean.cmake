@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mp_cholesky.dir/bench_fig7_mp_cholesky.cpp.o"
+  "CMakeFiles/bench_fig7_mp_cholesky.dir/bench_fig7_mp_cholesky.cpp.o.d"
+  "bench_fig7_mp_cholesky"
+  "bench_fig7_mp_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mp_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gemm_precisions.dir/bench_fig8_gemm_precisions.cpp.o"
+  "CMakeFiles/bench_fig8_gemm_precisions.dir/bench_fig8_gemm_precisions.cpp.o.d"
+  "bench_fig8_gemm_precisions"
+  "bench_fig8_gemm_precisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gemm_precisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

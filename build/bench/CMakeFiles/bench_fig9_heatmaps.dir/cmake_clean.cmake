@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_heatmaps.dir/bench_fig9_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig9_heatmaps.dir/bench_fig9_heatmaps.cpp.o.d"
+  "bench_fig9_heatmaps"
+  "bench_fig9_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pso_weakscale.dir/bench_pso_weakscale.cpp.o"
+  "CMakeFiles/bench_pso_weakscale.dir/bench_pso_weakscale.cpp.o.d"
+  "bench_pso_weakscale"
+  "bench_pso_weakscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pso_weakscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

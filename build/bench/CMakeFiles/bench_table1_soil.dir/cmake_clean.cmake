@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_soil.dir/bench_table1_soil.cpp.o"
+  "CMakeFiles/bench_table1_soil.dir/bench_table1_soil.cpp.o.d"
+  "bench_table1_soil"
+  "bench_table1_soil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_soil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_et.dir/bench_table2_et.cpp.o"
+  "CMakeFiles/bench_table2_et.dir/bench_table2_et.cpp.o.d"
+  "bench_table2_et"
+  "bench_table2_et.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_et.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

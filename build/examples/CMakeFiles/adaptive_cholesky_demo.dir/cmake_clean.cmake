@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cholesky_demo.dir/adaptive_cholesky_demo.cpp.o"
+  "CMakeFiles/adaptive_cholesky_demo.dir/adaptive_cholesky_demo.cpp.o.d"
+  "adaptive_cholesky_demo"
+  "adaptive_cholesky_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cholesky_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

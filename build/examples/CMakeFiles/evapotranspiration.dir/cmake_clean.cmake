@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evapotranspiration.dir/evapotranspiration.cpp.o"
+  "CMakeFiles/evapotranspiration.dir/evapotranspiration.cpp.o.d"
+  "evapotranspiration"
+  "evapotranspiration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evapotranspiration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soil_moisture.dir/soil_moisture.cpp.o"
+  "CMakeFiles/soil_moisture.dir/soil_moisture.cpp.o.d"
+  "soil_moisture"
+  "soil_moisture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soil_moisture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

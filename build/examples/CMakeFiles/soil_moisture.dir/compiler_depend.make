@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soil_moisture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variogram_check.dir/variogram_check.cpp.o"
+  "CMakeFiles/variogram_check.dir/variogram_check.cpp.o.d"
+  "variogram_check"
+  "variogram_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variogram_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mathx")
+subdirs("la")
+subdirs("runtime")
+subdirs("tile")
+subdirs("tlr")
+subdirs("cholesky")
+subdirs("perfmodel")
+subdirs("geostat")
+subdirs("optim")
+subdirs("data")
+subdirs("distsim")
+subdirs("core")

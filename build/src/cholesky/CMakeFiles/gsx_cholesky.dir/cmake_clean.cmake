@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_cholesky.dir/factorize.cpp.o"
+  "CMakeFiles/gsx_cholesky.dir/factorize.cpp.o.d"
+  "CMakeFiles/gsx_cholesky.dir/precision_policy.cpp.o"
+  "CMakeFiles/gsx_cholesky.dir/precision_policy.cpp.o.d"
+  "CMakeFiles/gsx_cholesky.dir/tile_kernels.cpp.o"
+  "CMakeFiles/gsx_cholesky.dir/tile_kernels.cpp.o.d"
+  "CMakeFiles/gsx_cholesky.dir/tile_solve.cpp.o"
+  "CMakeFiles/gsx_cholesky.dir/tile_solve.cpp.o.d"
+  "libgsx_cholesky.a"
+  "libgsx_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_common.dir/version.cpp.o"
+  "CMakeFiles/gsx_common.dir/version.cpp.o.d"
+  "libgsx_common.a"
+  "libgsx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

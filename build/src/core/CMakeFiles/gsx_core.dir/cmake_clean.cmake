@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_core.dir/model.cpp.o"
+  "CMakeFiles/gsx_core.dir/model.cpp.o.d"
+  "libgsx_core.a"
+  "libgsx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

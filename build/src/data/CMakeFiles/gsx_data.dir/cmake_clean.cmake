@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_data.dir/dataset.cpp.o"
+  "CMakeFiles/gsx_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/gsx_data.dir/synthetic.cpp.o"
+  "CMakeFiles/gsx_data.dir/synthetic.cpp.o.d"
+  "libgsx_data.a"
+  "libgsx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_distsim.dir/distsim.cpp.o"
+  "CMakeFiles/gsx_distsim.dir/distsim.cpp.o.d"
+  "libgsx_distsim.a"
+  "libgsx_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geostat/assemble.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/assemble.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/assemble.cpp.o.d"
+  "/root/repo/src/geostat/bivariate.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/bivariate.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/bivariate.cpp.o.d"
+  "/root/repo/src/geostat/covariance.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/covariance.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/covariance.cpp.o.d"
+  "/root/repo/src/geostat/covariance_ext.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/covariance_ext.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/covariance_ext.cpp.o.d"
+  "/root/repo/src/geostat/field.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/field.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/field.cpp.o.d"
+  "/root/repo/src/geostat/likelihood.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/likelihood.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/likelihood.cpp.o.d"
+  "/root/repo/src/geostat/locations.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/locations.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/locations.cpp.o.d"
+  "/root/repo/src/geostat/prediction.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/prediction.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/prediction.cpp.o.d"
+  "/root/repo/src/geostat/variogram.cpp" "src/geostat/CMakeFiles/gsx_geostat.dir/variogram.cpp.o" "gcc" "src/geostat/CMakeFiles/gsx_geostat.dir/variogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathx/CMakeFiles/gsx_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gsx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/gsx_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gsx_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_geostat.dir/assemble.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/assemble.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/bivariate.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/bivariate.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/covariance.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/covariance.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/covariance_ext.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/covariance_ext.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/field.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/field.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/likelihood.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/likelihood.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/locations.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/locations.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/prediction.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/prediction.cpp.o.d"
+  "CMakeFiles/gsx_geostat.dir/variogram.cpp.o"
+  "CMakeFiles/gsx_geostat.dir/variogram.cpp.o.d"
+  "libgsx_geostat.a"
+  "libgsx_geostat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_geostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/convert.cpp" "src/la/CMakeFiles/gsx_la.dir/convert.cpp.o" "gcc" "src/la/CMakeFiles/gsx_la.dir/convert.cpp.o.d"
+  "/root/repo/src/la/half_blas.cpp" "src/la/CMakeFiles/gsx_la.dir/half_blas.cpp.o" "gcc" "src/la/CMakeFiles/gsx_la.dir/half_blas.cpp.o.d"
+  "/root/repo/src/la/lapack.cpp" "src/la/CMakeFiles/gsx_la.dir/lapack.cpp.o" "gcc" "src/la/CMakeFiles/gsx_la.dir/lapack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

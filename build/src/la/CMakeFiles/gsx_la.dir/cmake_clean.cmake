@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_la.dir/convert.cpp.o"
+  "CMakeFiles/gsx_la.dir/convert.cpp.o.d"
+  "CMakeFiles/gsx_la.dir/half_blas.cpp.o"
+  "CMakeFiles/gsx_la.dir/half_blas.cpp.o.d"
+  "CMakeFiles/gsx_la.dir/lapack.cpp.o"
+  "CMakeFiles/gsx_la.dir/lapack.cpp.o.d"
+  "libgsx_la.a"
+  "libgsx_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

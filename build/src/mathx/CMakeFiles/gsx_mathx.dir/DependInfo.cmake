@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathx/bessel.cpp" "src/mathx/CMakeFiles/gsx_mathx.dir/bessel.cpp.o" "gcc" "src/mathx/CMakeFiles/gsx_mathx.dir/bessel.cpp.o.d"
+  "/root/repo/src/mathx/distance.cpp" "src/mathx/CMakeFiles/gsx_mathx.dir/distance.cpp.o" "gcc" "src/mathx/CMakeFiles/gsx_mathx.dir/distance.cpp.o.d"
+  "/root/repo/src/mathx/stats.cpp" "src/mathx/CMakeFiles/gsx_mathx.dir/stats.cpp.o" "gcc" "src/mathx/CMakeFiles/gsx_mathx.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

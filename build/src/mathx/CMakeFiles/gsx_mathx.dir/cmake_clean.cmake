@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_mathx.dir/bessel.cpp.o"
+  "CMakeFiles/gsx_mathx.dir/bessel.cpp.o.d"
+  "CMakeFiles/gsx_mathx.dir/distance.cpp.o"
+  "CMakeFiles/gsx_mathx.dir/distance.cpp.o.d"
+  "CMakeFiles/gsx_mathx.dir/stats.cpp.o"
+  "CMakeFiles/gsx_mathx.dir/stats.cpp.o.d"
+  "libgsx_mathx.a"
+  "libgsx_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_optim.dir/nelder_mead.cpp.o"
+  "CMakeFiles/gsx_optim.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/gsx_optim.dir/pso.cpp.o"
+  "CMakeFiles/gsx_optim.dir/pso.cpp.o.d"
+  "libgsx_optim.a"
+  "libgsx_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_perfmodel.dir/band_tuner.cpp.o"
+  "CMakeFiles/gsx_perfmodel.dir/band_tuner.cpp.o.d"
+  "CMakeFiles/gsx_perfmodel.dir/kernel_model.cpp.o"
+  "CMakeFiles/gsx_perfmodel.dir/kernel_model.cpp.o.d"
+  "libgsx_perfmodel.a"
+  "libgsx_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

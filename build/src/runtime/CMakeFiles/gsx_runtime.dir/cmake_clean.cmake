@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_runtime.dir/task_graph.cpp.o"
+  "CMakeFiles/gsx_runtime.dir/task_graph.cpp.o.d"
+  "CMakeFiles/gsx_runtime.dir/trace_io.cpp.o"
+  "CMakeFiles/gsx_runtime.dir/trace_io.cpp.o.d"
+  "libgsx_runtime.a"
+  "libgsx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsx_runtime.a"
+)

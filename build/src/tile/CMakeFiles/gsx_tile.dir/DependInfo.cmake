@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tile/sym_tile_matrix.cpp" "src/tile/CMakeFiles/gsx_tile.dir/sym_tile_matrix.cpp.o" "gcc" "src/tile/CMakeFiles/gsx_tile.dir/sym_tile_matrix.cpp.o.d"
+  "/root/repo/src/tile/tile.cpp" "src/tile/CMakeFiles/gsx_tile.dir/tile.cpp.o" "gcc" "src/tile/CMakeFiles/gsx_tile.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gsx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gsx_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

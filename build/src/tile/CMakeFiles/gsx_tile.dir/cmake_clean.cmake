@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_tile.dir/sym_tile_matrix.cpp.o"
+  "CMakeFiles/gsx_tile.dir/sym_tile_matrix.cpp.o.d"
+  "CMakeFiles/gsx_tile.dir/tile.cpp.o"
+  "CMakeFiles/gsx_tile.dir/tile.cpp.o.d"
+  "libgsx_tile.a"
+  "libgsx_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

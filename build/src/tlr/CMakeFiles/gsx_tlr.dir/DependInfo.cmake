@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlr/compression.cpp" "src/tlr/CMakeFiles/gsx_tlr.dir/compression.cpp.o" "gcc" "src/tlr/CMakeFiles/gsx_tlr.dir/compression.cpp.o.d"
+  "/root/repo/src/tlr/lr_kernels.cpp" "src/tlr/CMakeFiles/gsx_tlr.dir/lr_kernels.cpp.o" "gcc" "src/tlr/CMakeFiles/gsx_tlr.dir/lr_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gsx_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

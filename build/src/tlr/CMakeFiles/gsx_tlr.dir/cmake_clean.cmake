@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_tlr.dir/compression.cpp.o"
+  "CMakeFiles/gsx_tlr.dir/compression.cpp.o.d"
+  "CMakeFiles/gsx_tlr.dir/lr_kernels.cpp.o"
+  "CMakeFiles/gsx_tlr.dir/lr_kernels.cpp.o.d"
+  "libgsx_tlr.a"
+  "libgsx_tlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

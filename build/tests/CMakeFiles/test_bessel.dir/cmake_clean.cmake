@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bessel.dir/test_bessel.cpp.o"
+  "CMakeFiles/test_bessel.dir/test_bessel.cpp.o.d"
+  "test_bessel"
+  "test_bessel.pdb"
+  "test_bessel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bessel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bivariate.dir/test_bivariate.cpp.o"
+  "CMakeFiles/test_bivariate.dir/test_bivariate.cpp.o.d"
+  "test_bivariate"
+  "test_bivariate.pdb"
+  "test_bivariate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

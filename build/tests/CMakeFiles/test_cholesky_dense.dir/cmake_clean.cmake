@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky_dense.dir/test_cholesky_dense.cpp.o"
+  "CMakeFiles/test_cholesky_dense.dir/test_cholesky_dense.cpp.o.d"
+  "test_cholesky_dense"
+  "test_cholesky_dense.pdb"
+  "test_cholesky_dense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky_tlr.dir/test_cholesky_tlr.cpp.o"
+  "CMakeFiles/test_cholesky_tlr.dir/test_cholesky_tlr.cpp.o.d"
+  "test_cholesky_tlr"
+  "test_cholesky_tlr.pdb"
+  "test_cholesky_tlr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

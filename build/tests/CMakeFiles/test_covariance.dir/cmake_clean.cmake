@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_covariance.dir/test_covariance.cpp.o"
+  "CMakeFiles/test_covariance.dir/test_covariance.cpp.o.d"
+  "test_covariance"
+  "test_covariance.pdb"
+  "test_covariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

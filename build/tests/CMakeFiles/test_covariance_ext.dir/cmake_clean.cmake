@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_covariance_ext.dir/test_covariance_ext.cpp.o"
+  "CMakeFiles/test_covariance_ext.dir/test_covariance_ext.cpp.o.d"
+  "test_covariance_ext"
+  "test_covariance_ext.pdb"
+  "test_covariance_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_covariance_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distsim.dir/test_distsim.cpp.o"
+  "CMakeFiles/test_distsim.dir/test_distsim.cpp.o.d"
+  "test_distsim"
+  "test_distsim.pdb"
+  "test_distsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factor_properties.dir/test_factor_properties.cpp.o"
+  "CMakeFiles/test_factor_properties.dir/test_factor_properties.cpp.o.d"
+  "test_factor_properties"
+  "test_factor_properties.pdb"
+  "test_factor_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factor_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locations.dir/test_locations.cpp.o"
+  "CMakeFiles/test_locations.dir/test_locations.cpp.o.d"
+  "test_locations"
+  "test_locations.pdb"
+  "test_locations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

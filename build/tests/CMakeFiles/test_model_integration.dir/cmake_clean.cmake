@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_integration.dir/test_model_integration.cpp.o"
+  "CMakeFiles/test_model_integration.dir/test_model_integration.cpp.o.d"
+  "test_model_integration"
+  "test_model_integration.pdb"
+  "test_model_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precision_policy.dir/test_precision_policy.cpp.o"
+  "CMakeFiles/test_precision_policy.dir/test_precision_policy.cpp.o.d"
+  "test_precision_policy"
+  "test_precision_policy.pdb"
+  "test_precision_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precision_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

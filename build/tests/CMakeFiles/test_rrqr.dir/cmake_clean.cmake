@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrqr.dir/test_rrqr.cpp.o"
+  "CMakeFiles/test_rrqr.dir/test_rrqr.cpp.o.d"
+  "test_rrqr"
+  "test_rrqr.pdb"
+  "test_rrqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

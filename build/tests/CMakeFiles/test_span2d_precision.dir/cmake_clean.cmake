@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_span2d_precision.dir/test_span2d_precision.cpp.o"
+  "CMakeFiles/test_span2d_precision.dir/test_span2d_precision.cpp.o.d"
+  "test_span2d_precision"
+  "test_span2d_precision.pdb"
+  "test_span2d_precision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_span2d_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_krige.dir/test_tile_krige.cpp.o"
+  "CMakeFiles/test_tile_krige.dir/test_tile_krige.cpp.o.d"
+  "test_tile_krige"
+  "test_tile_krige.pdb"
+  "test_tile_krige[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_krige.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variogram.dir/test_variogram.cpp.o"
+  "CMakeFiles/test_variogram.dir/test_variogram.cpp.o.d"
+  "test_variogram"
+  "test_variogram.pdb"
+  "test_variogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsx_cli.dir/gsx_cli.cpp.o"
+  "CMakeFiles/gsx_cli.dir/gsx_cli.cpp.o.d"
+  "gsx_cli"
+  "gsx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

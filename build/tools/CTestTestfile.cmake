@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_simulate "/root/repo/build/tools/gsx_cli" "simulate" "--kernel" "matern" "--n" "200" "--theta" "1,0.1,0.5" "--seed" "3" "--out" "/root/repo/build/tools/cli_train.csv")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate_test_set "/root/repo/build/tools/gsx_cli" "simulate" "--kernel" "matern" "--n" "50" "--theta" "1,0.1,0.5" "--seed" "4" "--out" "/root/repo/build/tools/cli_test.csv")
+set_tests_properties(cli_simulate_test_set PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fit "/root/repo/build/tools/gsx_cli" "fit" "--data" "/root/repo/build/tools/cli_train.csv" "--kernel" "matern" "--variant" "tlr" "--tile" "32" "--workers" "2" "--max-evals" "40")
+set_tests_properties(cli_fit PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict "/root/repo/build/tools/gsx_cli" "predict" "--train" "/root/repo/build/tools/cli_train.csv" "--test" "/root/repo/build/tools/cli_test.csv" "--kernel" "matern" "--theta" "1,0.1,0.5" "--variant" "mp" "--out" "/root/repo/build/tools/cli_pred.csv")
+set_tests_properties(cli_predict PROPERTIES  DEPENDS "cli_simulate_test_set" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_kernel "/root/repo/build/tools/gsx_cli" "simulate" "--kernel" "nope" "--n" "10" "--theta" "1" "--out" "/tmp/x.csv")
+set_tests_properties(cli_rejects_bad_kernel PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
