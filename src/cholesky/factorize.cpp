@@ -8,6 +8,8 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "la/convert.hpp"
+#include "obs/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::cholesky {
 
@@ -31,7 +33,9 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
   const std::size_t nt = a.nt();
   rt::TaskGraph graph;
   graph.set_policy(opts.sched);
-  graph.set_tracing(opts.tracing);
+  // Profiling implies tracing: the per-task spans feed the pipeline trace.
+  const bool profiling = obs::enabled();
+  graph.set_tracing(opts.tracing || profiling);
 
   std::atomic<int> info{0};
 
@@ -73,8 +77,12 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
   }
 
   FactorReport report;
+  // Task timestamps come out of run() relative to its start; capture the
+  // process-wide epoch here so they stitch into the pipeline trace.
+  const double run_epoch = obs::now_seconds();
   Timer t;
   try {
+    const obs::ScopedPhase phase("factorize");
     graph.run(opts.workers);
   } catch (const NumericalError&) {
     // info carries the failing pivot; callers treat info != 0 as soft
@@ -82,6 +90,11 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
     GSX_REQUIRE(info.load() != 0, "tile Cholesky: abort without pivot info");
   }
   report.seconds = t.seconds();
+  if (profiling) {
+    for (const rt::TraceEvent& e : graph.trace())
+      obs::record_span({e.name, "task", static_cast<std::uint32_t>(e.worker),
+                        run_epoch + e.start_seconds, run_epoch + e.end_seconds, e.args});
+  }
   report.info = info.load();
   report.graph = graph.stats();
   return report;
@@ -122,6 +135,7 @@ CompressStats compress_offband(SymTileMatrix& a, const TlrCompressOptions& opts,
   GSX_REQUIRE(opts.tol > 0, "compress_offband: tolerance must be positive");
   const std::size_t nt = a.nt();
 
+  const obs::ScopedPhase obs_phase("compress");
   CompressStats stats;
   stats.bytes_before = a.footprint_bytes();
   const std::size_t rank_cap = (opts.max_rank > 0) ? opts.max_rank : a.tile_size() / 2;
@@ -164,6 +178,9 @@ CompressStats compress_offband(SymTileMatrix& a, const TlrCompressOptions& opts,
       use_fp32 = (p != Precision::FP64);
     }
     const std::size_t k = comp.rank();
+    // Rank-revealing cost ~ two (m x n) * (n x k) products.
+    obs::add_flops(obs::KernelOp::Compress, Precision::FP64,
+                   2 * obs::gemm_flops(t.rows(), t.cols(), k));
     if (use_fp32) {
       la::Matrix<float> u32(comp.u.rows(), k), v32(comp.v.rows(), k);
       la::convert(comp.u.cview(), u32.view());

@@ -5,11 +5,26 @@
 #include "la/convert.hpp"
 #include "la/half_blas.hpp"
 #include "la/lapack.hpp"
+#include "obs/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::cholesky {
 
+using obs::KernelOp;
 using tile::Tile;
 using tile::TileFormat;
+
+namespace {
+
+/// Ledger + per-task trace metadata for one dense kernel invocation.
+inline void account(KernelOp op, Precision p, std::uint64_t flops,
+                    std::int64_t rank = -1) {
+  if (!obs::enabled()) return;
+  obs::add_flops(op, p, flops);
+  obs::annotate_task(p, rank, flops);
+}
+
+}  // namespace
 
 F64Operand::F64Operand(const Tile& t) {
   if (t.format() == TileFormat::Dense && t.precision() == Precision::FP64) {
@@ -71,11 +86,13 @@ LrOperand::LrOperand(const Tile& t) {
 int potrf_tile(Tile& akk) {
   GSX_REQUIRE(akk.format() == TileFormat::Dense && akk.precision() == Precision::FP64,
               "potrf_tile: diagonal tiles must be dense FP64");
+  account(KernelOp::Potrf, Precision::FP64, obs::potrf_flops(akk.rows()));
   return la::potrf<double>(la::Uplo::Lower, akk.d64().view());
 }
 
 void trsm_tile(const Tile& lkk, Tile& amk) {
   GSX_REQUIRE(amk.format() == TileFormat::Dense, "trsm_tile: expects a dense tile");
+  account(KernelOp::Trsm, amk.precision(), obs::trsm_flops(amk.rows(), amk.cols()));
   switch (amk.precision()) {
     case Precision::FP64: {
       const F64Operand l(lkk);
@@ -115,6 +132,7 @@ void trsm_tile(const Tile& lkk, Tile& amk) {
 void syrk_tile(const Tile& amk, Tile& amm) {
   GSX_REQUIRE(amm.format() == TileFormat::Dense && amm.precision() == Precision::FP64,
               "syrk_tile: diagonal tiles must be dense FP64");
+  account(KernelOp::Syrk, Precision::FP64, obs::syrk_flops(amm.rows(), amk.cols()));
   const F64Operand a(amk);
   la::syrk<double>(la::Uplo::Lower, la::Trans::NoTrans, -1.0, a.view(), 1.0,
                    amm.d64().view());
@@ -122,6 +140,8 @@ void syrk_tile(const Tile& amk, Tile& amm) {
 
 void gemm_tile(const Tile& amk, const Tile& ank, Tile& amn) {
   GSX_REQUIRE(amn.format() == TileFormat::Dense, "gemm_tile: expects a dense output tile");
+  account(KernelOp::Gemm, amn.precision(),
+          obs::gemm_flops(amn.rows(), amn.cols(), amk.cols()));
   switch (amn.precision()) {
     case Precision::FP64: {
       const F64Operand a(amk), b(ank);
@@ -154,6 +174,8 @@ void gemm_tile(const Tile& amk, const Tile& ank, Tile& amn) {
 
 void trsm_lr_tile(const Tile& lkk, Tile& amk) {
   GSX_REQUIRE(amk.format() == TileFormat::LowRank, "trsm_lr_tile: expects a low-rank tile");
+  if (obs::enabled())
+    obs::annotate_task(amk.precision(), static_cast<std::int64_t>(amk.rank()), 0);
   const F64Operand l(lkk);
   if (amk.precision() == Precision::FP64) {
     tlr::lr_trsm_right_lower_trans(l.view(), amk.lr64().v);
@@ -169,6 +191,8 @@ void trsm_lr_tile(const Tile& lkk, Tile& amk) {
 void syrk_lr_tile(const Tile& amk, Tile& amm) {
   GSX_REQUIRE(amm.format() == TileFormat::Dense && amm.precision() == Precision::FP64,
               "syrk_lr_tile: diagonal tiles must be dense FP64");
+  if (obs::enabled())
+    obs::annotate_task(amk.precision(), static_cast<std::int64_t>(amk.rank()), 0);
   const LrOperand a(amk);
   tlr::syrk_lr_dense(-1.0, a.view(), amm.d64().view());
 }
@@ -203,6 +227,11 @@ void gemm_mixed_tile(const Tile& amk, const Tile& ank, Tile& amn, double abs_tol
                      tlr::RoundingMethod rounding) {
   const bool a_lr = amk.format() == TileFormat::LowRank;
   const bool b_lr = ank.format() == TileFormat::LowRank;
+  if (obs::enabled() && (a_lr || b_lr || amn.format() == TileFormat::LowRank)) {
+    const std::int64_t rank =
+        amn.format() == TileFormat::LowRank ? static_cast<std::int64_t>(amn.rank()) : -1;
+    obs::annotate_task(amn.precision(), rank, 0);
+  }
 
   if (amn.format() == TileFormat::Dense) {
     if (!a_lr && !b_lr) {
@@ -248,6 +277,8 @@ void gemm_mixed_tile(const Tile& amk, const Tile& ank, Tile& amn, double abs_tol
     la::convert(u64.cview(), lr.u.view());
     la::convert(v64.cview(), lr.v.view());
   }
+  if (obs::enabled())  // re-annotate with the post-accumulation rank
+    obs::annotate_task(amn.precision(), static_cast<std::int64_t>(amn.rank()), 0);
 }
 
 }  // namespace gsx::cholesky

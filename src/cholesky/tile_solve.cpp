@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "geostat/assemble.hpp"
 #include "la/blas.hpp"
+#include "obs/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::cholesky {
 
@@ -93,6 +95,8 @@ void tile_backward_solve(const SymTileMatrix& l, std::span<double> z) {
 
 geostat::LoglikValue tile_loglik(const SymTileMatrix& l, std::span<const double> z) {
   GSX_REQUIRE(z.size() == l.n(), "tile_loglik: vector size mismatch");
+  const obs::ScopedPhase phase("solve");
+  obs::add_flops(obs::KernelOp::Solve, Precision::FP64, obs::trsm_flops(1, l.n()));
   geostat::LoglikValue out;
   out.logdet = tile_logdet(l);
   std::vector<double> y(z.begin(), z.end());
@@ -187,6 +191,10 @@ geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
 
   // W = L^{-1} Sigma_nm through the tile factor; y = L^{-1} Z_n.
   la::Matrix<double> w = geostat::cross_covariance(model, train_locs, test_locs);
+  const obs::ScopedPhase phase("krige");
+  obs::add_flops(obs::KernelOp::Krige, Precision::FP64,
+                 obs::trsm_flops(m, n) + obs::trsm_flops(1, n) +
+                     obs::gemm_flops(m, 1, n));
   tile_forward_solve_multi(factored, w.view());
   std::vector<double> y(z_train.begin(), z_train.end());
   tile_forward_solve(factored, y);

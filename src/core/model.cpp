@@ -7,11 +7,37 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "geostat/assemble.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::core {
 
 using geostat::Location;
 using tile::SymTileMatrix;
+
+namespace {
+
+/// Fig. 8 / Fig. 9 inputs: precision mix of the decision-annotated matrix
+/// and the ranks of its low-rank tiles.
+void profile_tiles(const SymTileMatrix& a) {
+  if (!obs::enabled()) return;
+  obs::TileMix mix;
+  std::vector<std::size_t> ranks;
+  for (std::size_t j = 0; j < a.nt(); ++j) {
+    for (std::size_t i = j; i < a.nt(); ++i) {
+      const tile::Tile& t = a.at(i, j);
+      if (t.format() == tile::TileFormat::LowRank) {
+        (t.precision() == Precision::FP32 ? mix.lr32 : mix.lr64) += 1;
+        ranks.push_back(t.rank());
+      } else {
+        mix.dense[static_cast<std::size_t>(t.precision())] += 1;
+      }
+    }
+  }
+  obs::record_iteration_tiles(mix, ranks);
+}
+
+}  // namespace
 
 GsxModel::GsxModel(std::unique_ptr<geostat::CovarianceModel> prototype, ModelConfig config)
     : prototype_(std::move(prototype)), config_(config) {
@@ -105,7 +131,10 @@ void GsxModel::prepare(std::span<const double> theta, std::span<const Location> 
       policy.rule = config_.mp_rule;
       break;
   }
-  const cholesky::PolicyStats pstats = cholesky::apply_precision_policy(out, policy);
+  const cholesky::PolicyStats pstats = [&] {
+    const obs::ScopedPhase phase("precision_policy");
+    return cholesky::apply_precision_policy(out, policy);
+  }();
   if (breakdown) breakdown->policy = pstats;
   if (breakdown) breakdown->footprint_bytes = out.footprint_bytes();
 }
@@ -115,6 +144,8 @@ bool GsxModel::prepare_and_factor(std::span<const double> theta,
                                   EvalBreakdown* breakdown) const {
   Timer total;
   prepare(theta, locs, out, breakdown);
+  // Capture the decision mix before the factorization overwrites the tiles.
+  profile_tiles(out);
 
   cholesky::FactorOptions fopt;
   fopt.workers = config_.workers;
@@ -137,8 +168,14 @@ geostat::LoglikValue GsxModel::evaluate(std::span<const double> theta,
                                         EvalBreakdown* breakdown) const {
   GSX_REQUIRE(locs.size() == z.size(), "GsxModel::evaluate: data size mismatch");
   SymTileMatrix a(locs.size(), config_.tile_size);
-  if (!prepare_and_factor(theta, locs, a, breakdown)) return geostat::LoglikValue{};
-  return cholesky::tile_loglik(a, z);
+  obs::begin_iteration("evaluate");
+  if (!prepare_and_factor(theta, locs, a, breakdown)) {
+    obs::end_iteration();
+    return geostat::LoglikValue{};
+  }
+  const geostat::LoglikValue v = cholesky::tile_loglik(a, z);
+  obs::end_iteration();
+  return v;
 }
 
 FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> z) const {
@@ -179,15 +216,22 @@ geostat::KrigingResult GsxModel::predict(std::span<const double> theta,
                                          std::span<const Location> test_locs,
                                          bool with_variance) const {
   SymTileMatrix a(train_locs.size(), config_.tile_size);
+  obs::begin_iteration("predict");
   const bool ok = prepare_and_factor(theta, train_locs, a, nullptr);
-  if (!ok) throw NumericalError("GsxModel::predict: covariance not SPD at theta");
+  if (!ok) {
+    obs::end_iteration();
+    throw NumericalError("GsxModel::predict: covariance not SPD at theta");
+  }
 
   // Predict through the tile factor itself: the TLR variant never
   // materializes a dense L, preserving its memory-footprint advantage in
   // the prediction phase too.
   const std::unique_ptr<geostat::CovarianceModel> model = prototype_->clone();
   model->set_params(theta);
-  return cholesky::tile_krige(*model, a, train_locs, z_train, test_locs, with_variance);
+  geostat::KrigingResult out =
+      cholesky::tile_krige(*model, a, train_locs, z_train, test_locs, with_variance);
+  obs::end_iteration();
+  return out;
 }
 
 tile::SymTileMatrix GsxModel::build_decision_matrix(std::span<const double> theta,

@@ -1,13 +1,29 @@
 #include "geostat/assemble.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::geostat {
+
+namespace {
+
+/// Covariance-evaluation counter shared by every assembly path: the
+/// generation phase is measured in kernel evaluations, not flops (a Matérn
+/// evaluation's Bessel cost has no meaningful flop count).
+void count_cov_evals(std::size_t n) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance().counter("assemble.cov_evals").add(n);
+}
+
+}  // namespace
 
 la::Matrix<double> covariance_matrix(const CovarianceModel& model,
                                      std::span<const Location> locs) {
   const std::size_t n = locs.size();
   GSX_REQUIRE(n > 0, "covariance_matrix: empty location set");
+  const obs::ScopedTimer timer("assemble.seconds");
+  count_cov_evals(n * (n + 1) / 2);
   la::Matrix<double> sigma(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = j; i < n; ++i) {
@@ -23,6 +39,8 @@ la::Matrix<double> cross_covariance(const CovarianceModel& model,
                                     std::span<const Location> a,
                                     std::span<const Location> b) {
   GSX_REQUIRE(!a.empty() && !b.empty(), "cross_covariance: empty location set");
+  const obs::ScopedTimer timer("assemble.seconds");
+  count_cov_evals(a.size() * b.size());
   la::Matrix<double> sigma(a.size(), b.size());
   for (std::size_t j = 0; j < b.size(); ++j)
     for (std::size_t i = 0; i < a.size(); ++i) sigma(i, j) = model(a[i], b[j]);
@@ -32,9 +50,18 @@ la::Matrix<double> cross_covariance(const CovarianceModel& model,
 void fill_covariance_tiles(tile::SymTileMatrix& tiles, const CovarianceModel& model,
                            std::span<const Location> locs, std::size_t num_workers) {
   GSX_REQUIRE(locs.size() == tiles.n(), "fill_covariance_tiles: size mismatch");
+  const obs::ScopedTimer timer("assemble.seconds");
+  const obs::ScopedPhase phase("assemble");
   tiles.generate(
       [&](std::size_t gi, std::size_t gj) { return model(locs[gi], locs[gj]); },
       num_workers);
+  if (obs::enabled()) {
+    std::size_t elems = 0;
+    for (std::size_t j = 0; j < tiles.nt(); ++j)
+      for (std::size_t i = j; i < tiles.nt(); ++i)
+        elems += tiles.at(i, j).rows() * tiles.at(i, j).cols();
+    count_cov_evals(elems);
+  }
 }
 
 }  // namespace gsx::geostat

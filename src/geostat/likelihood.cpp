@@ -6,6 +6,8 @@
 #include "geostat/assemble.hpp"
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
+#include "obs/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::geostat {
 
@@ -16,6 +18,8 @@ constexpr double kLog2Pi = 1.8378770664093454835606594728112;
 LoglikValue loglik_from_cholesky(const la::Matrix<double>& chol, std::span<const double> z) {
   const std::size_t n = chol.rows();
   GSX_REQUIRE(chol.cols() == n && z.size() == n, "loglik_from_cholesky: size mismatch");
+  const obs::ScopedPhase phase("solve");
+  obs::add_flops(obs::KernelOp::Solve, Precision::FP64, obs::trsm_flops(1, n));
   LoglikValue out;
   out.logdet = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -44,7 +48,11 @@ LoglikValue dense_loglik(const CovarianceModel& model, std::span<const Location>
                          std::span<const double> z) {
   GSX_REQUIRE(locs.size() == z.size(), "dense_loglik: size mismatch");
   la::Matrix<double> sigma = covariance_matrix(model, locs);
-  const int info = la::potrf<double>(la::Uplo::Lower, sigma.view());
+  obs::add_flops(obs::KernelOp::Potrf, Precision::FP64, obs::potrf_flops(sigma.rows()));
+  const int info = [&] {
+    const obs::ScopedPhase phase("factorize");
+    return la::potrf<double>(la::Uplo::Lower, sigma.view());
+  }();
   if (info != 0) return LoglikValue{};  // non-SPD: ok = false
   return loglik_from_cholesky(sigma, z);
 }

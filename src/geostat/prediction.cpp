@@ -6,6 +6,8 @@
 #include "geostat/assemble.hpp"
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
+#include "obs/flops.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::geostat {
 
@@ -23,6 +25,10 @@ KrigingResult krige_with_cholesky(const CovarianceModel& model,
 
   // W = L^{-1} Sigma_nm  (n x m), y = L^{-1} Z_n.
   la::Matrix<double> w = cross_covariance(model, train_locs, test_locs);
+  const obs::ScopedPhase phase("krige");
+  obs::add_flops(obs::KernelOp::Krige, Precision::FP64,
+                 obs::trsm_flops(m, n) + obs::trsm_flops(1, n) +
+                     obs::gemm_flops(m, 1, n));
   auto wv = w.view();
   la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::NoTrans, la::Diag::NonUnit,
                    1.0, chol.cview(), wv);
@@ -55,7 +61,11 @@ KrigingResult krige(const CovarianceModel& model, std::span<const Location> trai
                     std::span<const double> z_train, std::span<const Location> test_locs,
                     bool with_variance) {
   la::Matrix<double> sigma = covariance_matrix(model, train_locs);
-  const int info = la::potrf<double>(la::Uplo::Lower, sigma.view());
+  obs::add_flops(obs::KernelOp::Potrf, Precision::FP64, obs::potrf_flops(sigma.rows()));
+  const int info = [&] {
+    const obs::ScopedPhase phase("factorize");
+    return la::potrf<double>(la::Uplo::Lower, sigma.view());
+  }();
   if (info != 0)
     throw NumericalError("krige: Sigma_nn not positive definite at pivot " +
                          std::to_string(info));

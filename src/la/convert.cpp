@@ -1,6 +1,7 @@
 #include "la/convert.hpp"
 
 #include "common/error.hpp"
+#include "obs/flops.hpp"
 
 namespace gsx::la {
 
@@ -10,6 +11,8 @@ template <typename S, typename D>
 void convert_impl(Span2D<const S> src, Span2D<D> dst) {
   GSX_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
               "convert: shape mismatch");
+  obs::add_conversion(obs::PrecisionOf<S>::value, obs::PrecisionOf<D>::value,
+                      src.rows() * src.cols());
   for (std::size_t j = 0; j < src.cols(); ++j) {
     const S* s = &src(0, j);
     D* d = &dst(0, j);
@@ -45,18 +48,21 @@ void convert(Span2D<const bfloat16> src, Span2D<float> dst) { convert_impl(src, 
 void convert(Span2D<const bfloat16> src, Span2D<bfloat16> dst) { convert_impl(src, dst); }
 
 void round_through_float(Span2D<double> a) {
+  obs::add_conversion(Precision::FP64, Precision::FP32, a.rows() * a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j)
     for (std::size_t i = 0; i < a.rows(); ++i)
       a(i, j) = static_cast<double>(static_cast<float>(a(i, j)));
 }
 
 void round_through_half(Span2D<double> a) {
+  obs::add_conversion(Precision::FP64, Precision::FP16, a.rows() * a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j)
     for (std::size_t i = 0; i < a.rows(); ++i)
       a(i, j) = static_cast<double>(half(a(i, j)));
 }
 
 void round_through_bfloat16(Span2D<double> a) {
+  obs::add_conversion(Precision::FP64, Precision::BF16, a.rows() * a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j)
     for (std::size_t i = 0; i < a.rows(); ++i)
       a(i, j) = static_cast<double>(bfloat16(a(i, j)));

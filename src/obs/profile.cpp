@@ -1,0 +1,73 @@
+#include "obs/profile.hpp"
+
+#include <mutex>
+#include <optional>
+
+#include "obs/trace.hpp"
+
+namespace gsx::obs {
+
+namespace {
+
+struct OpenIteration {
+  IterationRecord record;
+  FlopSnapshot at_begin;
+  double start_seconds = 0.0;
+};
+
+thread_local std::optional<OpenIteration> t_open;
+
+std::mutex& profile_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<IterationRecord>& iteration_store() {
+  static std::vector<IterationRecord> v;
+  return v;
+}
+
+}  // namespace
+
+void begin_iteration(const char* label) {
+  if (!enabled()) return;
+  OpenIteration it;
+  it.record.label = label;
+  it.at_begin = flop_snapshot();
+  it.start_seconds = now_seconds();
+  t_open = std::move(it);
+}
+
+void record_iteration_tiles(const TileMix& mix, std::span<const std::size_t> lr_ranks) {
+  if (!enabled() || !t_open) return;
+  t_open->record.tiles = mix;
+  t_open->record.rank_counts.clear();
+  for (std::size_t r : lr_ranks) ++t_open->record.rank_counts[r];
+}
+
+void end_iteration() {
+  if (!t_open) return;
+  if (!enabled()) {
+    t_open.reset();
+    return;
+  }
+  OpenIteration it = std::move(*t_open);
+  t_open.reset();
+  it.record.seconds = now_seconds() - it.start_seconds;
+  it.record.work = flop_snapshot().delta_since(it.at_begin);
+  std::lock_guard lk(profile_mutex());
+  it.record.index = iteration_store().size();
+  iteration_store().push_back(std::move(it.record));
+}
+
+std::vector<IterationRecord> profile_iterations() {
+  std::lock_guard lk(profile_mutex());
+  return iteration_store();
+}
+
+void reset_profile() {
+  std::lock_guard lk(profile_mutex());
+  iteration_store().clear();
+}
+
+}  // namespace gsx::obs

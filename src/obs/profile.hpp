@@ -1,0 +1,62 @@
+// Per-MLE-iteration profiling: one record per likelihood evaluation with
+// the iteration's flop/conversion delta, tile precision mix and TLR rank
+// histogram — the data behind the paper's Fig. 8 (precision mix) and Fig. 9
+// (rank/precision heat map) tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/precision.hpp"
+#include "obs/flops.hpp"
+
+namespace gsx::obs {
+
+/// Tile composition of one assembled covariance matrix.
+struct TileMix {
+  std::array<std::size_t, kNumPrecisions> dense{};  ///< dense tiles by precision
+  std::size_t lr64 = 0;                             ///< low-rank FP64 tiles
+  std::size_t lr32 = 0;                             ///< low-rank FP32 tiles
+  [[nodiscard]] std::size_t total() const noexcept {
+    std::size_t t = lr64 + lr32;
+    for (std::size_t d : dense) t += d;
+    return t;
+  }
+};
+
+/// One profiled pipeline iteration (one likelihood evaluation or one
+/// prediction pass).
+struct IterationRecord {
+  std::size_t index = 0;
+  std::string label;     ///< "evaluate" / "predict" / caller-supplied
+  double seconds = 0.0;
+  FlopSnapshot work;     ///< ledger delta attributed to this iteration
+  TileMix tiles;
+  /// rank -> number of low-rank tiles at that rank (Fig. 9 histogram).
+  std::map<std::size_t, std::size_t> rank_counts;
+};
+
+/// Begin an iteration on the calling thread (snapshots the flop ledger).
+/// No-op when disabled. Iterations may run concurrently (parallel PSO
+/// evaluations); the ledger is process-global, so concurrent iterations
+/// attribute overlapping work to each record — exact under sequential
+/// optimizers (Nelder-Mead, the CLI default).
+void begin_iteration(const char* label);
+
+/// Attach the assembled matrix's tile mix and low-rank ranks to the
+/// iteration currently open on this thread.
+void record_iteration_tiles(const TileMix& mix, std::span<const std::size_t> lr_ranks);
+
+/// Close the calling thread's iteration and append its record.
+void end_iteration();
+
+/// All completed iteration records since the last reset_profile().
+[[nodiscard]] std::vector<IterationRecord> profile_iterations();
+
+void reset_profile();
+
+}  // namespace gsx::obs

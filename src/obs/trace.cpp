@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace gsx::obs {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+clock::time_point epoch() {
+  static const clock::time_point e = clock::now();
+  return e;
+}
+
+std::mutex& trace_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Span>& span_store() {
+  static std::vector<Span> s;
+  return s;
+}
+
+thread_local std::optional<TaskAnnotation> t_annotation;
+
+}  // namespace
+
+double now_seconds() noexcept {
+  return std::chrono::duration<double>(clock::now() - epoch()).count();
+}
+
+void record_span(Span s) {
+  if (!enabled()) return;
+  std::lock_guard lk(trace_mutex());
+  span_store().push_back(std::move(s));
+}
+
+std::vector<Span> trace_spans() {
+  std::lock_guard lk(trace_mutex());
+  return span_store();
+}
+
+void reset_trace() {
+  std::lock_guard lk(trace_mutex());
+  span_store().clear();
+}
+
+ScopedPhase::ScopedPhase(const char* name)
+    : name_(name), start_(enabled() ? now_seconds() : -1.0) {}
+
+ScopedPhase::~ScopedPhase() {
+  if (start_ < 0.0 || !enabled()) return;
+  Span s;
+  s.name = name_;
+  s.category = "phase";
+  s.tid = kPipelineTid;
+  s.start_seconds = start_;
+  s.end_seconds = now_seconds();
+  record_span(std::move(s));
+}
+
+void annotate_task(Precision p, std::int64_t rank, std::uint64_t flops) noexcept {
+  if (!enabled()) return;
+  t_annotation = TaskAnnotation{p, rank, flops};
+}
+
+std::optional<TaskAnnotation> take_task_annotation() noexcept {
+  std::optional<TaskAnnotation> out;
+  t_annotation.swap(out);
+  return out;
+}
+
+std::string annotation_args(const TaskAnnotation& a) {
+  std::string out = "\"precision\": \"";
+  out += precision_name(a.precision);
+  out += "\"";
+  if (a.rank >= 0) {
+    out += ", \"rank\": ";
+    out += std::to_string(a.rank);
+  }
+  if (a.flops > 0) {
+    out += ", \"flops\": ";
+    out += std::to_string(a.flops);
+  }
+  return out;
+}
+
+}  // namespace gsx::obs

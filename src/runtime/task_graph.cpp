@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::rt {
 
@@ -200,9 +201,16 @@ void TaskGraph::run(std::size_t num_workers) {
       const double t1 = wall.seconds();
       t.duration_seconds = t1 - t0;
 
+      // Kernel-attached metadata (precision, rank, flops) for the trace.
+      // Always drained so a stale annotation never leaks onto a later task.
+      const auto ann = obs::take_task_annotation();
+      std::string args;
+      if (tracing_ && ann) args = obs::annotation_args(*ann);
+
       {
         std::lock_guard lk(mtx);
-        if (tracing_) trace_.push_back(TraceEvent{t.name, worker_id, t0, t1});
+        if (tracing_)
+          trace_.push_back(TraceEvent{t.name, worker_id, t0, t1, std::move(args)});
         ++completed;
         for (std::size_t s : t.successors) {
           GSX_REQUIRE(remaining[s] > 0, "runtime: dependency counter underflow");

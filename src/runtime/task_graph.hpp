@@ -76,6 +76,9 @@ struct TraceEvent {
   std::size_t worker = 0;
   double start_seconds = 0.0;
   double end_seconds = 0.0;
+  /// Pre-rendered Chrome-trace "args" fields the executing kernel attached
+  /// via obs::annotate_task (precision, rank, flops); empty if none.
+  std::string args;
 };
 
 /// A statically-unrolled task DAG executed by run().

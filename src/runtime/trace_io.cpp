@@ -7,8 +7,24 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gsx::rt {
+
+namespace {
+
+void write_event(std::ostream& os, const std::string& name, const std::string& cat,
+                 std::size_t tid, double start_seconds, double end_seconds,
+                 const std::string& args) {
+  // Timestamps in microseconds, as the format expects.
+  os << R"(  {"name": ")" << name << R"(", "cat": ")" << cat << R"(", "ph": "X", "ts": )"
+     << std::fixed << std::setprecision(3) << start_seconds * 1e6 << R"(, "dur": )"
+     << (end_seconds - start_seconds) * 1e6 << R"(, "pid": 1, "tid": )" << tid;
+  if (!args.empty()) os << R"(, "args": {)" << args << "}";
+  os << "}";
+}
+
+}  // namespace
 
 void write_trace_json(const TaskGraph& graph, const std::string& path) {
   std::ofstream os(path);
@@ -18,14 +34,26 @@ void write_trace_json(const TaskGraph& graph, const std::string& path) {
   for (const TraceEvent& ev : graph.trace()) {
     if (!first) os << ",\n";
     first = false;
-    // Timestamps in microseconds, as the format expects.
-    os << R"(  {"name": ")" << ev.name << R"(", "cat": "task", "ph": "X", "ts": )"
-       << std::fixed << std::setprecision(3) << ev.start_seconds * 1e6 << R"(, "dur": )"
-       << (ev.end_seconds - ev.start_seconds) * 1e6 << R"(, "pid": 1, "tid": )"
-       << ev.worker << "}";
+    write_event(os, ev.name, "task", ev.worker, ev.start_seconds, ev.end_seconds, ev.args);
   }
   os << "\n]\n";
   GSX_REQUIRE(os.good(), "write_trace_json: write failed for " + path);
+}
+
+void write_profile_trace_json(const std::string& path) {
+  std::ofstream os(path);
+  GSX_REQUIRE(os.good(), "write_profile_trace_json: cannot open " + path);
+  const std::vector<obs::Span> spans = obs::trace_spans();
+  os << "[\n";
+  // Name the pipeline-phase row so Perfetto labels it.
+  os << R"(  {"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << obs::kPipelineTid
+     << R"(, "args": {"name": "pipeline"}})";
+  for (const obs::Span& s : spans) {
+    os << ",\n";
+    write_event(os, s.name, s.category, s.tid, s.start_seconds, s.end_seconds, s.args);
+  }
+  os << "\n]\n";
+  GSX_REQUIRE(os.good(), "write_profile_trace_json: write failed for " + path);
 }
 
 std::string utilization_summary(const TaskGraph& graph, std::size_t num_workers) {

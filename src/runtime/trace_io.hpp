@@ -1,8 +1,14 @@
 // Execution-trace export in the Chrome tracing ("catapult") JSON format.
 //
-// Load the produced file in chrome://tracing or Perfetto to inspect the
-// per-worker task timeline of a factorization — the load-imbalance view the
-// paper uses to motivate the dynamic runtime.
+// Load the produced files in chrome://tracing or Perfetto. Two exports:
+//  * write_trace_json — one TaskGraph run: the per-worker task timeline of a
+//    factorization (the load-imbalance view the paper uses to motivate the
+//    dynamic runtime), with per-task kernel metadata (precision, rank,
+//    flops) when obs is enabled.
+//  * write_profile_trace_json — the whole recorded pipeline from the obs
+//    span store: phase spans (assembly -> policy -> compress -> factorize ->
+//    solve -> krige) on a dedicated "pipeline" row plus every traced kernel
+//    task, all on one clock across MLE iterations.
 #pragma once
 
 #include <string>
@@ -14,6 +20,10 @@ namespace gsx::rt {
 /// Write the recorded trace (set_tracing(true) before run()) to `path`.
 /// Each task becomes a complete ("X") event on its worker's row.
 void write_trace_json(const TaskGraph& graph, const std::string& path);
+
+/// Write every span recorded in the obs trace store (phases + task events
+/// from all profiled TaskGraph runs) to `path` as one Chrome trace.
+void write_profile_trace_json(const std::string& path);
 
 /// Render a compact per-worker utilization summary from the trace.
 std::string utilization_summary(const TaskGraph& graph, std::size_t num_workers);

@@ -1,0 +1,338 @@
+// Observability layer: registry instruments, flop/conversion ledger,
+// iteration profiling and report writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/flops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace gsx::obs {
+namespace {
+
+/// Every test runs with a clean, enabled observability layer and leaves it
+/// disabled (the process-wide default other test binaries rely on).
+class ObsMetrics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_all();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_all();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+TEST_F(ObsMetrics, CounterAccumulates) {
+  Counter& c = Registry::instance().counter("t.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsMetrics, GaugeKeepsLastValue) {
+  Gauge& g = Registry::instance().gauge("t.gauge");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsMetrics, DisabledPathRecordsNothing) {
+  Counter& c = Registry::instance().counter("t.disabled.counter");
+  Gauge& g = Registry::instance().gauge("t.disabled.gauge");
+  Histogram& h = Registry::instance().histogram("t.disabled.hist", {1.0, 2.0});
+  set_enabled(false);
+  c.add(7);
+  g.set(9.0);
+  h.observe(1.5);
+  add_flops(KernelOp::Gemm, Precision::FP32, 1000);
+  add_conversion(Precision::FP64, Precision::FP16, 64);
+  annotate_task(Precision::FP32, 4, 100);
+  record_span({"s", "phase", kPipelineTid, 0.0, 1.0, ""});
+  begin_iteration("nope");
+  end_iteration();
+  set_enabled(true);
+
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(flop_snapshot().total_flops(), 0u);
+  EXPECT_EQ(flop_snapshot().total_conversions(), 0u);
+  EXPECT_FALSE(take_task_annotation().has_value());
+  EXPECT_TRUE(trace_spans().empty());
+  EXPECT_TRUE(profile_iterations().empty());
+}
+
+TEST_F(ObsMetrics, HistogramStatsAndBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int v = 1; v <= 25; ++v) h.observe(static_cast<double>(v));
+  h.observe(1000.0);  // overflow bucket
+
+  EXPECT_EQ(h.count(), 26u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.sum(), 325.0 + 1000.0, 1e-12);
+
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 10u);     // 1..10
+  EXPECT_EQ(buckets[1], 10u);     // 11..20
+  EXPECT_EQ(buckets[2], 5u);      // 21..25
+  EXPECT_EQ(buckets[3], 1u);      // 1000
+}
+
+TEST_F(ObsMetrics, HistogramPercentilesInterpolate) {
+  Histogram h({10.0, 20.0, 30.0, 40.0, 50.0});
+  for (int v = 1; v <= 50; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.percentile(0.0), 1.0);   // clamped to observed min
+  EXPECT_EQ(h.percentile(1.0), 50.0);  // clamped to observed max
+  EXPECT_NEAR(h.percentile(0.5), 25.0, 6.0);
+  EXPECT_NEAR(h.percentile(0.9), 45.0, 6.0);
+  EXPECT_LT(h.percentile(0.25), h.percentile(0.75));
+
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST_F(ObsMetrics, RegistryReferencesSurviveReset) {
+  Counter& c = Registry::instance().counter("t.stable");
+  c.add(5);
+  Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the cached reference must still be live and registered
+  EXPECT_EQ(Registry::instance().counter("t.stable").value(), 2u);
+  EXPECT_EQ(&Registry::instance().counter("t.stable"), &c);
+}
+
+TEST_F(ObsMetrics, SamplesReportEveryInstrumentKind) {
+  Registry::instance().counter("t.s.counter").add(3);
+  Registry::instance().gauge("t.s.gauge").set(7.0);
+  Registry::instance().histogram("t.s.hist", {1.0, 2.0}).observe(1.5);
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const MetricSample& s : Registry::instance().samples()) {
+    if (s.name == "t.s.counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricSample::Kind::Counter);
+      EXPECT_DOUBLE_EQ(s.value, 3.0);
+    } else if (s.name == "t.s.gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(s.value, 7.0);
+    } else if (s.name == "t.s.hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_DOUBLE_EQ(s.sum, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST_F(ObsMetrics, ConcurrentIncrementsLoseNothing) {
+  Counter& c = Registry::instance().counter("t.mt.counter");
+  Histogram& h = Registry::instance().histogram("t.mt.hist", {0.5, 1.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(1.0);
+        add_flops(KernelOp::Gemm, Precision::FP32, 2);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.sum(), static_cast<double>(kThreads) * kPerThread, 1e-6);
+  EXPECT_EQ(flop_snapshot().flops_at(Precision::FP32),
+            2ull * kThreads * kPerThread);
+}
+
+TEST_F(ObsMetrics, FlopLedgerAttributesByPrecisionAndOp) {
+  add_flops(KernelOp::Potrf, Precision::FP64, 100);
+  add_flops(KernelOp::Gemm, Precision::FP16, 40);
+  add_flops(KernelOp::Gemm, Precision::FP16, 2);
+
+  const FlopSnapshot s = flop_snapshot();
+  const auto p64 = static_cast<std::size_t>(Precision::FP64);
+  const auto p16 = static_cast<std::size_t>(Precision::FP16);
+  const auto potrf = static_cast<std::size_t>(KernelOp::Potrf);
+  const auto gemm = static_cast<std::size_t>(KernelOp::Gemm);
+  EXPECT_EQ(s.flops[p64][potrf], 100u);
+  EXPECT_EQ(s.calls[p64][potrf], 1u);
+  EXPECT_EQ(s.flops[p16][gemm], 42u);
+  EXPECT_EQ(s.calls[p16][gemm], 2u);
+  EXPECT_EQ(s.total_flops(), 142u);
+  EXPECT_EQ(s.flops_at(Precision::FP32), 0u);
+}
+
+TEST_F(ObsMetrics, ConversionMatrixTracksPairs) {
+  add_conversion(Precision::FP64, Precision::FP32, 4096);
+  add_conversion(Precision::FP64, Precision::FP32, 4096);
+  add_conversion(Precision::FP32, Precision::FP64, 64);
+
+  const FlopSnapshot s = flop_snapshot();
+  const auto p64 = static_cast<std::size_t>(Precision::FP64);
+  const auto p32 = static_cast<std::size_t>(Precision::FP32);
+  EXPECT_EQ(s.conv_count[p64][p32], 2u);
+  EXPECT_EQ(s.conv_elems[p64][p32], 8192u);
+  EXPECT_EQ(s.conv_count[p32][p64], 1u);
+  EXPECT_EQ(s.total_conversions(), 3u);
+  EXPECT_EQ(s.total_converted_elems(), 8256u);
+}
+
+TEST_F(ObsMetrics, SnapshotDeltaIsElementwise) {
+  add_flops(KernelOp::Syrk, Precision::FP64, 10);
+  const FlopSnapshot before = flop_snapshot();
+  add_flops(KernelOp::Syrk, Precision::FP64, 7);
+  add_conversion(Precision::FP64, Precision::BF16, 9);
+
+  const FlopSnapshot d = flop_snapshot().delta_since(before);
+  EXPECT_EQ(d.total_flops(), 7u);
+  EXPECT_EQ(d.total_conversions(), 1u);
+  EXPECT_EQ(d.total_converted_elems(), 9u);
+}
+
+TEST_F(ObsMetrics, ScopedTimerRecordsIntoHistogram) {
+  {
+    ScopedTimer t("t.timer.seconds");
+    volatile double x = 0.0;
+    for (int i = 0; i < 1000; ++i) x = x + 1.0;
+  }
+  Histogram& h = Registry::instance().histogram("t.timer.seconds");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 10.0);  // finished promptly
+}
+
+TEST_F(ObsMetrics, PhaseSpansLandOnPipelineRow) {
+  { const ScopedPhase p("assemble"); }
+  { const ScopedPhase p("factorize"); }
+  const auto spans = trace_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "assemble");
+  EXPECT_EQ(spans[0].category, "phase");
+  EXPECT_EQ(spans[0].tid, kPipelineTid);
+  EXPECT_LE(spans[0].start_seconds, spans[0].end_seconds);
+  EXPECT_LE(spans[0].end_seconds, spans[1].start_seconds);
+}
+
+TEST_F(ObsMetrics, AnnotationIsDrainedOnce) {
+  annotate_task(Precision::FP16, 12, 777);
+  const auto a = take_task_annotation();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->precision, Precision::FP16);
+  EXPECT_EQ(a->rank, 12);
+  EXPECT_EQ(a->flops, 777u);
+  EXPECT_FALSE(take_task_annotation().has_value());
+
+  const std::string args = annotation_args(*a);
+  EXPECT_NE(args.find("\"precision\": \"FP16\""), std::string::npos);
+  EXPECT_NE(args.find("\"rank\": 12"), std::string::npos);
+  EXPECT_NE(args.find("\"flops\": 777"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, IterationRecordsCaptureDeltaAndTiles) {
+  begin_iteration("evaluate");
+  add_flops(KernelOp::Potrf, Precision::FP64, 50);
+  TileMix mix;
+  mix.dense[static_cast<std::size_t>(Precision::FP64)] = 3;
+  mix.lr32 = 2;
+  const std::size_t ranks[] = {4, 4, 8};
+  record_iteration_tiles(mix, ranks);
+  end_iteration();
+
+  // Work outside any iteration must not leak into the record.
+  add_flops(KernelOp::Potrf, Precision::FP64, 1000);
+
+  begin_iteration("predict");
+  add_flops(KernelOp::Krige, Precision::FP64, 9);
+  end_iteration();
+
+  const auto its = profile_iterations();
+  ASSERT_EQ(its.size(), 2u);
+  EXPECT_EQ(its[0].index, 0u);
+  EXPECT_EQ(its[0].label, "evaluate");
+  EXPECT_EQ(its[0].work.total_flops(), 50u);
+  EXPECT_EQ(its[0].tiles.total(), 5u);
+  EXPECT_EQ(its[0].rank_counts.at(4), 2u);
+  EXPECT_EQ(its[0].rank_counts.at(8), 1u);
+  EXPECT_GE(its[0].seconds, 0.0);
+  EXPECT_EQ(its[1].label, "predict");
+  EXPECT_EQ(its[1].work.total_flops(), 9u);
+}
+
+TEST_F(ObsMetrics, ReportWritersEmitExpectedStructure) {
+  Registry::instance().counter("t.report.counter").add(11);
+  begin_iteration("evaluate");
+  add_flops(KernelOp::Gemm, Precision::FP32, 128);
+  add_conversion(Precision::FP64, Precision::FP32, 256);
+  TileMix mix;
+  mix.dense[static_cast<std::size_t>(Precision::FP32)] = 1;
+  mix.lr64 = 1;
+  const std::size_t ranks[] = {6};
+  record_iteration_tiles(mix, ranks);
+  end_iteration();
+  { const ScopedPhase p("factorize"); }
+
+  const std::string jpath = "/tmp/gsx_obs_report_test.json";
+  const std::string cpath = "/tmp/gsx_obs_report_test.csv";
+  write_profile_json(jpath);
+  write_flops_csv(cpath);
+
+  const std::string json = slurp(jpath);
+  EXPECT_NE(json.find("\"flops_by_precision\""), std::string::npos);
+  EXPECT_NE(json.find("\"FP32\""), std::string::npos);
+  EXPECT_NE(json.find("\"FP64->FP32\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank_histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"6\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"factorize\""), std::string::npos);
+  EXPECT_NE(json.find("t.report.counter"), std::string::npos);
+
+  const std::string csv = slurp(cpath);
+  EXPECT_EQ(csv.rfind("iteration,label,kernel,precision,calls,flops", 0), 0u);
+  EXPECT_NE(csv.find("0,evaluate,gemm,FP32,1,128"), std::string::npos);
+  EXPECT_NE(csv.find("FP64->FP32"), std::string::npos);
+
+  std::remove(jpath.c_str());
+  std::remove(cpath.c_str());
+}
+
+TEST_F(ObsMetrics, ReportWriterRejectsUnwritablePath) {
+  EXPECT_THROW(write_profile_json("/nonexistent-dir/x.json"), InvalidArgument);
+  EXPECT_THROW(write_flops_csv("/nonexistent-dir/x.csv"), InvalidArgument);
+}
+
+TEST_F(ObsMetrics, FlopFormulasMatchClosedForms) {
+  EXPECT_EQ(potrf_flops(10), 10u * 10 * 10 / 3 + 10u * 10 / 2 + 10u / 6);
+  EXPECT_EQ(trsm_flops(3, 5), 75u);
+  EXPECT_EQ(syrk_flops(4, 7), 4u * 5 * 7);
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48u);
+}
+
+}  // namespace
+}  // namespace gsx::obs

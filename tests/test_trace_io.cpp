@@ -6,6 +6,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/trace_io.hpp"
 
@@ -72,6 +75,74 @@ TEST(TraceIo, UtilizationSummaryCoversWorkers) {
         std::stoul(line.substr(colon + 2, tasks_pos - colon - 2)));
   }
   EXPECT_EQ(total, 20u);
+}
+
+TEST(TraceIo, ProfileTraceCoversPhasesAndAnnotatedTasks) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  // A pipeline phase span plus an annotated kernel-task span, as the
+  // factorization records them: phases on the pipeline row, tasks on
+  // worker rows with precision/rank/flops args.
+  { const obs::ScopedPhase phase("assemble"); }
+  obs::TaskAnnotation ann;
+  ann.precision = Precision::FP32;
+  ann.rank = 7;
+  ann.flops = 512;
+  obs::record_span({"gemm(2,1,0)", "task", 3, obs::now_seconds(),
+                    obs::now_seconds(), obs::annotation_args(ann)});
+  obs::set_enabled(false);
+
+  const std::string path = "/tmp/gsx_profile_trace_test.json";
+  write_profile_trace_json(path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string content = buf.str();
+
+  // Pipeline row is named via a thread_name metadata event.
+  EXPECT_NE(content.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(content.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(content.find("pipeline"), std::string::npos);
+  // The phase span, on the pipeline row with its category.
+  EXPECT_NE(content.find("\"name\": \"assemble\""), std::string::npos);
+  EXPECT_NE(content.find("\"cat\": \"phase\""), std::string::npos);
+  // The task span keeps its worker tid and kernel metadata.
+  EXPECT_NE(content.find("\"name\": \"gemm(2,1,0)\""), std::string::npos);
+  EXPECT_NE(content.find("\"cat\": \"task\""), std::string::npos);
+  EXPECT_NE(content.find("\"precision\": \"FP32\""), std::string::npos);
+  EXPECT_NE(content.find("\"rank\": 7"), std::string::npos);
+
+  std::remove(path.c_str());
+  obs::reset_all();
+}
+
+TEST(TraceIo, GraphRunFeedsAnnotatedEventsIntoTrace) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  TaskGraph g;
+  g.set_tracing(true);
+  g.submit("annotated", {}, [] { obs::annotate_task(Precision::FP16, 5, 99); });
+  g.submit("plain", {}, [] {});
+  g.run(1);
+  obs::set_enabled(false);
+
+  bool saw_annotated = false, saw_plain = false;
+  for (const TraceEvent& e : g.trace()) {
+    if (e.name == "annotated") {
+      saw_annotated = true;
+      EXPECT_NE(e.args.find("\"precision\": \"FP16\""), std::string::npos);
+      EXPECT_NE(e.args.find("\"rank\": 5"), std::string::npos);
+      EXPECT_NE(e.args.find("\"flops\": 99"), std::string::npos);
+    } else if (e.name == "plain") {
+      saw_plain = true;
+      // The slot is drained per task: no annotation may leak across tasks.
+      EXPECT_TRUE(e.args.empty());
+    }
+  }
+  EXPECT_TRUE(saw_annotated);
+  EXPECT_TRUE(saw_plain);
+  obs::reset_all();
 }
 
 TEST(TraceIo, EmptyTraceProducesEmptyArray) {

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Documentation consistency checks:
+#   1. every relative markdown link in the top-level docs and docs/ resolves
+#      to an existing file or directory;
+#   2. every module directory under src/ appears in the README module map.
+# Run from anywhere: paths resolve against the repo root (this script's
+# parent directory). Exits non-zero listing every violation.
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+status=0
+
+docs="$root/README.md $root/DESIGN.md $root/EXPERIMENTS.md $root/ROADMAP.md"
+for f in "$root"/docs/*.md; do
+  [ -e "$f" ] && docs="$docs $f"
+done
+
+# --- 1. relative links -----------------------------------------------------
+for doc in $docs; do
+  [ -e "$doc" ] || continue
+  dir=$(dirname -- "$doc")
+  # Extract markdown link targets: [text](target). One per line; strip
+  # anchors; skip absolute URLs and pure in-page anchors.
+  targets=$(grep -o '\](<*[^)]*>*)' "$doc" | sed -e 's/^](//' -e 's/)$//' \
+            -e 's/^<//' -e 's/>$//' -e 's/#.*$//' | sort -u)
+  for t in $targets; do
+    [ -z "$t" ] && continue
+    case $t in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$t" ]; then
+      echo "BROKEN LINK: $doc -> $t"
+      status=1
+    fi
+  done
+done
+
+# --- 2. README module map covers src/* ------------------------------------
+readme="$root/README.md"
+for mod in "$root"/src/*/; do
+  name=$(basename -- "$mod")
+  if ! grep -q "^  $name/" "$readme"; then
+    echo "MISSING MODULE: src/$name is not in the README architecture map"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: OK"
+fi
+exit $status

@@ -3,7 +3,7 @@
 //
 //   gsx_cli simulate --kernel matern --n 500 --theta 1,0.1,0.5 --out d.csv
 //   gsx_cli fit      --data d.csv --kernel matern --variant tlr --workers 2
-//   gsx_cli predict  --train d.csv --test t.csv --kernel matern \
+//   gsx_cli predict  --train d.csv --test t.csv --kernel matern
 //                    --theta 1,0.1,0.5 --out pred.csv
 //
 // Kernels: matern (3 params), matern-nugget (4), powexp (3),
@@ -22,6 +22,9 @@
 #include "geostat/covariance_ext.hpp"
 #include "geostat/field.hpp"
 #include "mathx/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "runtime/trace_io.hpp"
 
 namespace {
 
@@ -34,10 +37,15 @@ using namespace gsx;
                "  simulate --kernel K --n N --theta a,b,... [--seed S] [--spacetime T]"
                " --out FILE\n"
                "  fit      --data FILE --kernel K [--variant dense|mp|tlr]"
-               " [--tile TS] [--workers W] [--start a,b,...] [--max-evals E]\n"
+               " [--tile TS] [--workers W] [--start a,b,...] [--max-evals E]"
+               " [--profile PREFIX]\n"
                "  predict  --train FILE --test FILE --kernel K --theta a,b,..."
-               " [--variant V] [--tile TS] [--workers W] [--out FILE]\n"
-               "kernels: matern matern-nugget powexp aniso-matern gneiting\n");
+               " [--variant V] [--tile TS] [--workers W] [--out FILE]"
+               " [--profile PREFIX]\n"
+               "kernels: matern matern-nugget powexp aniso-matern gneiting\n"
+               "--profile writes PREFIX.trace.json (Chrome trace of the full\n"
+               "pipeline), PREFIX.profile.json (per-iteration flop/precision/rank\n"
+               "report) and PREFIX.flops.csv\n");
   std::exit(2);
 }
 
@@ -102,6 +110,26 @@ std::unique_ptr<geostat::CovarianceModel> make_kernel(const std::string& name,
   return m;
 }
 
+/// Arm the observability layer when --profile PREFIX was given; returns
+/// whether profiling is on.
+bool begin_profile(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("profile")) return false;
+  obs::reset_all();
+  obs::set_enabled(true);
+  return true;
+}
+
+/// Flush the profiled run to PREFIX.{trace.json,profile.json,flops.csv}.
+void end_profile(const std::map<std::string, std::string>& flags) {
+  obs::set_enabled(false);
+  const std::string& prefix = flags.at("profile");
+  rt::write_profile_trace_json(prefix + ".trace.json");
+  obs::write_profile_json(prefix + ".profile.json");
+  obs::write_flops_csv(prefix + ".flops.csv");
+  std::printf("profile: wrote %s.trace.json, %s.profile.json, %s.flops.csv\n",
+              prefix.c_str(), prefix.c_str(), prefix.c_str());
+}
+
 core::ModelConfig make_config(const std::map<std::string, std::string>& flags) {
   core::ModelConfig cfg;
   const std::string variant = flag(flags, "variant", "tlr");
@@ -157,8 +185,10 @@ int cmd_fit(const std::map<std::string, std::string>& flags) {
   cfg.nm.max_evals =
       static_cast<std::size_t>(std::atoll(flag(flags, "max-evals", "200").c_str()));
 
+  const bool profiling = begin_profile(flags);
   const core::GsxModel model(kernel->clone(), cfg);
   const core::FitResult fit = model.fit(d.locations, d.values);
+  if (profiling) end_profile(flags);
 
   std::printf("variant: %s\n", core::variant_name(cfg.variant));
   const auto names = kernel->param_names();
@@ -176,9 +206,11 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   const auto kernel = make_kernel(flag(flags, "kernel"), &theta);
   const core::ModelConfig cfg = make_config(flags);
 
+  const bool profiling = begin_profile(flags);
   const core::GsxModel model(kernel->clone(), cfg);
   const geostat::KrigingResult pred =
       model.predict(theta, train.locations, train.values, test.locations, true);
+  if (profiling) end_profile(flags);
 
   if (flags.count("out")) {
     data::Dataset out;
