@@ -6,6 +6,7 @@
 // largest speedup for weak correlation and large n (up to 12x); MP dense a
 // modest constant factor over dense FP64.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_utils.hpp"
@@ -45,9 +46,22 @@ Timing run_variant(core::ComputeVariant variant,
   return t;
 }
 
+std::vector<BenchRecord> g_records;
+
+void record(const std::string& name, std::size_t n, double seconds) {
+  if (seconds <= 0.0) return;  // failed variant
+  BenchRecord r;
+  r.name = name;
+  r.size = n;
+  r.seconds = seconds;
+  r.gflops = static_cast<double>(n) * static_cast<double>(n) *
+             static_cast<double>(n) / 3.0 / seconds / 1e9;
+  g_records.push_back(std::move(r));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Fig. 10 - Time-to-solution, Matérn 2D space (one MLE iteration proxy)");
 
   const std::vector<std::size_t> sizes = {scaled(1024), scaled(2048)};
@@ -66,6 +80,10 @@ int main() {
     std::printf("%-14s %6zu %8zu | %12.4f %12.4f %12.4f | %8.2fx %8.2fx\n", preset.name, n,
                 workers, dense.seconds, mp.seconds, tlr.seconds,
                 dense.seconds / mp.seconds, dense.seconds / tlr.seconds);
+    const std::string tag = std::string("fig10/") + preset.name + "/";
+    record(tag + "dense64", n, dense.seconds);
+    record(tag + "mp", n, mp.seconds);
+    record(tag + "mp_tlr", n, tlr.seconds);
   };
   for (const auto& preset : correlation_presets())
     for (std::size_t n : sizes) run_row(preset, n);
@@ -83,11 +101,17 @@ int main() {
     const Timing mp = run_variant(core::ComputeVariant::MPDense, p.locs, p.z, 0.03, w);
     const Timing tlr = run_variant(core::ComputeVariant::MPDenseTLR, p.locs, p.z, 0.03, w);
     std::printf("%8zu | %12.4f %12.4f %12.4f\n", w, dense.seconds, mp.seconds, tlr.seconds);
+    const std::string tag = "fig10/strong-scaling/w=" + std::to_string(w) + "/";
+    record(tag + "dense64", p.locs.size(), dense.seconds);
+    record(tag + "mp", p.locs.size(), mp.seconds);
+    record(tag + "mp_tlr", p.locs.size(), tlr.seconds);
   }
   std::printf(
       "\npaper reference: MP+dense/TLR up to 12x over dense FP64 at weak correlation on "
       "16K nodes; speedup shrinks toward strong correlation and grows with n.\n"
       "note: this host exposes a single physical core, so the worker sweep exercises the "
       "runtime's dispatch rather than true strong scaling.\n");
+  const std::string json = json_out_path(argc, argv);
+  if (!json.empty()) write_bench_json(json, g_records);
   return 0;
 }

@@ -7,6 +7,7 @@
 // on the correlation strength.
 #include <benchmark/benchmark.h>
 
+#include "bench_utils.hpp"
 #include "cholesky/factorize.hpp"
 #include "cholesky/precision_policy.hpp"
 #include "geostat/assemble.hpp"
@@ -83,6 +84,37 @@ BENCHMARK(BM_band_fp64_fp32)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchm
 BENCHMARK(BM_band_fp64_fp32_fp16)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_adaptive_frobenius)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus a BenchRecord per run for --json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<bench::BenchRecord> records;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      bench::BenchRecord rec;
+      rec.name = r.benchmark_name();
+      rec.size = kN;
+      rec.seconds = (r.iterations > 0)
+                        ? r.real_accumulated_time / static_cast<double>(r.iterations)
+                        : 0.0;
+      const auto it = r.counters.find("GFlop/s");
+      // Rate counters are already normalized by elapsed time at this point.
+      if (it != r.counters.end()) rec.gflops = it->second.value;
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::string json = bench::json_out_path(argc, argv);
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json.empty()) bench::write_bench_json(json, reporter.records);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,6 +72,52 @@ inline SpaceProblem make_spacetime_problem(std::size_t spatial_n, std::size_t sl
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results: every bench binary can mirror its table to a
+// JSON file ("gsx-bench-v1") for regression tracking across commits.
+
+struct BenchRecord {
+  std::string name;
+  std::size_t size = 0;   ///< problem size n (0 when not size-indexed)
+  double seconds = 0.0;   ///< wall time per repetition
+  double gflops = 0.0;    ///< effective rate; 0 when not meaningful
+};
+
+/// Output path from `--json FILE` in leftover argv (framework flags already
+/// consumed), or the GSX_BENCH_JSON environment variable. Empty = no JSON.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  if (const char* s = std::getenv("GSX_BENCH_JSON")) return s;
+  return {};
+}
+
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gsx-bench-v1\",\n  \"records\": [");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::string name;
+    name.reserve(r.name.size());
+    for (char c : r.name) {
+      if (c == '"' || c == '\\') name += '\\';
+      name += c;
+    }
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"size\": %zu, \"seconds\": %.9g, "
+                 "\"gflops\": %.9g}",
+                 i ? "," : "", name.c_str(), r.size, r.seconds, r.gflops);
+  }
+  std::fprintf(f, "%s]\n}\n", records.empty() ? "" : "\n  ");
+  std::fclose(f);
+  std::printf("bench: wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');

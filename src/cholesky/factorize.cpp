@@ -9,6 +9,8 @@
 #include "common/timer.hpp"
 #include "la/convert.hpp"
 #include "obs/flops.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace gsx::cholesky {
@@ -43,14 +45,21 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
     const int base = 3 * static_cast<int>(nt - k);
     graph.submit(
         "potrf(" + std::to_string(k) + ")", {{tid(a, k, k), Access::ReadWrite}},
-        [&a, &info, k] {
+        [&a, &info, k, rule = opts.rule] {
           const int local = potrf_tile(a.at(k, k));
           if (local != 0) {
             int expected = 0;
-            info.compare_exchange_strong(
-                expected, static_cast<int>(k * a.tile_size()) + local);
+            const int pivot = static_cast<int>(k * a.tile_size()) + local;
+            info.compare_exchange_strong(expected, pivot);
+            NumericalContext ctx;
+            ctx.tile_i = ctx.tile_j = static_cast<long>(k);
+            ctx.pivot = pivot;
+            ctx.precision = a.at(k, k).precision();
+            ctx.tile_norm = a.at(k, k).frobenius();
+            ctx.rule = precision_rule_name(rule);
             throw NumericalError("tile Cholesky: non-SPD pivot in diagonal tile " +
-                                 std::to_string(k));
+                                     std::to_string(k),
+                                 std::move(ctx));
           }
         },
         base + 2);
@@ -84,10 +93,44 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
   try {
     const obs::ScopedPhase phase("factorize");
     graph.run(opts.workers);
-  } catch (const NumericalError&) {
+  } catch (const NumericalError& e) {
     // info carries the failing pivot; callers treat info != 0 as soft
     // failure (the MLE optimizer backs away from the parameter point).
     GSX_REQUIRE(info.load() != 0, "tile Cholesky: abort without pivot info");
+    const auto k = static_cast<std::size_t>(info.load() - 1) / a.tile_size();
+    report.failed_tile = static_cast<long>(k);
+    obs::log_error("cholesky", "non-SPD pivot, factorization aborted",
+                   {obs::lf("tile", static_cast<std::uint64_t>(k)),
+                    obs::lf("pivot", static_cast<std::int64_t>(info.load())),
+                    obs::lf("rule", precision_rule_name(opts.rule))});
+    if (obs::health_enabled()) {
+      obs::FailureRecord fr;
+      fr.what = e.what();
+      fr.tile_i = fr.tile_j = static_cast<long>(k);
+      fr.pivot = info.load();
+      fr.rule = precision_rule_name(opts.rule);
+      if (e.has_context()) {
+        fr.precision = e.context().precision;
+        fr.tile_norm = e.context().tile_norm;
+      } else {
+        fr.precision = a.at(k, k).precision();
+        fr.tile_norm = a.at(k, k).frobenius();
+      }
+      auto add_neighbor = [&](std::size_t i, std::size_t j) {
+        if (i >= nt || j > i) return;
+        const Tile& t = a.at(i, j);
+        fr.neighbors.push_back({static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(j), t.decision_code(),
+                                static_cast<std::uint32_t>(t.rank()), t.precision()});
+      };
+      if (k >= 1) {
+        add_neighbor(k - 1, k - 1);
+        add_neighbor(k, k - 1);
+      }
+      add_neighbor(k + 1, k);
+      add_neighbor(k + 1, k + 1);
+      obs::record_failure(std::move(fr));
+    }
   }
   report.seconds = t.seconds();
   if (profiling) {
@@ -159,6 +202,20 @@ CompressStats compress_offband(SymTileMatrix& a, const TlrCompressOptions& opts,
                 "compress_offband: tile already compressed");
     const double tile_norm = t.frobenius();
     const la::Matrix<double> full = t.to_dense64();
+    const bool audit = obs::health_enabled();
+    if (audit) {
+      // Compressing a tile with NaN/Inf silently poisons its factors; flag
+      // the input here, where the tile coordinate is still known.
+      const std::size_t bad = t.nonfinite_count();
+      if (bad > 0) {
+        obs::record_nonfinite("compress", static_cast<long>(i), static_cast<long>(j),
+                              bad);
+        obs::log_warn("compress", "non-finite values in compression input",
+                      {obs::lf("tile_i", static_cast<std::uint64_t>(i)),
+                       obs::lf("tile_j", static_cast<std::uint64_t>(j)),
+                       obs::lf("count", static_cast<std::uint64_t>(bad))});
+      }
+    }
     Rng rng(opts.seed + 1315423911ull * (i * nt + j));
     tlr::Compressed comp =
         tlr::compress(opts.method, full.cview(), opts.tol, rng, tlr::TolMode::Absolute);
@@ -181,6 +238,16 @@ CompressStats compress_offband(SymTileMatrix& a, const TlrCompressOptions& opts,
     // Rank-revealing cost ~ two (m x n) * (n x k) products.
     obs::add_flops(obs::KernelOp::Compress, Precision::FP64,
                    2 * obs::gemm_flops(t.rows(), t.cols(), k));
+    if (audit) {
+      obs::TlrRecord tr;
+      tr.i = static_cast<std::uint32_t>(i);
+      tr.j = static_cast<std::uint32_t>(j);
+      tr.rank = static_cast<std::uint32_t>(k);
+      tr.tol = opts.tol;
+      tr.observed_err = tlr::lowrank_error(full.cview(), comp.u, comp.v);
+      tr.fp32 = use_fp32;
+      obs::record_tlr(tr);
+    }
     if (use_fp32) {
       la::Matrix<float> u32(comp.u.rows(), k), v32(comp.v.rows(), k);
       la::convert(comp.u.cview(), u32.view());

@@ -22,6 +22,9 @@ struct FactorOptions {
   bool tracing = false;
   /// Rounding used by the TLR path's low-rank accumulations.
   tlr::RoundingMethod rounding = tlr::RoundingMethod::QrSvd;
+  /// Precision rule that shaped the matrix — forensic context only (the
+  /// factorization itself reads per-tile precisions, not the rule).
+  PrecisionRule rule = PrecisionRule::AllFP64;
 };
 
 struct FactorReport {
@@ -29,6 +32,8 @@ struct FactorReport {
   int info = 0;
   double seconds = 0.0;
   rt::GraphStats graph;
+  /// Failing tile index when info != 0 (diagonal tile of the bad pivot).
+  long failed_tile = -1;
 };
 
 /// Mixed-precision dense tile Cholesky (Algorithm 1). All tiles must be

@@ -1,0 +1,73 @@
+#include "cholesky/health_audit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "cholesky/tile_solve.hpp"
+#include "common/rng.hpp"
+
+namespace gsx::cholesky {
+
+namespace {
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+void random_unit(std::vector<double>& v, std::uint64_t seed) {
+  Rng rng(seed);
+  for (double& x : v) x = rng.normal();
+  const double n = norm2(v);
+  if (n > 0.0)
+    for (double& x : v) x /= n;
+}
+
+}  // namespace
+
+double estimate_lambda_max(const tile::SymTileMatrix& a, std::size_t iters,
+                           std::uint64_t seed) {
+  const std::size_t n = a.n();
+  std::vector<double> v(n), w(n);
+  random_unit(v, seed);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    a.symv(v, w);
+    lambda = norm2(w);  // v is unit, so ||A v|| -> lambda_max
+    if (!(lambda > 0.0) || !std::isfinite(lambda)) return lambda;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / lambda;
+  }
+  return lambda;
+}
+
+double estimate_lambda_min(const tile::SymTileMatrix& factor, std::size_t iters,
+                           std::uint64_t seed) {
+  const std::size_t n = factor.n();
+  std::vector<double> v(n);
+  random_unit(v, seed);
+  double mu = 0.0;  // dominant eigenvalue of A^{-1} = 1 / lambda_min(A)
+  for (std::size_t it = 0; it < iters; ++it) {
+    tile_forward_solve(factor, v);
+    tile_backward_solve(factor, v);
+    mu = norm2(v);
+    if (!(mu > 0.0) || !std::isfinite(mu)) return 0.0;
+    for (double& x : v) x /= mu;
+  }
+  return 1.0 / mu;
+}
+
+obs::ConditionEstimate audit_condition(double lambda_max,
+                                       const tile::SymTileMatrix& factor,
+                                       std::size_t iters) {
+  obs::ConditionEstimate c;
+  c.lambda_max = lambda_max;
+  c.lambda_min = estimate_lambda_min(factor, iters);
+  c.n = factor.n();
+  c.iterations = iters;
+  c.method = "power-iteration";
+  obs::record_condition(c);
+  return c;
+}
+
+}  // namespace gsx::cholesky

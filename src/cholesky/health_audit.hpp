@@ -1,0 +1,37 @@
+// Condition-number auditing for the numerical-health layer.
+//
+// LAPACK-style condition estimators (xPOCON) need the assembled matrix and
+// its 1-norm; the tile pipeline has neither. Instead: lambda_max by power
+// iteration on the tile-wise symmetric matvec (before factorization), and
+// lambda_min by inverse power iteration through the Cholesky factor's
+// forward/backward substitutions (after). Both run a handful of O(n^2)
+// sweeps — diagnostic cost, gated behind obs::health_enabled() by callers.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/health.hpp"
+#include "tile/sym_tile_matrix.hpp"
+
+namespace gsx::cholesky {
+
+/// Largest-eigenvalue estimate of the assembled SPD matrix (power
+/// iteration, `iters` sweeps of SymTileMatrix::symv).
+[[nodiscard]] double estimate_lambda_max(const tile::SymTileMatrix& a,
+                                         std::size_t iters = 10,
+                                         std::uint64_t seed = 7);
+
+/// Smallest-eigenvalue estimate of the *original* matrix recovered from its
+/// tile Cholesky factor (inverse power iteration: each sweep is one
+/// forward + one backward substitution).
+[[nodiscard]] double estimate_lambda_min(const tile::SymTileMatrix& factor,
+                                         std::size_t iters = 10,
+                                         std::uint64_t seed = 7);
+
+/// Combine a pre-factorization lambda_max with a post-factorization
+/// lambda_min into a ConditionEstimate and record it in the health ledger.
+obs::ConditionEstimate audit_condition(double lambda_max,
+                                       const tile::SymTileMatrix& factor,
+                                       std::size_t iters = 10);
+
+}  // namespace gsx::cholesky

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 
 namespace gsx::cholesky {
 
@@ -35,15 +37,38 @@ Precision frobenius_precision(double tile_norm, double global_norm, std::size_t 
   return Precision::FP64;
 }
 
+namespace {
+
+/// Measured storage perturbation ||A^_ij - A_ij||_F of a demoted tile.
+double demotion_error(const tile::Tile& after, const la::Matrix<double>& before) {
+  const la::Matrix<double> rounded = after.to_dense64();
+  double s = 0.0;
+  for (std::size_t jj = 0; jj < before.cols(); ++jj)
+    for (std::size_t ii = 0; ii < before.rows(); ++ii) {
+      const double d = rounded(ii, jj) - before(ii, jj);
+      s += d * d;
+    }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
 PolicyStats apply_precision_policy(tile::SymTileMatrix& a, const PrecisionPolicy& policy) {
   PolicyStats stats;
   stats.bytes_before = a.footprint_bytes();
   const std::size_t nt = a.nt();
+  // Auditing checks the rule's promise against the measured perturbation,
+  // which needs the global norm even for rules that don't consult it.
+  const bool audit = obs::health_enabled();
 
   // The Frobenius rule needs the global norm, accumulated tile-by-tile
   // (the paper stores no global copy of the matrix).
   const double global_norm =
-      (policy.rule == PrecisionRule::AdaptiveFrobenius) ? a.frobenius_norm() : 0.0;
+      (policy.rule == PrecisionRule::AdaptiveFrobenius || audit) ? a.frobenius_norm()
+                                                                 : 0.0;
+  if (audit)
+    obs::record_bound_context(precision_rule_name(policy.rule), policy.eps_target,
+                              global_norm, nt);
 
   for (std::size_t j = 0; j < nt; ++j) {
     for (std::size_t i = j; i < nt; ++i) {
@@ -67,7 +92,38 @@ PolicyStats apply_precision_policy(tile::SymTileMatrix& a, const PrecisionPolicy
             break;
         }
       }
-      t.convert_dense(p);
+      if (audit && p != Precision::FP64) {
+        const double tile_norm = t.frobenius();
+        const la::Matrix<double> before = t.to_dense64();
+        t.convert_dense(p);
+        obs::DemotionRecord rec;
+        rec.i = static_cast<std::uint32_t>(i);
+        rec.j = static_cast<std::uint32_t>(j);
+        rec.chosen = p;
+        rec.tile_norm = tile_norm;
+        rec.budget = (policy.rule == PrecisionRule::AdaptiveFrobenius)
+                         ? policy.eps_target * global_norm / static_cast<double>(nt)
+                         : 0.0;
+        rec.guaranteed_err =
+            unit_roundoff(p) * tile_norm +
+            std::sqrt(static_cast<double>(t.rows() * t.cols())) * subnormal_floor(p);
+        rec.observed_err = demotion_error(t, before);
+        obs::record_demotion(rec);
+        // Demotion can overflow narrow formats (FP16 range) into Inf: the
+        // rule only bounds roundoff, so catch range violations here.
+        const std::size_t bad = t.nonfinite_count();
+        if (bad > 0) {
+          obs::record_nonfinite("convert", static_cast<long>(i), static_cast<long>(j),
+                                bad);
+          obs::log_warn("policy", "non-finite values after precision demotion",
+                        {obs::lf("tile_i", static_cast<std::uint64_t>(i)),
+                         obs::lf("tile_j", static_cast<std::uint64_t>(j)),
+                         obs::lf("precision", std::string(precision_name(p))),
+                         obs::lf("count", static_cast<std::uint64_t>(bad))});
+        }
+      } else {
+        t.convert_dense(p);
+      }
       switch (p) {
         case Precision::FP64: ++stats.fp64_tiles; break;
         case Precision::FP32: ++stats.fp32_tiles; break;

@@ -23,6 +23,15 @@ enum class PrecisionRule : unsigned char {
   AdaptiveFrobenius,  ///< Fig. 2(d): norm-thresholded per tile
 };
 
+[[nodiscard]] constexpr const char* precision_rule_name(PrecisionRule r) noexcept {
+  switch (r) {
+    case PrecisionRule::AllFP64: return "all-fp64";
+    case PrecisionRule::Band: return "band";
+    case PrecisionRule::AdaptiveFrobenius: return "adaptive-frobenius";
+  }
+  return "?";
+}
+
 struct BandConfig {
   std::size_t fp64_band = 1;  ///< |i-j| <  fp64_band -> FP64 (diag always)
   std::size_t fp32_band = 3;  ///< |i-j| <  fp32_band -> FP32; beyond -> FP16

@@ -7,6 +7,8 @@
 #include "geostat/assemble.hpp"
 #include "la/blas.hpp"
 #include "obs/flops.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace gsx::cholesky {
@@ -27,7 +29,12 @@ double tile_logdet(const SymTileMatrix& l) {
       s += std::log(m(i, i));
     }
   }
-  return 2.0 * s;
+  const double result = 2.0 * s;
+  if (!std::isfinite(result)) {
+    if (obs::health_enabled()) obs::record_nonfinite("solve", -1, -1, 1);
+    obs::log_warn("cholesky", "non-finite log-determinant", {obs::lf("logdet", result)});
+  }
+  return result;
 }
 
 namespace {

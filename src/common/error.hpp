@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "common/precision.hpp"
 
 namespace gsx {
 
@@ -13,10 +16,30 @@ class InvalidArgument : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Forensic context attached to a NumericalError at the failure site, so a
+/// catch several layers up (or the health report) can name the offending
+/// tile rather than just the symptom.
+struct NumericalContext {
+  long tile_i = -1, tile_j = -1;  ///< failing tile, -1 when not tile-addressed
+  int pivot = 0;                  ///< 1-based global pivot index, 0 if unknown
+  Precision precision = Precision::FP64;  ///< failing tile's storage precision
+  double tile_norm = 0.0;                 ///< ||A_ij||_F of the failing tile
+  std::string rule;                       ///< active PrecisionRule name
+};
+
 /// Thrown when a numerical routine fails (non-SPD matrix in POTRF, ...).
 class NumericalError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+  NumericalError(const std::string& what, NumericalContext ctx)
+      : std::runtime_error(what), ctx_(std::move(ctx)), has_context_(true) {}
+
+  [[nodiscard]] bool has_context() const noexcept { return has_context_; }
+  [[nodiscard]] const NumericalContext& context() const noexcept { return ctx_; }
+
+ private:
+  NumericalContext ctx_{};
+  bool has_context_ = false;
 };
 
 namespace detail {

@@ -6,7 +6,10 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "cholesky/health_audit.hpp"
 #include "geostat/assemble.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -151,10 +154,18 @@ bool GsxModel::prepare_and_factor(std::span<const double> theta,
   fopt.workers = config_.workers;
   fopt.sched = config_.sched;
   fopt.rounding = config_.rounding;
+  fopt.rule = (config_.variant == ComputeVariant::DenseFP64)
+                  ? cholesky::PrecisionRule::AllFP64
+                  : config_.mp_rule;
+  // Health audit: lambda_max must be sampled before the factorization
+  // overwrites the tiles; lambda_min comes from the factor afterwards.
+  const bool audit = obs::health_enabled();
+  const double lambda_max = audit ? cholesky::estimate_lambda_max(out) : 0.0;
   const cholesky::FactorReport report =
       (config_.variant == ComputeVariant::MPDenseTLR)
           ? cholesky::tile_cholesky_tlr(out, config_.tlr_tol, fopt)
           : cholesky::tile_cholesky_dense(out, fopt);
+  if (audit && report.info == 0) cholesky::audit_condition(lambda_max, out);
   if (breakdown) {
     breakdown->factor = report;
     breakdown->total_seconds = total.seconds();
@@ -195,12 +206,23 @@ FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> 
   };
 
   Timer t;
+  obs::log_info("model", "fit starting",
+                {obs::lf("optimizer", config_.optimizer == OptimizerKind::NelderMead
+                                          ? "nelder-mead"
+                                          : "pso"),
+                 obs::lf("n", static_cast<std::uint64_t>(locs.size())),
+                 obs::lf("variant", variant_name(config_.variant))});
   optim::OptimResult r;
   if (config_.optimizer == OptimizerKind::NelderMead) {
     r = optim::nelder_mead(objective, start, lo, hi, config_.nm);
   } else {
     r = optim::particle_swarm(objective, lo, hi, config_.pso);
   }
+  obs::log_info("model", "fit complete",
+                {obs::lf("loglik", -r.fval),
+                 obs::lf("evaluations", static_cast<std::uint64_t>(r.evals)),
+                 obs::lf("converged", r.converged),
+                 obs::lf("seconds", t.seconds())});
   FitResult out;
   out.theta = r.x;
   out.loglik = -r.fval;
@@ -217,10 +239,18 @@ geostat::KrigingResult GsxModel::predict(std::span<const double> theta,
                                          bool with_variance) const {
   SymTileMatrix a(train_locs.size(), config_.tile_size);
   obs::begin_iteration("predict");
-  const bool ok = prepare_and_factor(theta, train_locs, a, nullptr);
+  EvalBreakdown bd;
+  const bool ok = prepare_and_factor(theta, train_locs, a, &bd);
   if (!ok) {
     obs::end_iteration();
-    throw NumericalError("GsxModel::predict: covariance not SPD at theta");
+    NumericalContext ctx;
+    ctx.tile_i = ctx.tile_j = bd.factor.failed_tile;
+    ctx.pivot = bd.factor.info;
+    ctx.rule = cholesky::precision_rule_name(
+        (config_.variant == ComputeVariant::DenseFP64) ? cholesky::PrecisionRule::AllFP64
+                                                       : config_.mp_rule);
+    throw NumericalError("GsxModel::predict: covariance not SPD at theta",
+                         std::move(ctx));
   }
 
   // Predict through the tile factor itself: the TLR variant never

@@ -1,6 +1,8 @@
 #include "geostat/assemble.hpp"
 
 #include "common/error.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -61,6 +63,24 @@ void fill_covariance_tiles(tile::SymTileMatrix& tiles, const CovarianceModel& mo
       for (std::size_t i = j; i < tiles.nt(); ++i)
         elems += tiles.at(i, j).rows() * tiles.at(i, j).cols();
     count_cov_evals(elems);
+  }
+  if (obs::health_enabled()) {
+    // A kernel evaluated at a degenerate parameter point (zero range,
+    // negative smoothness) emits NaN here and surfaces many layers later as
+    // a mysterious non-SPD pivot; the sentinel names the first bad tile.
+    for (std::size_t j = 0; j < tiles.nt(); ++j) {
+      for (std::size_t i = j; i < tiles.nt(); ++i) {
+        const std::size_t bad = tiles.at(i, j).nonfinite_count();
+        if (bad > 0) {
+          obs::record_nonfinite("assemble", static_cast<long>(i),
+                                static_cast<long>(j), bad);
+          obs::log_warn("assemble", "non-finite covariance entries",
+                        {obs::lf("tile_i", static_cast<std::uint64_t>(i)),
+                         obs::lf("tile_j", static_cast<std::uint64_t>(j)),
+                         obs::lf("count", static_cast<std::uint64_t>(bad))});
+        }
+      }
+    }
   }
 }
 

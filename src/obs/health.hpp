@@ -1,0 +1,238 @@
+// Numerical-health ledger: runtime verification of the precision policy's
+// accuracy promise, plus failure forensics.
+//
+// The adaptive Frobenius rule (paper Section VI-C) promises
+//   ||A^ - A||_F <= eps * ||A||_F
+// for the demoted matrix. The codebase decides demotions from that bound
+// but never *checks* it; this ledger records, per demoted tile, the rule
+// that fired, its norm, the per-tile error budget, the a-priori guaranteed
+// error, and the *measured* storage perturbation — and aggregates them into
+// a whole-matrix audit. It also collects TLR rank-vs-tolerance audits,
+// NaN/Inf sentinel hits from assembly/conversion/compression, condition
+// estimates, MLE convergence trajectories, and — when a factorization hits
+// a non-SPD pivot — a forensic bundle naming the offending tile, its
+// precision, its neighbors and the optimizer state at failure.
+//
+// Gating mirrors the metrics registry: every record call first checks one
+// process-wide atomic (health_enabled(), relaxed load), so disabled cost in
+// a hot path is a single predictable branch. Recording itself takes a
+// mutex — health records are per-tile / per-iteration, never per-element.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/precision.hpp"
+
+namespace gsx::obs {
+
+/// Health recording switch, independent of the profiling switch
+/// (obs::enabled()): a production run can audit numerics without paying for
+/// flop accounting, and vice versa. Off by default.
+[[nodiscard]] bool health_enabled() noexcept;
+void set_health_enabled(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Precision-demotion audit.
+
+/// One demoted dense tile: what the rule promised vs what the storage
+/// rounding actually did.
+struct DemotionRecord {
+  std::uint32_t i = 0, j = 0;
+  Precision chosen = Precision::FP64;
+  double tile_norm = 0.0;      ///< ||A_ij||_F before demotion
+  double budget = 0.0;         ///< per-tile budget eps * ||A||_F / NT
+  double guaranteed_err = 0.0; ///< a-priori bound the rule checked
+  double observed_err = 0.0;   ///< measured ||A^_ij - A_ij||_F
+};
+
+/// Context of one policy application (call once per apply, before the
+/// per-tile records; repeated calls overwrite — the audit reflects the most
+/// recent evaluation's matrix, while aggregates keep running maxima).
+void record_bound_context(const char* rule, double eps_target, double global_norm,
+                          std::size_t nt);
+void record_demotion(const DemotionRecord& r);
+
+/// Aggregated view of the demotion records (and of anything recorded since
+/// the last reset, across evaluations).
+struct BoundAudit {
+  std::string rule;
+  double eps_target = 0.0;
+  double global_norm = 0.0;
+  std::size_t nt = 0;
+  std::size_t demoted_tiles = 0;   ///< every demotion seen since reset
+  std::size_t recorded = 0;        ///< detail records kept (capped)
+  std::size_t dropped = 0;         ///< detail records dropped by the cap
+  /// max over tiles of observed_err / budget (<= 1 means every tile stayed
+  /// inside its share of the global budget).
+  double max_budget_ratio = 0.0;
+  /// Frobenius sum of observed per-tile errors over the *last recorded
+  /// context's* evaluation: sqrt(sum mult * err^2), mult 2 off-diagonal.
+  double observed_total_err = 0.0;
+  /// observed_total_err / global_norm — the quantity the paper bounds.
+  double observed_rel_err = 0.0;
+  bool bound_satisfied = true;     ///< observed_rel_err <= eps_target
+};
+
+// ---------------------------------------------------------------------------
+// TLR compression audit.
+
+struct TlrRecord {
+  std::uint32_t i = 0, j = 0;
+  std::uint32_t rank = 0;
+  double tol = 0.0;           ///< absolute Frobenius tolerance requested
+  double observed_err = 0.0;  ///< measured ||A - U V^T||_F
+  bool fp32 = false;          ///< factors stored FP32
+};
+void record_tlr(const TlrRecord& r);
+
+struct TlrAudit {
+  std::size_t tiles = 0;
+  std::size_t recorded = 0;
+  std::size_t dropped = 0;
+  double max_observed_err = 0.0;
+  double max_tol = 0.0;
+  bool within_tol = true;  ///< every observed_err <= its tol (small slack)
+};
+
+// ---------------------------------------------------------------------------
+// NaN/Inf sentinels.
+
+/// Record `count` non-finite values found at pipeline site `where`
+/// ("assemble", "convert", "compress", "solve"); (i, j) the tile, or -1
+/// when not tile-addressed.
+void record_nonfinite(const char* where, long i, long j, std::size_t count);
+
+struct NonfiniteRecord {
+  std::string where;
+  long i = -1, j = -1;
+  std::size_t count = 0;
+};
+
+/// Total non-finite values seen since reset (cheap liveness check).
+[[nodiscard]] std::uint64_t nonfinite_total() noexcept;
+
+// ---------------------------------------------------------------------------
+// Condition estimate.
+
+struct ConditionEstimate {
+  double lambda_max = 0.0;  ///< largest eigenvalue estimate (0 = unknown)
+  double lambda_min = 0.0;  ///< smallest eigenvalue estimate (0 = unknown)
+  std::size_t n = 0;
+  std::size_t iterations = 0;
+  std::string method;  ///< e.g. "power-iteration"
+
+  [[nodiscard]] double cond2() const noexcept {
+    return (lambda_min > 0.0) ? lambda_max / lambda_min : 0.0;
+  }
+};
+void record_condition(const ConditionEstimate& c);
+
+// ---------------------------------------------------------------------------
+// MLE convergence monitor.
+
+struct OptIteration {
+  std::size_t iter = 0;
+  double best_fval = 0.0;       ///< best objective so far (monotone)
+  double candidate_fval = 0.0;  ///< this iteration's newest evaluation
+  double step_norm = 0.0;       ///< optimizer step / spread measure
+};
+
+/// Stall / divergence detection over an optimizer trajectory. Standalone so
+/// tests (and future optimizers) can drive it directly; the ledger owns one
+/// per begin_convergence().
+class ConvergenceMonitor {
+ public:
+  explicit ConvergenceMonitor(double ftol = 1.0e-10, std::size_t window = 12);
+
+  void add(double best_fval, double candidate_fval, double step_norm);
+  /// Call when the optimizer exits; a converged exit clears the stall flag
+  /// (a legitimately converged run *looks* stalled by construction).
+  void finish(bool converged);
+
+  /// True when the last `window` iterations improved the best objective by
+  /// less than ftol * max(1, |best|) while the optimizer kept moving.
+  [[nodiscard]] bool stalled() const noexcept;
+  /// True when the best value is still non-finite after `window` iterations
+  /// or the last `window` candidate evaluations were all non-finite (the
+  /// optimizer is wandering an infeasible / non-SPD region).
+  [[nodiscard]] bool diverged() const noexcept;
+  [[nodiscard]] const std::vector<OptIteration>& trajectory() const noexcept {
+    return traj_;
+  }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+ private:
+  double ftol_;
+  std::size_t window_;
+  std::vector<OptIteration> traj_;
+  std::size_t nonfinite_streak_ = 0;
+  bool finished_ = false;
+  bool converged_ = false;
+};
+
+/// Open a convergence trajectory for `optimizer` ("nelder-mead", "pso").
+/// No-op when disabled. One trajectory per fit; a new begin closes none —
+/// finished or not, the previous trajectory is kept for the report.
+void begin_convergence(const char* optimizer, double ftol, std::size_t window);
+void record_opt_iteration(double best_fval, double candidate_fval, double step_norm);
+void end_convergence(bool converged);
+
+struct ConvergenceReport {
+  std::string optimizer;
+  std::vector<OptIteration> trajectory;
+  bool stalled = false;
+  bool diverged = false;
+  bool converged = false;
+};
+
+// ---------------------------------------------------------------------------
+// Failure forensics.
+
+struct NeighborTile {
+  std::uint32_t i = 0, j = 0;
+  char code = '?';            ///< Tile::decision_code()
+  std::uint32_t rank = 0;
+  Precision precision = Precision::FP64;
+};
+
+/// Diagnostic bundle captured when a factorization or solve fails.
+struct FailureRecord {
+  std::string what;           ///< exception text
+  long tile_i = -1, tile_j = -1;
+  int pivot = 0;              ///< 1-based global pivot index
+  Precision precision = Precision::FP64;
+  double tile_norm = 0.0;
+  std::string rule;           ///< active PrecisionRule name
+  std::vector<NeighborTile> neighbors;
+  /// Best-objective trajectory at failure time (filled by record_failure
+  /// from the open convergence monitor when the caller leaves it empty).
+  std::vector<double> trajectory;
+};
+void record_failure(FailureRecord r);
+
+// ---------------------------------------------------------------------------
+// Snapshot / report.
+
+struct HealthSnapshot {
+  BoundAudit bound;
+  std::vector<DemotionRecord> demotions;
+  TlrAudit tlr_audit;
+  std::vector<TlrRecord> tlr;
+  std::vector<NonfiniteRecord> nonfinite;
+  std::vector<ConditionEstimate> conditions;
+  std::vector<ConvergenceReport> convergence;
+  std::vector<FailureRecord> failures;
+};
+
+[[nodiscard]] HealthSnapshot health_snapshot();
+void reset_health();
+
+/// Write the snapshot as a single JSON document ("gsx-health-v1"). Throws
+/// InvalidArgument when the file cannot be written.
+void write_health_json(const std::string& path);
+
+}  // namespace gsx::obs

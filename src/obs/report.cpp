@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/flops.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -224,6 +225,7 @@ void reset_all() {
   reset_flops();
   reset_trace();
   reset_profile();
+  reset_health();
 }
 
 }  // namespace gsx::obs

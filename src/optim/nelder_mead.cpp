@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 
 namespace gsx::optim {
 
@@ -58,10 +60,12 @@ OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
   const BoxTransform box(lo, hi);
 
   OptimResult result;
+  double last_eval = std::numeric_limits<double>::quiet_NaN();
   auto eval = [&](std::span<const double> u) {
     ++result.evals;
     const std::vector<double> x = box.to_box(u);
     const double v = f(x);
+    last_eval = v;
     return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
   };
 
@@ -70,6 +74,7 @@ OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
   std::vector<double> fvals(n + 1);
   for (std::size_t i = 1; i <= n; ++i) simplex[i][i - 1] += opts.initial_step;
   for (std::size_t i = 0; i <= n; ++i) fvals[i] = eval(simplex[i]);
+  obs::begin_convergence("nelder-mead", opts.ftol, 12);
 
   // Adaptive Nelder-Mead coefficients (Gao & Han) help in higher dimension.
   const double nd = static_cast<double>(n);
@@ -94,6 +99,11 @@ OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
     double xspread = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       xspread = std::max(xspread, std::fabs(simplex[worst][i] - simplex[best][i]));
+    obs::record_opt_iteration(fvals[best], last_eval, xspread);
+    obs::log_debug("optim", "nelder-mead iteration",
+                   {obs::lf("iter", static_cast<std::uint64_t>(result.iterations)),
+                    obs::lf("best", fvals[best]), obs::lf("fspread", fspread),
+                    obs::lf("xspread", xspread)});
     if (fspread < opts.ftol && xspread < opts.xtol) {
       result.converged = true;
       break;
@@ -161,6 +171,7 @@ OptimResult nelder_mead(const Objective& f, std::span<const double> x0,
     }
   }
 
+  obs::end_convergence(result.converged);
   const auto best_it = std::min_element(fvals.begin(), fvals.end());
   const std::size_t best_idx = static_cast<std::size_t>(best_it - fvals.begin());
   result.x = box.to_box(simplex[best_idx]);

@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace gsx::optim {
@@ -44,6 +46,7 @@ OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
   std::vector<double> gbest_x;
   double gbest_f = std::numeric_limits<double>::infinity();
   std::size_t stall = 0;
+  obs::begin_convergence("pso", opts.ftol, std::max<std::size_t>(2, opts.stall_iters));
 
   for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
     ++result.iterations;
@@ -56,6 +59,8 @@ OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
     result.evals += swarm.size();
 
     const double prev_gbest = gbest_f;
+    double iter_best = std::numeric_limits<double>::infinity();
+    for (const auto& p : swarm) iter_best = std::min(iter_best, p.f);
     for (auto& p : swarm) {
       if (p.f < p.best_f) {
         p.best_f = p.f;
@@ -67,6 +72,12 @@ OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
       }
     }
     if (gbest_x.empty()) gbest_x = swarm.front().best_x;  // all-infeasible start
+    const double improvement =
+        std::isfinite(prev_gbest) ? prev_gbest - gbest_f : 0.0;
+    obs::record_opt_iteration(gbest_f, iter_best, improvement);
+    obs::log_debug("optim", "pso iteration",
+                   {obs::lf("iter", static_cast<std::uint64_t>(iter)),
+                    obs::lf("gbest", gbest_f), obs::lf("iter_best", iter_best)});
     if (prev_gbest - gbest_f < opts.ftol) {
       if (++stall >= opts.stall_iters) break;
     } else {
@@ -98,6 +109,7 @@ OptimResult particle_swarm(const Objective& f, std::span<const double> lo,
   result.x = gbest_x;
   result.fval = gbest_f;
   result.converged = std::isfinite(gbest_f);
+  obs::end_convergence(result.converged);
   return result;
 }
 

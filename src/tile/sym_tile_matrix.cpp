@@ -1,5 +1,6 @@
 #include "tile/sym_tile_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -90,6 +91,25 @@ la::Matrix<double> SymTileMatrix::to_full() const {
     }
   }
   return full;
+}
+
+void SymTileMatrix::symv(const std::vector<double>& x, std::vector<double>& y) const {
+  GSX_REQUIRE(x.size() == n_ && y.size() == n_, "symv: vector length mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t j = 0; j < nt_; ++j) {
+    for (std::size_t i = j; i < nt_; ++i) {
+      const la::Matrix<double> block = at(i, j).to_dense64();
+      const std::size_t gi0 = tile_offset(i);
+      const std::size_t gj0 = tile_offset(j);
+      for (std::size_t jj = 0; jj < block.cols(); ++jj)
+        for (std::size_t ii = 0; ii < block.rows(); ++ii) {
+          y[gi0 + ii] += block(ii, jj) * x[gj0 + jj];
+          // Diagonal tiles hold the full symmetric block; only off-diagonal
+          // tiles need their transpose mirrored in.
+          if (i != j) y[gj0 + jj] += block(ii, jj) * x[gi0 + ii];
+        }
+    }
+  }
 }
 
 std::vector<std::string> SymTileMatrix::decision_map() const {

@@ -55,6 +55,11 @@ class SymTileMatrix {
   /// Materialize the full symmetric matrix (testing / small problems only).
   [[nodiscard]] la::Matrix<double> to_full() const;
 
+  /// y = A x over the full symmetric operator, tile by tile (each tile is
+  /// materialized to FP64 per call). Diagnostic path — powers the health
+  /// layer's condition estimate; not a performance kernel.
+  void symv(const std::vector<double>& x, std::vector<double>& y) const;
+
   /// ASCII decision heat map, one row per tile row; '.' above the diagonal.
   [[nodiscard]] std::vector<std::string> decision_map() const;
 

@@ -236,6 +236,37 @@ void Tile::assign_dense64(la::Matrix<double> m) {
   payload_ = std::move(m);
 }
 
+namespace {
+
+template <typename T>
+std::size_t count_nonfinite(const la::Matrix<T>& m) {
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < m.cols(); ++j)
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      if (!std::isfinite(static_cast<double>(m(i, j)))) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::size_t Tile::nonfinite_count() const {
+  if (format_ == TileFormat::Dense) {
+    switch (precision_) {
+      case Precision::FP64: return count_nonfinite(std::get<la::Matrix<double>>(payload_));
+      case Precision::FP32: return count_nonfinite(std::get<la::Matrix<float>>(payload_));
+      case Precision::FP16: return count_nonfinite(std::get<la::Matrix<half>>(payload_));
+      case Precision::BF16:
+        return count_nonfinite(std::get<la::Matrix<bfloat16>>(payload_));
+    }
+  }
+  if (precision_ == Precision::FP64) {
+    const auto& lr = std::get<LowRankStorage<double>>(payload_);
+    return count_nonfinite(lr.u) + count_nonfinite(lr.v);
+  }
+  const auto& lr = std::get<LowRankStorage<float>>(payload_);
+  return count_nonfinite(lr.u) + count_nonfinite(lr.v);
+}
+
 char Tile::decision_code() const noexcept {
   if (format_ == TileFormat::Dense) {
     switch (precision_) {

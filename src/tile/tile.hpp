@@ -84,6 +84,10 @@ class Tile {
   /// 'H' dense FP16, 'B' dense BF16, 'L' LR FP64, 'l' LR FP32.
   [[nodiscard]] char decision_code() const noexcept;
 
+  /// Count NaN/Inf entries in the stored payload (low-rank tiles scan the
+  /// U/V factors, not the product). Health-sentinel path, O(payload).
+  [[nodiscard]] std::size_t nonfinite_count() const;
+
  private:
   using Payload = std::variant<std::monostate, la::Matrix<double>, la::Matrix<float>,
                                la::Matrix<half>, la::Matrix<bfloat16>,

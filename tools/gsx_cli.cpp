@@ -22,6 +22,8 @@
 #include "geostat/covariance_ext.hpp"
 #include "geostat/field.hpp"
 #include "mathx/stats.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "runtime/trace_io.hpp"
@@ -45,7 +47,12 @@ using namespace gsx;
                "kernels: matern matern-nugget powexp aniso-matern gneiting\n"
                "--profile writes PREFIX.trace.json (Chrome trace of the full\n"
                "pipeline), PREFIX.profile.json (per-iteration flop/precision/rank\n"
-               "report) and PREFIX.flops.csv\n");
+               "report) and PREFIX.flops.csv\n"
+               "observability (any command):\n"
+               "  --log-level trace|debug|info|warn|error|off   stderr logging\n"
+               "  --log-json FILE    structured JSONL log sink (implies info)\n"
+               "  --health PREFIX    numerical-health audit -> PREFIX.health.json\n"
+               "                     (written even when the run fails)\n");
   std::exit(2);
 }
 
@@ -128,6 +135,37 @@ void end_profile(const std::map<std::string, std::string>& flags) {
   obs::write_flops_csv(prefix + ".flops.csv");
   std::printf("profile: wrote %s.trace.json, %s.profile.json, %s.flops.csv\n",
               prefix.c_str(), prefix.c_str(), prefix.c_str());
+}
+
+/// Arm logging and the numerical-health ledger from the shared flags.
+void setup_observability(const std::map<std::string, std::string>& flags) {
+  if (flags.count("log-level")) {
+    const auto lvl = obs::parse_log_level(flags.at("log-level"));
+    if (!lvl) usage(("unknown log level: " + flags.at("log-level")).c_str());
+    obs::set_log_level(*lvl);
+  }
+  if (flags.count("log-json")) {
+    obs::open_log_json(flags.at("log-json"));
+    // A JSONL sink with the default Off level would stay empty; default to
+    // info unless the user chose a level explicitly.
+    if (!flags.count("log-level")) obs::set_log_level(obs::LogLevel::Info);
+  }
+  if (flags.count("health")) {
+    obs::reset_health();
+    obs::set_health_enabled(true);
+  }
+}
+
+/// Flush the health ledger (if armed) and close log sinks. Also called on
+/// the failure path: the forensic dump matters most when the run dies.
+void finish_observability(const std::map<std::string, std::string>& flags) {
+  if (flags.count("health")) {
+    const std::string path = flags.at("health") + ".health.json";
+    obs::write_health_json(path);
+    obs::set_health_enabled(false);
+    std::printf("health: wrote %s\n", path.c_str());
+  }
+  obs::close_log_json();
 }
 
 core::ModelConfig make_config(const std::map<std::string, std::string>& flags) {
@@ -234,14 +272,38 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  std::map<std::string, std::string> flags;
   try {
-    const auto flags = parse_flags(argc, argv, 2);
-    if (cmd == "simulate") return cmd_simulate(flags);
-    if (cmd == "fit") return cmd_fit(flags);
-    if (cmd == "predict") return cmd_predict(flags);
-    usage(("unknown command: " + cmd).c_str());
+    flags = parse_flags(argc, argv, 2);
+    setup_observability(flags);
+    int rc = 2;
+    if (cmd == "simulate") {
+      rc = cmd_simulate(flags);
+    } else if (cmd == "fit") {
+      rc = cmd_fit(flags);
+    } else if (cmd == "predict") {
+      rc = cmd_predict(flags);
+    } else {
+      usage(("unknown command: " + cmd).c_str());
+    }
+    finish_observability(flags);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gsx_cli: %s\n", e.what());
+    if (const auto* ne = dynamic_cast<const gsx::NumericalError*>(&e);
+        ne != nullptr && ne->has_context()) {
+      const gsx::NumericalContext& c = ne->context();
+      std::fprintf(stderr,
+                   "  forensics: tile (%ld,%ld), pivot %d, precision %s, rule %s\n",
+                   c.tile_i, c.tile_j, c.pivot,
+                   std::string(gsx::precision_name(c.precision)).c_str(),
+                   c.rule.c_str());
+    }
+    try {
+      finish_observability(flags);
+    } catch (const std::exception& e2) {
+      std::fprintf(stderr, "gsx_cli: health dump failed: %s\n", e2.what());
+    }
     return 1;
   }
 }
