@@ -1,0 +1,156 @@
+// Serving throughput: cached-factor batched prediction vs the
+// assemble+factorize-per-call baseline.
+//
+// The serving subsystem's bet is that a fitted model's O(n^3) factorization
+// is paid once at load, leaving each request an O(n^2 m) solve that can be
+// micro-batched. This bench measures requests/s and per-request latency
+// (p50/p99) across concurrency levels and solver worker counts, against
+// GsxModel::predict (which assembles and factors Sigma_nn on every call).
+//
+//   bench_serve_throughput [--json FILE]   (GSX_BENCH_SCALE scales n)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_utils.hpp"
+#include "core/model.hpp"
+#include "geostat/kernel_registry.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+namespace {
+
+using namespace gsx;
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::vector<geostat::Location> request_points(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geostat::Location> pts(m);
+  for (auto& l : pts) {
+    l.x = rng.uniform();
+    l.y = rng.uniform();
+  }
+  return pts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::scaled(2000);
+  const std::size_t points_per_request = 4;
+  const std::size_t requests = bench::scaled(64);
+  const std::vector<double> theta{1.0, 0.1, 0.5};
+
+  bench::print_header("Prediction serving: cached factor + micro-batching vs "
+                      "factorize-per-call (n = " + std::to_string(n) + ")");
+  const bench::SpaceProblem p = bench::make_space_problem(n, 0.1);
+
+  core::ModelConfig cfg;
+  cfg.variant = core::ComputeVariant::DenseFP64;
+  cfg.tile_size = 160;
+  cfg.workers = 2;
+  cfg.calibrate_perf_model = false;
+  const core::GsxModel model(geostat::make_kernel("matern", theta), cfg);
+
+  std::vector<bench::BenchRecord> records;
+
+  // --- baseline: every request assembles and factors Sigma_nn ---------------
+  const std::size_t baseline_reps = std::max<std::size_t>(2, bench::scaled(3));
+  double baseline_total = 0.0;
+  for (std::size_t r = 0; r < baseline_reps; ++r) {
+    const auto pts = request_points(points_per_request, 40 + r);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = model.predict(theta, p.locs, p.z, pts, true);
+    baseline_total += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    if (out.mean.empty()) return 1;
+  }
+  const double baseline_per_request = baseline_total / static_cast<double>(baseline_reps);
+  std::printf("%-34s %10.4f s/request %12.2f req/s\n", "baseline (factorize per call)",
+              baseline_per_request, 1.0 / baseline_per_request);
+  records.push_back({"baseline per-request seconds", n, baseline_per_request, 0.0});
+
+  // --- serving path: factor once, then batched concurrent solves ------------
+  serve::ModelCheckpoint ckpt;
+  ckpt.kernel = "matern";
+  ckpt.theta = theta;
+  ckpt.config = cfg;
+  ckpt.train_locs = p.locs;
+  ckpt.z_train = p.z;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    ckpt.factor = model.factor_at(theta, p.locs);
+    const double load_s = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    std::printf("%-34s %10.4f s (one-time)\n", "factorization at load", load_s);
+    records.push_back({"factor once at load seconds", n, load_s, 0.0});
+  }
+  const auto loaded = serve::LoadedModel::from_checkpoint("bench", std::move(ckpt));
+
+  double best_per_request = 1e300;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t concurrency :
+         {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      serve::KrigingEngine engine(
+          serve::EngineConfig{workers, requests + concurrency, 65536});
+
+      std::vector<double> latencies(requests);
+      std::atomic<std::size_t> next{0};
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> submitters;
+      for (std::size_t c = 0; c < concurrency; ++c) {
+        submitters.emplace_back([&] {
+          for (std::size_t r = next.fetch_add(1); r < requests;
+               r = next.fetch_add(1)) {
+            const auto pts = request_points(points_per_request, 900 + r);
+            const auto out = engine.submit(loaded, pts, true).get();
+            latencies[r] = out.ok ? out.total_seconds : -1.0;
+          }
+        });
+      }
+      for (auto& t : submitters) t.join();
+      const double wall = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - t0).count();
+      engine.drain();
+
+      std::size_t failed = 0;
+      for (const double l : latencies)
+        if (l < 0) ++failed;
+      if (failed > 0) std::printf("  !! %zu requests failed\n", failed);
+
+      const double rps = static_cast<double>(requests) / wall;
+      const double p50 = percentile(latencies, 0.50);
+      const double p99 = percentile(latencies, 0.99);
+      const double per_request = wall / static_cast<double>(requests);
+      best_per_request = std::min(best_per_request, per_request);
+
+      char label[96];
+      std::snprintf(label, sizeof label, "engine w=%zu c=%zu", workers, concurrency);
+      std::printf("%-34s %10.2f req/s   p50 %8.2f ms   p99 %8.2f ms\n", label, rps,
+                  1e3 * p50, 1e3 * p99);
+      records.push_back({std::string(label) + " req/s", n, wall, rps});
+      records.push_back({std::string(label) + " p50 seconds", n, p50, 0.0});
+      records.push_back({std::string(label) + " p99 seconds", n, p99, 0.0});
+    }
+  }
+
+  const double speedup = baseline_per_request / best_per_request;
+  bench::print_rule();
+  std::printf("cached-factor speedup per request: %.1fx %s\n", speedup,
+              speedup >= 5.0 ? "(>= 5x target met)" : "(below 5x target!)");
+  records.push_back({"speedup vs factorize-per-call", n, speedup, 0.0});
+
+  const std::string json = bench::json_out_path(argc, argv);
+  if (!json.empty()) bench::write_bench_json(json, records);
+  return 0;
+}

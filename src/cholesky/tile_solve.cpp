@@ -1,6 +1,9 @@
 #include "cholesky/tile_solve.hpp"
 
 #include <cmath>
+#include <functional>
+
+#include "runtime/task_graph.hpp"
 
 #include "cholesky/tile_kernels.hpp"
 #include "common/error.hpp"
@@ -155,60 +158,93 @@ void apply_offdiag_trans_multi(const Tile& t, Span2D<const double> bi, Span2D<do
 
 }  // namespace
 
-void tile_forward_solve_multi(const SymTileMatrix& l, Span2D<double> b) {
+namespace {
+
+/// Partition the m RHS columns into per-worker blocks and run `solve` on
+/// each concurrently. Columns of a triangular solve never interact, so the
+/// parallel result is bitwise identical to the sequential one.
+void solve_columns_parallel(Span2D<double> b, std::size_t workers,
+                            const std::function<void(Span2D<double>)>& solve) {
+  const std::size_t m = b.cols();
+  if (workers <= 1 || m <= 1) {
+    solve(b);
+    return;
+  }
+  const std::size_t blocks = std::min(workers * 4, m);
+  const std::size_t per = (m + blocks - 1) / blocks;
+  rt::parallel_for(0, blocks, workers, [&](std::size_t blk) {
+    const std::size_t c0 = blk * per;
+    if (c0 >= m) return;
+    const std::size_t nc = std::min(per, m - c0);
+    solve(b.sub(0, c0, b.rows(), nc));
+  });
+}
+
+}  // namespace
+
+void tile_forward_solve_multi(const SymTileMatrix& l, Span2D<double> b,
+                              std::size_t workers) {
   GSX_REQUIRE(b.rows() == l.n(), "tile_forward_solve_multi: RHS rows mismatch");
-  const std::size_t nt = l.nt();
-  for (std::size_t k = 0; k < nt; ++k) {
-    const F64Operand lkk(l.at(k, k));
-    auto bk = b.sub(l.tile_offset(k), 0, l.tile_dim(k), b.cols());
-    la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::NoTrans, la::Diag::NonUnit,
-                     1.0, lkk.view(), bk);
-    for (std::size_t i = k + 1; i < nt; ++i) {
-      auto bi = b.sub(l.tile_offset(i), 0, l.tile_dim(i), b.cols());
-      apply_offdiag_multi(l.at(i, k), bk, bi);
+  solve_columns_parallel(b, workers, [&](Span2D<double> cols) {
+    const std::size_t nt = l.nt();
+    for (std::size_t k = 0; k < nt; ++k) {
+      const F64Operand lkk(l.at(k, k));
+      auto bk = cols.sub(l.tile_offset(k), 0, l.tile_dim(k), cols.cols());
+      la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::NoTrans,
+                       la::Diag::NonUnit, 1.0, lkk.view(), bk);
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        auto bi = cols.sub(l.tile_offset(i), 0, l.tile_dim(i), cols.cols());
+        apply_offdiag_multi(l.at(i, k), bk, bi);
+      }
     }
-  }
+  });
 }
 
-void tile_backward_solve_multi(const SymTileMatrix& l, Span2D<double> b) {
+void tile_backward_solve_multi(const SymTileMatrix& l, Span2D<double> b,
+                               std::size_t workers) {
   GSX_REQUIRE(b.rows() == l.n(), "tile_backward_solve_multi: RHS rows mismatch");
-  const std::size_t nt = l.nt();
-  for (std::size_t k = nt; k-- > 0;) {
-    auto bk = b.sub(l.tile_offset(k), 0, l.tile_dim(k), b.cols());
-    for (std::size_t i = k + 1; i < nt; ++i) {
-      auto bi = b.sub(l.tile_offset(i), 0, l.tile_dim(i), b.cols());
-      apply_offdiag_trans_multi(l.at(i, k), bi, bk);
+  solve_columns_parallel(b, workers, [&](Span2D<double> cols) {
+    const std::size_t nt = l.nt();
+    for (std::size_t k = nt; k-- > 0;) {
+      auto bk = cols.sub(l.tile_offset(k), 0, l.tile_dim(k), cols.cols());
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        auto bi = cols.sub(l.tile_offset(i), 0, l.tile_dim(i), cols.cols());
+        apply_offdiag_trans_multi(l.at(i, k), bi, bk);
+      }
+      const F64Operand lkk(l.at(k, k));
+      la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::Trans,
+                       la::Diag::NonUnit, 1.0, lkk.view(), bk);
     }
-    const F64Operand lkk(l.at(k, k));
-    la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::Trans, la::Diag::NonUnit,
-                     1.0, lkk.view(), bk);
-  }
+  });
 }
 
-geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
-                                  const SymTileMatrix& factored,
-                                  std::span<const geostat::Location> train_locs,
-                                  std::span<const double> z_train,
-                                  std::span<const geostat::Location> test_locs,
-                                  bool with_variance) {
+geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
+                                         const SymTileMatrix& factored,
+                                         std::span<const double> y_solved,
+                                         std::span<const geostat::Location> train_locs,
+                                         std::span<const geostat::Location> test_locs,
+                                         bool with_variance, std::size_t workers) {
   const std::size_t n = train_locs.size();
   const std::size_t m = test_locs.size();
-  GSX_REQUIRE(factored.n() == n && z_train.size() == n, "tile_krige: size mismatch");
-  GSX_REQUIRE(m > 0, "tile_krige: no test locations");
+  GSX_REQUIRE(factored.n() == n && y_solved.size() == n,
+              "tile_krige_solved: size mismatch");
+  GSX_REQUIRE(m > 0, "tile_krige_solved: no test locations");
 
-  // W = L^{-1} Sigma_nm through the tile factor; y = L^{-1} Z_n.
-  la::Matrix<double> w = geostat::cross_covariance(model, train_locs, test_locs);
+  // W = L^{-1} Sigma_nm through the tile factor. Assembly parallelizes over
+  // test columns; the solve parallelizes over independent column blocks.
+  la::Matrix<double> w(n, m);
+  rt::parallel_for(0, m, workers, [&](std::size_t j) {
+    for (std::size_t i = 0; i < n; ++i) w(i, j) = model(train_locs[i], test_locs[j]);
+  });
   const obs::ScopedPhase phase("krige");
   obs::add_flops(obs::KernelOp::Krige, Precision::FP64,
-                 obs::trsm_flops(m, n) + obs::trsm_flops(1, n) +
-                     obs::gemm_flops(m, 1, n));
-  tile_forward_solve_multi(factored, w.view());
-  std::vector<double> y(z_train.begin(), z_train.end());
-  tile_forward_solve(factored, y);
+                 obs::trsm_flops(m, n) + obs::gemm_flops(m, 1, n));
+  tile_forward_solve_multi(factored, w.view(), workers);
 
   geostat::KrigingResult out;
   out.mean.assign(m, 0.0);
-  la::gemv<double>(la::Trans::Trans, 1.0, w.cview(), y.data(), 0.0, out.mean.data());
+  la::gemv<double>(la::Trans::Trans, 1.0, w.cview(), y_solved.data(), 0.0,
+                   out.mean.data());
 
   if (with_variance) {
     out.variance.assign(m, 0.0);
@@ -220,6 +256,20 @@ geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
     }
   }
   return out;
+}
+
+geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
+                                  const SymTileMatrix& factored,
+                                  std::span<const geostat::Location> train_locs,
+                                  std::span<const double> z_train,
+                                  std::span<const geostat::Location> test_locs,
+                                  bool with_variance, std::size_t workers) {
+  GSX_REQUIRE(z_train.size() == train_locs.size(), "tile_krige: size mismatch");
+  obs::add_flops(obs::KernelOp::Krige, Precision::FP64, obs::trsm_flops(1, factored.n()));
+  std::vector<double> y(z_train.begin(), z_train.end());
+  tile_forward_solve(factored, y);
+  return tile_krige_solved(model, factored, y, train_locs, test_locs, with_variance,
+                           workers);
 }
 
 la::Matrix<double> reconstruct_lower(const SymTileMatrix& l) {

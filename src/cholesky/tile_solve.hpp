@@ -30,19 +30,39 @@ geostat::LoglikValue tile_loglik(const tile::SymTileMatrix& l, std::span<const d
 
 /// Multi-right-hand-side solves (the prediction phase, Eq. 4-5, applies the
 /// factor to Sigma_nm's columns): B := L^{-1} B and B := L^{-T} B for a
-/// dense n x m block B.
-void tile_forward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b);
-void tile_backward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b);
+/// dense n x m block B. With `workers` > 1 the independent column blocks of
+/// B are solved concurrently on the runtime worker pool (bitwise identical
+/// to the sequential pass: columns never interact).
+void tile_forward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b,
+                              std::size_t workers = 1);
+void tile_backward_solve_multi(const tile::SymTileMatrix& l, Span2D<double> b,
+                               std::size_t workers = 1);
 
 /// Kriging directly through the tile factor: never materializes a dense L,
 /// so the prediction phase keeps the TLR memory footprint (the paper's
 /// "forward and backward substitutions to several right-hand sides").
+/// This is the tile-native entry point both GsxModel::predict and the
+/// serving engine use; the dense krige_with_cholesky path survives only as
+/// a test oracle.
 geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
                                   const tile::SymTileMatrix& factored,
                                   std::span<const geostat::Location> train_locs,
                                   std::span<const double> z_train,
                                   std::span<const geostat::Location> test_locs,
-                                  bool with_variance = true);
+                                  bool with_variance = true, std::size_t workers = 1);
+
+/// Kriging from an already forward-solved observation vector
+/// y = L^{-1} Z_n (the serving layer caches y per fitted model and amortizes
+/// it across every request batch): assembles Sigma_nm, applies the factor to
+/// its columns in parallel, and forms means/variances. `y_solved` must have
+/// length n.
+geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
+                                         const tile::SymTileMatrix& factored,
+                                         std::span<const double> y_solved,
+                                         std::span<const geostat::Location> train_locs,
+                                         std::span<const geostat::Location> test_locs,
+                                         bool with_variance = true,
+                                         std::size_t workers = 1);
 
 /// Materialize the lower-triangular Cholesky factor as a dense FP64 matrix
 /// (upper triangle zero); feeds reference paths and tests.

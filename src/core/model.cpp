@@ -189,20 +189,37 @@ geostat::LoglikValue GsxModel::evaluate(std::span<const double> theta,
   return v;
 }
 
-FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> z) const {
+FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> z,
+                        const FitCallback& on_improve) const {
   const std::vector<double> lo = prototype_->lower_bounds();
   const std::vector<double> hi = prototype_->upper_bounds();
   const std::vector<double> start = prototype_->params();
 
+  // Incumbent-best tracking for the checkpoint hook. PSO evaluates the
+  // objective concurrently, so the update is mutex-guarded.
+  std::mutex best_mutex;
+  double best_fval = std::numeric_limits<double>::infinity();
+  std::size_t evals_seen = 0;
+
   const optim::Objective objective = [&](std::span<const double> theta) {
     // Jointly-constrained parameterizations (e.g. the bivariate rho bound)
     // can reject box-feasible points; treat them as infeasible.
+    double fval = std::numeric_limits<double>::infinity();
     try {
       const geostat::LoglikValue v = evaluate(theta, locs, z);
-      return v.ok ? -v.loglik : std::numeric_limits<double>::infinity();
+      fval = v.ok ? -v.loglik : std::numeric_limits<double>::infinity();
     } catch (const InvalidArgument&) {
-      return std::numeric_limits<double>::infinity();
+      fval = std::numeric_limits<double>::infinity();
     }
+    if (on_improve) {
+      std::lock_guard lk(best_mutex);
+      ++evals_seen;
+      if (fval < best_fval) {
+        best_fval = fval;
+        on_improve(FitProgress{theta, -fval, evals_seen});
+      }
+    }
+    return fval;
   };
 
   Timer t;
@@ -232,34 +249,48 @@ FitResult GsxModel::fit(std::span<const Location> locs, std::span<const double> 
   return out;
 }
 
+tile::SymTileMatrix GsxModel::factor_at(std::span<const double> theta,
+                                        std::span<const Location> locs,
+                                        EvalBreakdown* breakdown) const {
+  SymTileMatrix a(locs.size(), config_.tile_size);
+  EvalBreakdown local;
+  EvalBreakdown* bd = breakdown != nullptr ? breakdown : &local;
+  if (!prepare_and_factor(theta, locs, a, bd)) {
+    NumericalContext ctx;
+    ctx.tile_i = ctx.tile_j = bd->factor.failed_tile;
+    ctx.pivot = bd->factor.info;
+    ctx.rule = cholesky::precision_rule_name(
+        (config_.variant == ComputeVariant::DenseFP64) ? cholesky::PrecisionRule::AllFP64
+                                                       : config_.mp_rule);
+    throw NumericalError("GsxModel::factor_at: covariance not SPD at theta",
+                         std::move(ctx));
+  }
+  return a;
+}
+
 geostat::KrigingResult GsxModel::predict(std::span<const double> theta,
                                          std::span<const Location> train_locs,
                                          std::span<const double> z_train,
                                          std::span<const Location> test_locs,
                                          bool with_variance) const {
-  SymTileMatrix a(train_locs.size(), config_.tile_size);
   obs::begin_iteration("predict");
-  EvalBreakdown bd;
-  const bool ok = prepare_and_factor(theta, train_locs, a, &bd);
-  if (!ok) {
-    obs::end_iteration();
-    NumericalContext ctx;
-    ctx.tile_i = ctx.tile_j = bd.factor.failed_tile;
-    ctx.pivot = bd.factor.info;
-    ctx.rule = cholesky::precision_rule_name(
-        (config_.variant == ComputeVariant::DenseFP64) ? cholesky::PrecisionRule::AllFP64
-                                                       : config_.mp_rule);
-    throw NumericalError("GsxModel::predict: covariance not SPD at theta",
-                         std::move(ctx));
-  }
+  SymTileMatrix a = [&] {
+    try {
+      return factor_at(theta, train_locs);
+    } catch (...) {
+      obs::end_iteration();
+      throw;
+    }
+  }();
 
   // Predict through the tile factor itself: the TLR variant never
   // materializes a dense L, preserving its memory-footprint advantage in
   // the prediction phase too.
   const std::unique_ptr<geostat::CovarianceModel> model = prototype_->clone();
   model->set_params(theta);
-  geostat::KrigingResult out =
-      cholesky::tile_krige(*model, a, train_locs, z_train, test_locs, with_variance);
+  geostat::KrigingResult out = cholesky::tile_krige(*model, a, train_locs, z_train,
+                                                    test_locs, with_variance,
+                                                    config_.workers);
   obs::end_iteration();
   return out;
 }

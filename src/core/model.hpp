@@ -8,6 +8,7 @@
 //   predict()   — kriging with uncertainty through the same variant.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -110,8 +111,20 @@ class GsxModel {
                                 std::span<const double> z,
                                 EvalBreakdown* breakdown = nullptr) const;
 
+  /// Progress callback invoked (serialized, under an internal mutex) each
+  /// time the MLE finds a new best point — the checkpoint/restart hook for
+  /// long-running fits.
+  struct FitProgress {
+    std::span<const double> theta_best;
+    double loglik_best = 0.0;
+    std::size_t evaluations = 0;
+  };
+  using FitCallback = std::function<void(const FitProgress&)>;
+
   /// Maximum likelihood fit. Starting point: prototype parameters.
-  FitResult fit(std::span<const geostat::Location> locs, std::span<const double> z) const;
+  /// `on_improve`, when set, fires on every new incumbent best.
+  FitResult fit(std::span<const geostat::Location> locs, std::span<const double> z,
+                const FitCallback& on_improve = {}) const;
 
   /// Kriging prediction using the configured variant's Cholesky factor at
   /// `theta` (so MSPE reflects the variant's accuracy, as in Tables I/II).
@@ -120,6 +133,14 @@ class GsxModel {
                                  std::span<const double> z_train,
                                  std::span<const geostat::Location> test_locs,
                                  bool with_variance = true) const;
+
+  /// Assemble and factor Sigma_nn at `theta` through the configured variant,
+  /// returning the tile Cholesky factor (the object a serving checkpoint
+  /// persists: fit once, factor once, predict many). Throws NumericalError
+  /// with forensic context if the covariance is not SPD at `theta`.
+  tile::SymTileMatrix factor_at(std::span<const double> theta,
+                                std::span<const geostat::Location> locs,
+                                EvalBreakdown* breakdown = nullptr) const;
 
   /// Build the decision-annotated tile matrix at `theta` (policy applied,
   /// TLR compression done, no factorization): feeds the Fig. 9 heat maps.

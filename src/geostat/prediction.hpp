@@ -17,14 +17,19 @@ struct KrigingResult {
   std::vector<double> variance;  ///< prediction uncertainty U_m (if requested)
 };
 
-/// Dense kriging: factor Sigma_nn once, predict all test locations.
-/// Throws NumericalError if Sigma_nn is not positive definite.
+/// Dense kriging reference: assemble Sigma_nn, factor it with LAPACK, predict
+/// all test locations. Throws NumericalError if Sigma_nn is not positive
+/// definite. This is the TEST ORACLE for the tile-native prediction path
+/// (cholesky::tile_krige / tile_krige_solved), which production code — both
+/// GsxModel::predict and the serving engine — uses instead; it re-does the
+/// O(n^3) factorization on every call and materializes the full dense matrix.
 KrigingResult krige(const CovarianceModel& model, std::span<const Location> train_locs,
                     std::span<const double> z_train, std::span<const Location> test_locs,
                     bool with_variance = true);
 
-/// Kriging from a precomputed lower Cholesky factor of Sigma_nn (the tile
-/// variants reconstruct L and reuse this path).
+/// Kriging from a precomputed dense lower Cholesky factor of Sigma_nn.
+/// Test oracle only (see krige above): the tile variants predict through the
+/// tile factor directly and never reconstruct a dense L.
 KrigingResult krige_with_cholesky(const CovarianceModel& model,
                                   const la::Matrix<double>& chol,
                                   std::span<const Location> train_locs,

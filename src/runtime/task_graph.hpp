@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,13 +29,24 @@ enum class Access : unsigned char { Read, Write, ReadWrite };
 struct DatumId {
   std::uintptr_t key = 0;
 
+  /// Tag bit separating logical-index keys from pointer-derived keys. User
+  /// pointers on every supported 64-bit ABI (x86-64 canonical addresses,
+  /// AArch64 with or without TBI ignored in userspace mappings) have the top
+  /// bit clear, so `from_pointer` and `from_index` can never collide. A
+  /// 32-bit or exotic target where that assumption breaks fails to compile
+  /// here instead of silently merging dependence chains.
+  static constexpr std::uintptr_t kIndexTag =
+      std::uintptr_t{1} << (std::numeric_limits<std::uintptr_t>::digits - 1);
+  static_assert(std::numeric_limits<std::uintptr_t>::digits >= 64,
+                "DatumId tags logical indices in the top pointer bit; a"
+                " 64-bit uintptr_t is required so user-space addresses"
+                " cannot reach the tag");
+
   static DatumId from_pointer(const void* p) noexcept {
     return DatumId{reinterpret_cast<std::uintptr_t>(p)};
   }
   static DatumId from_index(std::size_t i) noexcept {
-    // Tag logical indices so they cannot collide with real addresses
-    // (pointers never have the top bit set on our platforms).
-    return DatumId{(std::uintptr_t{1} << 63) | i};
+    return DatumId{kIndexTag | i};
   }
   friend bool operator==(DatumId a, DatumId b) noexcept { return a.key == b.key; }
 };

@@ -1,0 +1,221 @@
+#include "serve/engine.hpp"
+
+#include "cholesky/tile_solve.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace gsx::serve {
+
+namespace {
+
+double seconds_between(KrigingEngine::Clock::time_point a,
+                       KrigingEngine::Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+PredictOutcome fail(std::string why) {
+  PredictOutcome o;
+  o.ok = false;
+  o.error = std::move(why);
+  return o;
+}
+
+}  // namespace
+
+KrigingEngine::KrigingEngine(EngineConfig cfg, bool auto_start) : cfg_(cfg) {
+  GSX_REQUIRE(cfg_.workers >= 1 && cfg_.queue_capacity >= 1 &&
+                  cfg_.max_batch_points >= 1,
+              "KrigingEngine: degenerate configuration");
+  if (auto_start) start();
+}
+
+void KrigingEngine::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+KrigingEngine::~KrigingEngine() { drain(); }
+
+std::future<PredictOutcome> KrigingEngine::submit(
+    std::shared_ptr<const LoadedModel> model, std::vector<geostat::Location> points,
+    bool with_variance, Clock::time_point deadline) {
+  std::promise<PredictOutcome> promise;
+  std::future<PredictOutcome> future = promise.get_future();
+  if (model == nullptr || points.empty()) {
+    promise.set_value(fail(model == nullptr ? "no such model" : "no points"));
+    return future;
+  }
+
+  const auto now = Clock::now();
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) {
+      promise.set_value(fail("engine draining"));
+      return future;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      // Fast-fail admission control: shed load instead of convoying.
+      ++stats_.rejected_queue_full;
+      obs::Registry::instance().counter("serve.rejected.queue_full").add();
+      promise.set_value(fail("queue full"));
+      return future;
+    }
+    Pending p;
+    p.model = std::move(model);
+    p.points = std::move(points);
+    p.with_variance = with_variance;
+    p.deadline = deadline;
+    p.enqueued = now;
+    p.promise = std::move(promise);
+    queue_.push_back(std::move(p));
+    ++stats_.accepted;
+    stats_.queue_depth = queue_.size();
+    obs::Registry::instance().gauge("serve.queue.depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void KrigingEngine::drain() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Never started: fail whatever was queued so futures don't hang.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard lk(mu_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& p : leftovers) p.promise.set_value(fail("engine draining"));
+}
+
+EngineStats KrigingEngine::stats() const {
+  std::lock_guard lk(mu_);
+  EngineStats s = stats_;
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+void KrigingEngine::dispatch_loop() {
+  std::unique_lock lk(mu_);
+  while (true) {
+    cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Micro-batch: the oldest request plus every queued request against the
+    // same model, up to the point cap. Requests for other models stay
+    // queued and form the next batch.
+    std::vector<Pending> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const LoadedModel* model = batch.front().model.get();
+    std::size_t points = batch.front().points.size();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->model.get() == model && points + it->points.size() <= cfg_.max_batch_points) {
+        points += it->points.size();
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.queue_depth = queue_.size();
+    ++stats_.batches;
+    stats_.batched_points += points;
+    obs::Registry::instance().gauge("serve.queue.depth")
+        .set(static_cast<double>(queue_.size()));
+    lk.unlock();
+    obs::Registry::instance().histogram("serve.batch.points")
+        .observe(static_cast<double>(points));
+    process_batch(std::move(batch));
+    lk.lock();
+  }
+}
+
+void KrigingEngine::process_batch(std::vector<Pending> batch) {
+  const auto start = Clock::now();
+  const LoadedModel& model = *batch.front().model;
+
+  // Deadline check happens once per batch, before the expensive pass; a
+  // request that expired while queued is failed without touching the solver.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  bool any_variance = false;
+  std::vector<geostat::Location> points;
+  for (Pending& p : batch) {
+    if (p.deadline < start) {
+      {
+        std::lock_guard lk(mu_);
+        ++stats_.rejected_deadline;
+      }
+      obs::Registry::instance().counter("serve.rejected.deadline").add();
+      p.promise.set_value(fail("deadline exceeded while queued"));
+      continue;
+    }
+    any_variance = any_variance || p.with_variance;
+    points.insert(points.end(), p.points.begin(), p.points.end());
+    live.push_back(std::move(p));
+  }
+  if (live.empty()) return;
+
+  PredictOutcome failure;
+  geostat::KrigingResult result;
+  bool ok = true;
+  try {
+    // One tiled Sigma_mn assembly + solve pass for the whole micro-batch.
+    result = cholesky::tile_krige_solved(*model.kernel, model.factor, model.y_solved,
+                                         model.train_locs, points, any_variance,
+                                         cfg_.workers);
+  } catch (const std::exception& e) {
+    ok = false;
+    failure = fail(std::string("prediction failed: ") + e.what());
+    obs::log_warn("serve", "batch prediction failed", {obs::lf("error", e.what())});
+  }
+
+  const auto end = Clock::now();
+  auto& latency = obs::Registry::instance().histogram(
+      "serve.predict.seconds", obs::Histogram::duration_bounds());
+  auto& queue_wait = obs::Registry::instance().histogram(
+      "serve.queue.seconds", obs::Histogram::duration_bounds());
+
+  std::size_t offset = 0;
+  for (Pending& p : live) {
+    const std::size_t m = p.points.size();
+    if (!ok) {
+      p.promise.set_value(failure);
+      continue;
+    }
+    PredictOutcome o;
+    o.ok = true;
+    o.batched_with = live.size();
+    o.queue_seconds = seconds_between(p.enqueued, start);
+    o.total_seconds = seconds_between(p.enqueued, end);
+    o.mean.assign(result.mean.begin() + static_cast<std::ptrdiff_t>(offset),
+                  result.mean.begin() + static_cast<std::ptrdiff_t>(offset + m));
+    if (p.with_variance) {
+      o.variance.assign(result.variance.begin() + static_cast<std::ptrdiff_t>(offset),
+                        result.variance.begin() + static_cast<std::ptrdiff_t>(offset + m));
+    }
+    latency.observe(o.total_seconds);
+    queue_wait.observe(o.queue_seconds);
+    p.promise.set_value(std::move(o));
+    offset += m;
+  }
+  if (ok) {
+    std::lock_guard lk(mu_);
+    stats_.completed += live.size();
+  }
+}
+
+}  // namespace gsx::serve

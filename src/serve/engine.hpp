@@ -1,0 +1,110 @@
+// Batched concurrent kriging engine.
+//
+// Many independent prediction requests against a cached factor arrive
+// concurrently; answering each with its own Sigma_mn assembly + solve wastes
+// the fixed per-pass cost. The engine micro-batches requests that target the
+// same fitted model into ONE tiled assembly + triangular-solve pass
+// (cholesky::tile_krige_solved on the runtime worker pool, amortizing the
+// factor and the solve traversal across requests), then scatters per-request
+// means/variances back to their futures.
+//
+// Admission control is a bounded queue with fast-fail: when full, submit()
+// resolves the future immediately with an error instead of blocking the
+// caller (load-shedding beats convoying). Each request carries a deadline;
+// requests that expire while queued are failed without doing work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "geostat/locations.hpp"
+#include "serve/registry.hpp"
+
+namespace gsx::serve {
+
+struct EngineConfig {
+  std::size_t workers = 1;            ///< solver threads per batch pass
+  std::size_t queue_capacity = 256;   ///< admission bound, in requests
+  std::size_t max_batch_points = 8192;  ///< micro-batch cap, in test points
+};
+
+struct PredictOutcome {
+  bool ok = false;
+  std::string error;                  ///< set when !ok ("queue full", "deadline ...")
+  std::vector<double> mean;
+  std::vector<double> variance;       ///< empty unless requested
+  std::size_t batched_with = 0;       ///< total requests in the micro-batch
+  double queue_seconds = 0.0;         ///< admission -> batch start
+  double total_seconds = 0.0;         ///< admission -> completion
+};
+
+struct EngineStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_points = 0;
+  std::size_t queue_depth = 0;
+};
+
+class KrigingEngine {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `auto_start = false` defers the dispatcher thread so tests can fill the
+  /// admission queue deterministically; call start() to begin serving.
+  explicit KrigingEngine(EngineConfig cfg = {}, bool auto_start = true);
+  ~KrigingEngine();  ///< drains and joins
+
+  KrigingEngine(const KrigingEngine&) = delete;
+  KrigingEngine& operator=(const KrigingEngine&) = delete;
+
+  void start();
+
+  /// Enqueue one prediction. Never blocks: a full queue or an expired
+  /// deadline resolves the future immediately. `deadline` of
+  /// Clock::time_point::max() means no deadline.
+  std::future<PredictOutcome> submit(std::shared_ptr<const LoadedModel> model,
+                                     std::vector<geostat::Location> points,
+                                     bool with_variance,
+                                     Clock::time_point deadline = Clock::time_point::max());
+
+  /// Stop accepting, finish everything queued, join the dispatcher.
+  /// Idempotent; also called by the destructor.
+  void drain();
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Pending {
+    std::shared_ptr<const LoadedModel> model;
+    std::vector<geostat::Location> points;
+    bool with_variance = true;
+    Clock::time_point deadline;
+    Clock::time_point enqueued;
+    std::promise<PredictOutcome> promise;
+  };
+
+  void dispatch_loop();
+  void process_batch(std::vector<Pending> batch);
+
+  const EngineConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread dispatcher_;
+  EngineStats stats_{};
+};
+
+}  // namespace gsx::serve

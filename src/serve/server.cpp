@@ -1,0 +1,323 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "geostat/kernel_registry.hpp"
+#include "obs/log.hpp"
+
+namespace gsx::serve {
+
+namespace {
+
+/// write() the whole buffer, tolerating short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+JsonValue stats_to_json(const RegistryStats& r, const EngineStats& e) {
+  JsonValue::Object reg;
+  reg["models"] = JsonValue(r.models);
+  reg["resident_bytes"] = JsonValue(r.resident_bytes);
+  reg["capacity_bytes"] = JsonValue(r.capacity_bytes);
+  reg["hits"] = JsonValue(static_cast<std::size_t>(r.hits));
+  reg["misses"] = JsonValue(static_cast<std::size_t>(r.misses));
+  reg["loads"] = JsonValue(static_cast<std::size_t>(r.loads));
+  reg["evictions"] = JsonValue(static_cast<std::size_t>(r.evictions));
+
+  JsonValue::Object eng;
+  eng["accepted"] = JsonValue(static_cast<std::size_t>(e.accepted));
+  eng["completed"] = JsonValue(static_cast<std::size_t>(e.completed));
+  eng["rejected_queue_full"] = JsonValue(static_cast<std::size_t>(e.rejected_queue_full));
+  eng["rejected_deadline"] = JsonValue(static_cast<std::size_t>(e.rejected_deadline));
+  eng["batches"] = JsonValue(static_cast<std::size_t>(e.batches));
+  eng["batched_points"] = JsonValue(static_cast<std::size_t>(e.batched_points));
+  eng["queue_depth"] = JsonValue(e.queue_depth);
+
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["registry"] = JsonValue(std::move(reg));
+  o["engine"] = JsonValue(std::move(eng));
+  return JsonValue(std::move(o));
+}
+
+const std::string& require_string(const JsonValue& req, const std::string& key) {
+  const JsonValue* v = req.find(key);
+  GSX_REQUIRE(v != nullptr && v->is_string(),
+              "request needs a string \"" + key + "\" field");
+  return v->as_string();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg),
+      registry_(cfg.cache_bytes),
+      engine_(EngineConfig{cfg.workers, cfg.queue_capacity, cfg.max_batch_points}) {}
+
+Server::~Server() {
+  shutdown();
+}
+
+std::string Server::handle_line(const std::string& line) {
+  try {
+    const JsonValue req = JsonValue::parse(line);
+    GSX_REQUIRE(req.is_object(), "request must be a JSON object");
+    return handle_request(req);
+  } catch (const std::exception& e) {
+    return wire_error(e.what());
+  }
+}
+
+std::string Server::handle_request(const JsonValue& req) {
+  const std::string& op = require_string(req, "op");
+  if (op == "load") return do_load(req);
+  if (op == "unload") return do_unload(req);
+  if (op == "predict") return do_predict(req);
+  if (op == "stats") return do_stats();
+  if (op == "health") return do_health();
+  return wire_error("unknown op \"" + op + "\"");
+}
+
+std::string Server::do_load(const JsonValue& req) {
+  const std::string& name = require_string(req, "name");
+  const std::string& path = require_string(req, "path");
+  const std::shared_ptr<const LoadedModel> model = registry_.load(name, path);
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["name"] = JsonValue(model->name);
+  o["kernel"] = JsonValue(geostat::kernel_name(*model->kernel));
+  o["n_train"] = JsonValue(model->train_locs.size());
+  o["resident_bytes"] = JsonValue(model->resident_bytes);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Server::do_unload(const JsonValue& req) {
+  const std::string& name = require_string(req, "name");
+  const bool removed = registry_.unload(name);
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["unloaded"] = JsonValue(removed);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Server::do_predict(const JsonValue& req) {
+  const std::string& name = require_string(req, "model");
+  std::shared_ptr<const LoadedModel> model = registry_.get(name);
+  if (model == nullptr) return wire_error("no such model \"" + name + "\"");
+
+  const JsonValue* pts = req.find("points");
+  GSX_REQUIRE(pts != nullptr && pts->is_array() && !pts->as_array().empty(),
+              "request needs a non-empty \"points\" array");
+  std::vector<geostat::Location> points;
+  points.reserve(pts->as_array().size());
+  for (const JsonValue& p : pts->as_array()) {
+    GSX_REQUIRE(p.is_array() && (p.as_array().size() == 2 || p.as_array().size() == 3),
+                "each point must be [x,y] or [x,y,t]");
+    geostat::Location loc;
+    loc.x = p.as_array()[0].as_number();
+    loc.y = p.as_array()[1].as_number();
+    if (p.as_array().size() == 3) loc.t = p.as_array()[2].as_number();
+    points.push_back(loc);
+  }
+
+  bool with_variance = true;
+  if (const JsonValue* v = req.find("variance")) with_variance = v->as_bool();
+
+  double deadline_seconds = cfg_.default_deadline_seconds;
+  if (const JsonValue* d = req.find("deadline_ms")) {
+    GSX_REQUIRE(d->is_number() && d->as_number() > 0, "\"deadline_ms\" must be > 0");
+    deadline_seconds = d->as_number() / 1000.0;
+  }
+  const auto deadline =
+      KrigingEngine::Clock::now() +
+      std::chrono::duration_cast<KrigingEngine::Clock::duration>(
+          std::chrono::duration<double>(deadline_seconds));
+
+  PredictOutcome out =
+      engine_.submit(std::move(model), std::move(points), with_variance, deadline).get();
+  if (!out.ok) return wire_error(out.error);
+
+  JsonValue::Array mean;
+  mean.reserve(out.mean.size());
+  for (const double m : out.mean) mean.emplace_back(m);
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["mean"] = JsonValue(std::move(mean));
+  if (with_variance) {
+    JsonValue::Array variance;
+    variance.reserve(out.variance.size());
+    for (const double v : out.variance) variance.emplace_back(v);
+    o["variance"] = JsonValue(std::move(variance));
+  }
+  o["batched_with"] = JsonValue(out.batched_with);
+  o["queue_seconds"] = JsonValue(out.queue_seconds);
+  o["total_seconds"] = JsonValue(out.total_seconds);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Server::do_stats() {
+  return stats_to_json(registry_.stats(), engine_.stats()).dump();
+}
+
+std::string Server::do_health() {
+  const RegistryStats r = registry_.stats();
+  const EngineStats e = engine_.stats();
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["status"] = JsonValue(stopping_.load(std::memory_order_acquire) ? "draining"
+                                                                    : "serving");
+  o["models"] = JsonValue(r.models);
+  o["queue_depth"] = JsonValue(e.queue_depth);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::uint16_t Server::listen() {
+  GSX_REQUIRE(listen_fd_ < 0, "Server::listen: already listening");
+  std::uint16_t bound_port = 0;
+  if (!cfg_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    GSX_REQUIRE(listen_fd_ >= 0, "socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    GSX_REQUIRE(cfg_.unix_path.size() < sizeof(addr.sun_path),
+                "unix socket path too long");
+    std::strncpy(addr.sun_path, cfg_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(cfg_.unix_path.c_str());  // stale socket from a previous run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw InvalidArgument("bind(" + cfg_.unix_path + ") failed: " +
+                            std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    GSX_REQUIRE(listen_fd_ >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // serving is local-only
+    addr.sin_port = htons(cfg_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw InvalidArgument(std::string("bind(127.0.0.1) failed: ") +
+                            std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port = ntohs(bound.sin_port);
+  }
+  GSX_REQUIRE(::listen(listen_fd_, 64) == 0, "listen() failed");
+  running_.store(true, std::memory_order_release);
+  obs::log_info("serve", "listening",
+                {obs::lf("endpoint", cfg_.unix_path.empty()
+                                         ? "127.0.0.1:" + std::to_string(bound_port)
+                                         : cfg_.unix_path)});
+  return bound_port;
+}
+
+void Server::serve_forever() {
+  GSX_REQUIRE(listen_fd_ >= 0, "Server::serve_forever: call listen() first");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen fd closed by shutdown(), or fatal error
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lk(conn_mu_);
+    reap_finished_locked();
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::connection_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while (open && (nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      std::string response = handle_line(line);
+      response.push_back('\n');
+      open = write_all(fd, response.data(), response.size());
+    }
+  }
+  {
+    std::lock_guard lk(conn_mu_);
+    conn_fds_.erase(fd);
+    finished_ids_.insert(std::this_thread::get_id());
+  }
+  ::close(fd);
+}
+
+void Server::reap_finished_locked() {
+  // Bounded housekeeping: connection threads mark themselves finished on the
+  // way out, so joining here never blocks on a live connection (the marked
+  // thread has nothing left to run but close() + return).
+  if (finished_ids_.empty()) return;
+  auto it = conn_threads_.begin();
+  while (it != conn_threads_.end()) {
+    const std::thread::id id = it->get_id();
+    if (finished_ids_.count(id) != 0) {
+      it->join();
+      finished_ids_.erase(id);
+      it = conn_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // wakes accept()
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(conn_mu_);
+    // Wake connection threads blocked in read(); they close their own fds.
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+    finished_ids_.clear();
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  engine_.drain();
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace gsx::serve

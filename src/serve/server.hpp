@@ -1,0 +1,98 @@
+// Serving front end: the request handler plus a POSIX socket listener.
+//
+// The wire protocol is newline-delimited JSON — one request object per line,
+// one response object per line, over a Unix-domain or TCP socket. Verbs:
+//
+//   {"op":"load","name":"era5","path":"/models/era5.ckpt"}
+//   {"op":"unload","name":"era5"}
+//   {"op":"predict","model":"era5","points":[[x,y],[x,y,t],...],
+//    "variance":true,"deadline_ms":250}
+//   {"op":"stats"}
+//   {"op":"health"}
+//
+// Every response carries "ok"; failures add "error". handle_line() is the
+// whole protocol — the daemon's connection threads and the in-process tests
+// both drive it, so the socket layer stays a thin framing loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace gsx::serve {
+
+struct ServerConfig {
+  std::string unix_path;              ///< Unix-domain socket path ("" = use TCP)
+  std::uint16_t tcp_port = 0;         ///< TCP port on 127.0.0.1 (0 = ephemeral)
+  std::size_t workers = 1;            ///< solver threads per batch
+  std::size_t queue_capacity = 256;   ///< engine admission bound
+  std::size_t max_batch_points = 8192;
+  std::size_t cache_bytes = std::size_t{1} << 30;  ///< factor-cache capacity
+  double default_deadline_seconds = 30.0;  ///< applied when a request sends none
+};
+
+/// Request handler + listener. Construct, optionally pre-load models through
+/// registry(), then listen()/serve_forever(); or skip the socket entirely and
+/// call handle_line() directly (tests, embedding).
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handle one request line, return one response line (no trailing '\n').
+  /// Never throws: protocol and engine errors become {"ok":false,...}.
+  std::string handle_line(const std::string& line);
+
+  /// Bind + listen on the configured socket. Returns the bound TCP port
+  /// (useful with tcp_port = 0), or 0 for Unix sockets.
+  std::uint16_t listen();
+
+  /// Accept loop; returns after shutdown() (or a fatal accept error).
+  void serve_forever();
+
+  /// Graceful drain: stop accepting, wake the accept loop, finish queued
+  /// predictions, join connection threads. Safe from a signal-watcher thread.
+  void shutdown();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ModelRegistry& registry() { return registry_; }
+  KrigingEngine& engine() { return engine_; }
+
+ private:
+  std::string handle_request(const JsonValue& req);
+  std::string do_load(const JsonValue& req);
+  std::string do_unload(const JsonValue& req);
+  std::string do_predict(const JsonValue& req);
+  std::string do_stats();
+  std::string do_health();
+
+  void connection_loop(int fd);
+  void reap_finished_locked();
+
+  const ServerConfig cfg_;
+  ModelRegistry registry_;
+  KrigingEngine engine_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::set<int> conn_fds_;
+  std::set<std::thread::id> finished_ids_;
+};
+
+}  // namespace gsx::serve

@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <variant>
+#include <vector>
 
 #include "common/bfloat16.hpp"
 #include "common/half.hpp"
@@ -87,6 +90,18 @@ class Tile {
   /// Count NaN/Inf entries in the stored payload (low-rank tiles scan the
   /// U/V factors, not the product). Health-sentinel path, O(payload).
   [[nodiscard]] std::size_t nonfinite_count() const;
+
+  /// Append this tile as a self-describing binary record to `out`:
+  /// fixed little-endian header (format, precision, rows, cols, rank)
+  /// followed by the storage buffer verbatim, so a round trip is
+  /// bit-identical for every (format, precision) pair. Checkpoint layer
+  /// (gsx-ckpt-v1); little-endian hosts only.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parse one record written by serialize() from `in` at `offset`,
+  /// advancing `offset` past it. Throws InvalidArgument on truncated or
+  /// malformed input (never reads past `in`).
+  static Tile deserialize(std::span<const std::uint8_t> in, std::size_t& offset);
 
  private:
   using Payload = std::variant<std::monostate, la::Matrix<double>, la::Matrix<float>,

@@ -1,0 +1,466 @@
+// Serving subsystem: registry LRU semantics, batched kriging engine
+// (correctness vs the dense oracle, admission control, deadlines), the wire
+// protocol, and a full socket end-to-end pass against the daemon's Server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "geostat/field.hpp"
+#include "geostat/kernel_registry.hpp"
+#include "geostat/locations.hpp"
+#include "geostat/prediction.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace gsx::serve {
+namespace {
+
+struct Problem {
+  std::vector<geostat::Location> locs;
+  std::vector<double> z;
+  std::vector<double> theta{1.0, 0.1, 0.5};
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed = 13) {
+  Rng rng(seed);
+  Problem p;
+  p.locs = geostat::perturbed_grid_locations(n, rng);
+  geostat::sort_morton(p.locs);
+  const auto kernel = geostat::make_kernel("matern", p.theta);
+  p.z = geostat::simulate_grf(*kernel, p.locs, rng);
+  return p;
+}
+
+std::shared_ptr<const LoadedModel> make_model(const Problem& p, const std::string& name) {
+  core::ModelConfig cfg;
+  cfg.variant = core::ComputeVariant::DenseFP64;
+  cfg.tile_size = 24;
+  cfg.calibrate_perf_model = false;
+  const core::GsxModel model(geostat::make_kernel("matern", p.theta), cfg);
+  ModelCheckpoint ckpt;
+  ckpt.kernel = "matern";
+  ckpt.theta = p.theta;
+  ckpt.config = cfg;
+  ckpt.train_locs = p.locs;
+  ckpt.z_train = p.z;
+  ckpt.factor = model.factor_at(p.theta, p.locs);
+  return LoadedModel::from_checkpoint(name, std::move(ckpt));
+}
+
+std::vector<geostat::Location> random_points(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geostat::Location> pts(m);
+  for (geostat::Location& l : pts) {
+    l.x = rng.uniform();
+    l.y = rng.uniform();
+  }
+  return pts;
+}
+
+/// |a - b| <= tol * max(1, |b|), elementwise.
+void expect_close(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_LE(std::abs(a[i] - b[i]), tol * std::max(1.0, std::abs(b[i]))) << i;
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, InsertGetUnloadStats) {
+  const Problem p = make_problem(72);
+  ModelRegistry reg;
+  EXPECT_EQ(reg.get("a"), nullptr);
+  reg.insert(make_model(p, "a"));
+  const auto a = reg.get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "a");
+
+  const RegistryStats s = reg.stats();
+  EXPECT_EQ(s.models, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.resident_bytes, a->resident_bytes);
+
+  EXPECT_TRUE(reg.unload("a"));
+  EXPECT_FALSE(reg.unload("a"));
+  EXPECT_EQ(reg.stats().models, 0u);
+  EXPECT_EQ(reg.stats().resident_bytes, 0u);
+}
+
+TEST(Registry, EvictsLeastRecentlyUsedUnderPressure) {
+  const Problem p = make_problem(72);
+  const auto a = make_model(p, "a");
+  // Capacity fits two models but not three.
+  ModelRegistry reg(a->resident_bytes * 5 / 2);
+  reg.insert(a);
+  reg.insert(make_model(p, "b"));
+  ASSERT_NE(reg.get("a"), nullptr);  // bump a's recency above b's
+  reg.insert(make_model(p, "c"));    // must evict b, the LRU entry
+
+  EXPECT_NE(reg.get("a"), nullptr);
+  EXPECT_EQ(reg.get("b"), nullptr);
+  EXPECT_NE(reg.get("c"), nullptr);
+  EXPECT_EQ(reg.stats().evictions, 1u);
+  EXPECT_EQ(reg.stats().models, 2u);
+}
+
+TEST(Registry, ReplacingANameDoesNotLeakBytes) {
+  const Problem p = make_problem(72);
+  ModelRegistry reg;
+  reg.insert(make_model(p, "a"));
+  const std::size_t once = reg.stats().resident_bytes;
+  reg.insert(make_model(p, "a"));
+  EXPECT_EQ(reg.stats().resident_bytes, once);
+  EXPECT_EQ(reg.stats().models, 1u);
+}
+
+TEST(Registry, RejectsModelLargerThanCache) {
+  const Problem p = make_problem(72);
+  ModelRegistry reg(128);  // bytes — far below any real model
+  EXPECT_THROW(reg.insert(make_model(p, "big")), InvalidArgument);
+}
+
+// --- engine -----------------------------------------------------------------
+
+TEST(Engine, MatchesDenseKrigingOracle) {
+  const Problem p = make_problem(120);
+  const auto model = make_model(p, "m");
+  const auto pts = random_points(17, 29);
+
+  KrigingEngine engine(EngineConfig{2, 16, 4096});
+  PredictOutcome out = engine.submit(model, pts, true).get();
+  ASSERT_TRUE(out.ok) << out.error;
+  ASSERT_EQ(out.mean.size(), pts.size());
+
+  const auto kernel = geostat::make_kernel("matern", p.theta);
+  const auto oracle = geostat::krige(*kernel, p.locs, p.z, pts, true);
+  expect_close(out.mean, oracle.mean, 1e-10);
+  expect_close(out.variance, oracle.variance, 1e-10);
+}
+
+TEST(Engine, MicroBatchesQueuedRequestsIntoOnePass) {
+  const Problem p = make_problem(96);
+  const auto model = make_model(p, "m");
+  const std::size_t k = 5;
+
+  KrigingEngine engine(EngineConfig{1, 16, 4096}, /*auto_start=*/false);
+  std::vector<std::future<PredictOutcome>> futures;
+  std::vector<std::vector<geostat::Location>> pts;
+  for (std::size_t r = 0; r < k; ++r) {
+    pts.push_back(random_points(3 + r, 100 + r));
+    futures.push_back(engine.submit(model, pts.back(), r % 2 == 0));
+  }
+  engine.start();
+
+  const auto kernel = geostat::make_kernel("matern", p.theta);
+  for (std::size_t r = 0; r < k; ++r) {
+    PredictOutcome out = futures[r].get();
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.batched_with, k);  // all pre-queued requests in one batch
+    const auto oracle = geostat::krige(*kernel, p.locs, p.z, pts[r], true);
+    expect_close(out.mean, oracle.mean, 1e-10);
+    if (r % 2 == 0) expect_close(out.variance, oracle.variance, 1e-10);
+    else EXPECT_TRUE(out.variance.empty());
+  }
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.accepted, k);
+  EXPECT_EQ(s.completed, k);
+  EXPECT_EQ(s.batches, 1u);
+}
+
+TEST(Engine, ConcurrentSubmittersAllGetCorrectAnswers) {
+  const Problem p = make_problem(120);
+  const auto model = make_model(p, "m");
+  const auto kernel = geostat::make_kernel("matern", p.theta);
+  KrigingEngine engine(EngineConfig{2, 64, 8192});
+
+  constexpr std::size_t kThreads = 4, kPerThread = 6;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kPerThread; ++r) {
+        const auto pts = random_points(5, 1000 + t * 100 + r);
+        PredictOutcome out = engine.submit(model, pts, true).get();
+        if (!out.ok) {
+          ++failures;
+          continue;
+        }
+        const auto oracle = geostat::krige(*kernel, p.locs, p.z, pts, true);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+          if (std::abs(out.mean[i] - oracle.mean[i]) >
+              1e-10 * std::max(1.0, std::abs(oracle.mean[i])))
+            ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(engine.stats().completed, kThreads * kPerThread);
+}
+
+TEST(Engine, QueueFullFastFails) {
+  const Problem p = make_problem(48);
+  const auto model = make_model(p, "m");
+  KrigingEngine engine(EngineConfig{1, 2, 4096}, /*auto_start=*/false);
+
+  auto f1 = engine.submit(model, random_points(2, 1), true);
+  auto f2 = engine.submit(model, random_points(2, 2), true);
+  auto f3 = engine.submit(model, random_points(2, 3), true);  // over capacity
+
+  // The rejection is immediate — no dispatcher is running yet.
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const PredictOutcome rejected = f3.get();
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, "queue full");
+  EXPECT_EQ(engine.stats().rejected_queue_full, 1u);
+
+  engine.start();
+  EXPECT_TRUE(f1.get().ok);
+  EXPECT_TRUE(f2.get().ok);
+}
+
+TEST(Engine, ExpiredDeadlineFailsWithoutSolving) {
+  const Problem p = make_problem(48);
+  const auto model = make_model(p, "m");
+  KrigingEngine engine(EngineConfig{1, 8, 4096}, /*auto_start=*/false);
+
+  const auto expired = KrigingEngine::Clock::now() - std::chrono::milliseconds(1);
+  auto f = engine.submit(model, random_points(3, 4), true, expired);
+  engine.start();
+  const PredictOutcome out = f.get();
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("deadline"), std::string::npos) << out.error;
+  EXPECT_EQ(engine.stats().rejected_deadline, 1u);
+  EXPECT_EQ(engine.stats().completed, 0u);
+}
+
+TEST(Engine, DrainFailsQueuedAndRejectsNewWork) {
+  const Problem p = make_problem(48);
+  const auto model = make_model(p, "m");
+  KrigingEngine engine(EngineConfig{1, 8, 4096}, /*auto_start=*/false);
+  auto f = engine.submit(model, random_points(2, 5), true);
+  engine.drain();
+  EXPECT_FALSE(f.get().ok);
+  const PredictOutcome after = engine.submit(model, random_points(2, 6), true).get();
+  EXPECT_FALSE(after.ok);
+  EXPECT_EQ(after.error, "engine draining");
+}
+
+TEST(Engine, NullModelAndEmptyPointsFailFast) {
+  KrigingEngine engine(EngineConfig{1, 8, 4096}, /*auto_start=*/false);
+  EXPECT_FALSE(engine.submit(nullptr, random_points(2, 7), true).get().ok);
+  const Problem p = make_problem(48);
+  EXPECT_FALSE(engine.submit(make_model(p, "m"), {}, true).get().ok);
+}
+
+// --- wire protocol ----------------------------------------------------------
+
+TEST(Wire, ParsesAndDumps) {
+  const JsonValue v = JsonValue::parse(
+      R"({"op":"predict","points":[[0.25,0.5],[1,2,3]],"variance":false,"s":"a\"b\n\u00e9"})");
+  EXPECT_EQ(v.find("op")->as_string(), "predict");
+  EXPECT_EQ(v.find("points")->as_array().size(), 2u);
+  EXPECT_EQ(v.find("points")->as_array()[1].as_array()[2].as_number(), 3.0);
+  EXPECT_FALSE(v.find("variance")->as_bool());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\n\xc3\xa9");
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  // dump -> parse round trip.
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back.dump(), v.dump());
+}
+
+TEST(Wire, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("[1,2,"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("nul"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("\"\\u12\""), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("1e999x"), InvalidArgument);
+}
+
+// --- server: handler + socket e2e -------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string save_checkpoint_for(const Problem& p) {
+  core::ModelConfig cfg;
+  cfg.variant = core::ComputeVariant::DenseFP64;
+  cfg.tile_size = 24;
+  cfg.calibrate_perf_model = false;
+  const core::GsxModel model(geostat::make_kernel("matern", p.theta), cfg);
+  ModelCheckpoint ckpt;
+  ckpt.kernel = "matern";
+  ckpt.theta = p.theta;
+  ckpt.config = cfg;
+  ckpt.train_locs = p.locs;
+  ckpt.z_train = p.z;
+  ckpt.factor = model.factor_at(p.theta, p.locs);
+  const std::string path = temp_path("gsx_serve_e2e.ckpt");
+  save_model_checkpoint(path, ckpt);
+  return path;
+}
+
+TEST(Server, HandleLineProtocolErrors) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+
+  auto expect_err = [&](const std::string& line, const std::string& needle) {
+    const JsonValue r = JsonValue::parse(server.handle_line(line));
+    EXPECT_FALSE(r.find("ok")->as_bool()) << line;
+    EXPECT_NE(r.find("error")->as_string().find(needle), std::string::npos)
+        << line << " -> " << r.dump();
+  };
+  expect_err("this is not json", "JSON parse error");
+  expect_err("[1,2,3]", "must be a JSON object");
+  expect_err(R"({"noop":1})", "op");
+  expect_err(R"({"op":"transmogrify"})", "unknown op");
+  expect_err(R"({"op":"predict","model":"ghost","points":[[0,0]]})", "no such model");
+  expect_err(R"({"op":"load","name":"x","path":"/nonexistent.ckpt"})", "cannot open");
+  expect_err(R"({"op":"predict","model":"ghost"})", "no such model");
+
+  const JsonValue health = JsonValue::parse(server.handle_line(R"({"op":"health"})"));
+  EXPECT_TRUE(health.find("ok")->as_bool());
+  EXPECT_EQ(health.find("status")->as_string(), "serving");
+  const JsonValue stats = JsonValue::parse(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_EQ(stats.find("registry")->find("models")->as_number(), 0.0);
+}
+
+/// Minimal blocking NDJSON client for the e2e test.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  JsonValue request(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    EXPECT_EQ(::write(fd_, out.data(), out.size()), static_cast<ssize_t>(out.size()));
+    std::string response;
+    char c;
+    while (::read(fd_, &c, 1) == 1 && c != '\n') response.push_back(c);
+    return JsonValue::parse(response);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(Server, SocketEndToEndLoadPredictStatsDrain) {
+  const Problem p = make_problem(120);
+  const std::string ckpt_path = save_checkpoint_for(p);
+  const auto kernel = geostat::make_kernel("matern", p.theta);
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  Server server(cfg);
+  const std::uint16_t port = server.listen();
+  ASSERT_GT(port, 0);
+  std::thread accept_thread([&] { server.serve_forever(); });
+
+  {
+    Client admin(port);
+    const JsonValue loaded = admin.request(
+        R"({"op":"load","name":"m","path":")" + ckpt_path + R"("})");
+    ASSERT_TRUE(loaded.find("ok")->as_bool()) << loaded.dump();
+    EXPECT_EQ(loaded.find("kernel")->as_string(), "matern");
+    EXPECT_EQ(loaded.find("n_train")->as_number(), 120.0);
+  }
+
+  // Concurrent predict clients, each on its own connection.
+  constexpr std::size_t kClients = 4;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Client c(port);
+      const auto pts = random_points(4, 500 + t);
+      std::string req = R"({"op":"predict","model":"m","points":[)";
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (i) req += ",";
+        req += "[" + std::to_string(pts[i].x) + "," + std::to_string(pts[i].y) + "]";
+      }
+      req += "]}";
+      const JsonValue r = c.request(req);
+      if (!r.find("ok")->as_bool()) {
+        ++failures;
+        return;
+      }
+      // The wire carries full double precision (shortest round-trip form),
+      // but the request coordinates went through to_string (6 digits), so
+      // re-derive the oracle at the *parsed* coordinates.
+      std::vector<geostat::Location> sent(pts.size());
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        sent[i].x = std::stod(std::to_string(pts[i].x));
+        sent[i].y = std::stod(std::to_string(pts[i].y));
+      }
+      const auto oracle = geostat::krige(*kernel, p.locs, p.z, sent, true);
+      const auto& mean = r.find("mean")->as_array();
+      const auto& var = r.find("variance")->as_array();
+      for (std::size_t i = 0; i < sent.size(); ++i) {
+        if (std::abs(mean[i].as_number() - oracle.mean[i]) >
+            1e-10 * std::max(1.0, std::abs(oracle.mean[i])))
+          ++failures;
+        if (std::abs(var[i].as_number() - oracle.variance[i]) >
+            1e-10 * std::max(1.0, std::abs(oracle.variance[i])))
+          ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  {
+    Client admin(port);
+    const JsonValue stats = admin.request(R"({"op":"stats"})");
+    ASSERT_TRUE(stats.find("ok")->as_bool());
+    EXPECT_GE(stats.find("engine")->find("completed")->as_number(),
+              static_cast<double>(kClients));
+    EXPECT_EQ(stats.find("registry")->find("models")->as_number(), 1.0);
+
+    const JsonValue unloaded = admin.request(R"({"op":"unload","name":"m"})");
+    EXPECT_TRUE(unloaded.find("ok")->as_bool());
+    EXPECT_TRUE(unloaded.find("unloaded")->as_bool());
+  }
+
+  server.shutdown();
+  accept_thread.join();
+  EXPECT_FALSE(server.running());
+  std::remove(ckpt_path.c_str());
+}
+
+}  // namespace
+}  // namespace gsx::serve

@@ -2,7 +2,8 @@
 # Documentation consistency checks:
 #   1. every relative markdown link in the top-level docs and docs/ resolves
 #      to an existing file or directory;
-#   2. every module directory under src/ appears in the README module map.
+#   2. every module directory under src/ appears in the README module map;
+#   3. docs/serving.md documents every wire-protocol verb the daemon speaks.
 # Run from anywhere: paths resolve against the repo root (this script's
 # parent directory). Exits non-zero listing every violation.
 set -u
@@ -44,6 +45,20 @@ for mod in "$root"/src/*/; do
     status=1
   fi
 done
+
+# --- 3. serving doc covers every wire verb ---------------------------------
+serving="$root/docs/serving.md"
+if [ ! -e "$serving" ]; then
+  echo "MISSING DOC: docs/serving.md"
+  status=1
+else
+  for verb in load unload predict stats health; do
+    if ! grep -q "\"op\":\"$verb\"" "$serving"; then
+      echo "MISSING VERB: docs/serving.md has no example for op \"$verb\""
+      status=1
+    fi
+  done
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"

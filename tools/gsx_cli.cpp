@@ -9,24 +9,30 @@
 // Kernels: matern (3 params), matern-nugget (4), powexp (3),
 //          aniso-matern (5), gneiting (6).
 // Variants: dense | mp | tlr.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cholesky/tile_solve.hpp"
 #include "core/model.hpp"
 #include "data/dataset.hpp"
-#include "geostat/covariance_ext.hpp"
 #include "geostat/field.hpp"
+#include "geostat/kernel_registry.hpp"
 #include "mathx/stats.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "runtime/trace_io.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/registry.hpp"
 
 namespace {
 
@@ -40,10 +46,15 @@ using namespace gsx;
                " --out FILE\n"
                "  fit      --data FILE --kernel K [--variant dense|mp|tlr]"
                " [--tile TS] [--workers W] [--start a,b,...] [--max-evals E]"
-               " [--profile PREFIX]\n"
+               " [--checkpoint FILE] [--profile PREFIX]\n"
                "  predict  --train FILE --test FILE --kernel K --theta a,b,..."
                " [--variant V] [--tile TS] [--workers W] [--out FILE]"
                " [--profile PREFIX]\n"
+               "  predict  --from-checkpoint FILE --test FILE [--workers W]"
+               " [--out FILE]\n"
+               "--checkpoint saves MLE restart state on every improvement and the\n"
+               "full fitted model (gsx-ckpt-v1) on completion; an existing\n"
+               "fit-progress checkpoint at FILE resumes the interrupted fit\n"
                "kernels: matern matern-nugget powexp aniso-matern gneiting\n"
                "--profile writes PREFIX.trace.json (Chrome trace of the full\n"
                "pipeline), PREFIX.profile.json (per-iteration flop/precision/rank\n"
@@ -87,34 +98,15 @@ std::vector<double> parse_theta(const std::string& csv) {
 
 std::unique_ptr<geostat::CovarianceModel> make_kernel(const std::string& name,
                                                       const std::vector<double>* theta) {
-  auto pick = [&](std::size_t i, double dflt) {
-    return (theta && theta->size() > i) ? (*theta)[i] : dflt;
-  };
-  std::unique_ptr<geostat::CovarianceModel> m;
-  if (name == "matern") {
-    m = std::make_unique<geostat::MaternCovariance>(pick(0, 1.0), pick(1, 0.1),
-                                                    pick(2, 0.5), 1e-6);
-  } else if (name == "matern-nugget") {
-    m = std::make_unique<geostat::MaternNuggetCovariance>(pick(0, 1.0), pick(1, 0.1),
-                                                          pick(2, 0.5), pick(3, 0.01));
-  } else if (name == "powexp") {
-    m = std::make_unique<geostat::PoweredExponentialCovariance>(pick(0, 1.0), pick(1, 0.1),
-                                                                pick(2, 1.0), 1e-6);
-  } else if (name == "aniso-matern") {
-    m = std::make_unique<geostat::AnisotropicMaternCovariance>(
-        pick(0, 1.0), pick(1, 0.2), pick(2, 0.05), pick(3, 0.0), pick(4, 0.5), 1e-6);
-  } else if (name == "gneiting") {
-    m = std::make_unique<geostat::GneitingCovariance>(pick(0, 1.0), pick(1, 0.2),
-                                                      pick(2, 0.5), pick(3, 0.5),
-                                                      pick(4, 0.9), pick(5, 0.3), 1e-6);
-  } else {
-    usage(("unknown kernel: " + name).c_str());
+  // Kernel construction lives in geostat::make_kernel (shared with the
+  // serving layer, which reconstructs kernels from checkpoint metadata);
+  // here we only translate its exceptions into CLI usage errors.
+  try {
+    return geostat::make_kernel(
+        name, theta ? std::span<const double>(*theta) : std::span<const double>());
+  } catch (const std::exception& e) {
+    usage(e.what());
   }
-  if (theta && theta->size() != m->num_params())
-    usage(("kernel " + name + " expects " + std::to_string(m->num_params()) +
-           " parameters")
-              .c_str());
-  return m;
 }
 
 /// Arm the observability layer when --profile PREFIX was given; returns
@@ -212,20 +204,59 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
 int cmd_fit(const std::map<std::string, std::string>& flags) {
   const data::Dataset d = data::read_csv(flag(flags, "data"));
+  const std::string kernel_name = flag(flags, "kernel");
+  const std::string ckpt_path =
+      flags.count("checkpoint") ? flags.at("checkpoint") : std::string();
+
   std::unique_ptr<geostat::CovarianceModel> kernel;
-  if (flags.count("start")) {
+  if (!ckpt_path.empty() && std::filesystem::exists(ckpt_path) &&
+      serve::probe_checkpoint(ckpt_path) == serve::CheckpointKind::FitProgress) {
+    // Restart an interrupted fit from its incumbent best.
+    const serve::FitCheckpoint fc = serve::load_fit_checkpoint(ckpt_path);
+    if (fc.kernel != kernel_name)
+      usage(("checkpoint " + ckpt_path + " was fit with kernel " + fc.kernel).c_str());
+    kernel = make_kernel(kernel_name, &fc.theta_best);
+    std::printf("resuming from %s (loglik %.6f, %llu evaluations)\n", ckpt_path.c_str(),
+                fc.loglik_best, static_cast<unsigned long long>(fc.evaluations));
+  } else if (flags.count("start")) {
     const std::vector<double> start = parse_theta(flags.at("start"));
-    kernel = make_kernel(flag(flags, "kernel"), &start);
+    kernel = make_kernel(kernel_name, &start);
   } else {
-    kernel = make_kernel(flag(flags, "kernel"), nullptr);
+    kernel = make_kernel(kernel_name, nullptr);
   }
   core::ModelConfig cfg = make_config(flags);
   cfg.nm.max_evals =
       static_cast<std::size_t>(std::atoll(flag(flags, "max-evals", "200").c_str()));
 
+  core::GsxModel::FitCallback on_improve;
+  if (!ckpt_path.empty()) {
+    on_improve = [&](const core::GsxModel::FitProgress& p) {
+      serve::FitCheckpoint fc;
+      fc.kernel = kernel_name;
+      fc.theta_best.assign(p.theta_best.begin(), p.theta_best.end());
+      fc.loglik_best = p.loglik_best;
+      fc.evaluations = p.evaluations;
+      serve::save_fit_checkpoint(ckpt_path, fc);
+    };
+  }
+
   const bool profiling = begin_profile(flags);
   const core::GsxModel model(kernel->clone(), cfg);
-  const core::FitResult fit = model.fit(d.locations, d.values);
+  const core::FitResult fit = model.fit(d.locations, d.values, on_improve);
+
+  if (!ckpt_path.empty()) {
+    // Replace the restart checkpoint with the full servable model: fitted
+    // theta plus the tile Cholesky factor at that theta.
+    serve::ModelCheckpoint mc;
+    mc.kernel = kernel_name;
+    mc.theta = fit.theta;
+    mc.config = cfg;
+    mc.train_locs = d.locations;
+    mc.z_train = d.values;
+    mc.factor = model.factor_at(fit.theta, d.locations);
+    serve::save_model_checkpoint(ckpt_path, mc);
+    std::printf("checkpoint: wrote fitted model to %s\n", ckpt_path.c_str());
+  }
   if (profiling) end_profile(flags);
 
   std::printf("variant: %s\n", core::variant_name(cfg.variant));
@@ -238,16 +269,27 @@ int cmd_fit(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_predict(const std::map<std::string, std::string>& flags) {
-  const data::Dataset train = data::read_csv(flag(flags, "train"));
   const data::Dataset test = data::read_csv(flag(flags, "test"));
-  const std::vector<double> theta = parse_theta(flag(flags, "theta"));
-  const auto kernel = make_kernel(flag(flags, "kernel"), &theta);
-  const core::ModelConfig cfg = make_config(flags);
-
   const bool profiling = begin_profile(flags);
-  const core::GsxModel model(kernel->clone(), cfg);
-  const geostat::KrigingResult pred =
-      model.predict(theta, train.locations, train.values, test.locations, true);
+
+  geostat::KrigingResult pred;
+  if (flags.count("from-checkpoint")) {
+    // Fit-once/predict-many path: reload the fitted model (kernel, theta,
+    // factored Sigma_nn) and go straight to the tile-native solve.
+    const std::size_t workers =
+        static_cast<std::size_t>(std::atoll(flag(flags, "workers", "1").c_str()));
+    const auto model =
+        serve::LoadedModel::from_checkpoint("cli", flags.at("from-checkpoint"));
+    pred = cholesky::tile_krige_solved(*model->kernel, model->factor, model->y_solved,
+                                       model->train_locs, test.locations, true, workers);
+  } else {
+    const data::Dataset train = data::read_csv(flag(flags, "train"));
+    const std::vector<double> theta = parse_theta(flag(flags, "theta"));
+    const auto kernel = make_kernel(flag(flags, "kernel"), &theta);
+    const core::ModelConfig cfg = make_config(flags);
+    const core::GsxModel model(kernel->clone(), cfg);
+    pred = model.predict(theta, train.locations, train.values, test.locations, true);
+  }
   if (profiling) end_profile(flags);
 
   if (flags.count("out")) {

@@ -1,0 +1,148 @@
+// gsx_serve: prediction-serving daemon.
+//
+// Speaks newline-delimited JSON over a Unix-domain or TCP socket (see
+// docs/serving.md for the wire protocol). Models are loaded from gsx-ckpt-v1
+// checkpoints at startup (--model NAME=PATH, repeatable) or at runtime via
+// the "load" verb. SIGINT/SIGTERM trigger a graceful drain: stop accepting,
+// finish queued predictions, exit 0.
+//
+//   gsx_serve --socket /tmp/gsx.sock --workers 4 --model era5=/models/era5.ckpt
+//   gsx_serve --port 7421 --cache-mb 2048
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler only writes one byte; the watcher thread does
+// the actual shutdown, keeping async-signal-safety trivial.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH | --port N] [options]\n"
+               "\n"
+               "  --socket PATH        listen on a Unix-domain socket\n"
+               "  --port N             listen on 127.0.0.1:N (0 = ephemeral; default)\n"
+               "  --model NAME=PATH    preload a checkpoint (repeatable)\n"
+               "  --workers N          solver threads per batch (default 1)\n"
+               "  --queue N            admission queue capacity (default 256)\n"
+               "  --max-batch-points N micro-batch cap in test points (default 8192)\n"
+               "  --cache-mb N         factor cache capacity in MiB (default 1024)\n"
+               "  --deadline-ms N      default per-request deadline (default 30000)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gsx::serve::ServerConfig cfg;
+  std::vector<std::pair<std::string, std::string>> preload;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      cfg.unix_path = value();
+    } else if (arg == "--port") {
+      cfg.tcp_port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--model") {
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "%s: --model wants NAME=PATH, got \"%s\"\n", argv[0],
+                     spec.c_str());
+        return 2;
+      }
+      preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--workers") {
+      cfg.workers = std::stoul(value());
+    } else if (arg == "--queue") {
+      cfg.queue_capacity = std::stoul(value());
+    } else if (arg == "--max-batch-points") {
+      cfg.max_batch_points = std::stoul(value());
+    } else if (arg == "--cache-mb") {
+      cfg.cache_bytes = std::stoul(value()) * (std::size_t{1} << 20);
+    } else if (arg == "--deadline-ms") {
+      cfg.default_deadline_seconds = std::stod(value()) / 1000.0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  gsx::serve::Server server(cfg);
+  try {
+    for (const auto& [name, path] : preload) {
+      const auto model = server.registry().load(name, path);
+      gsx::obs::log_info("serve", "preloaded model",
+                         {gsx::obs::lf("name", name),
+                          gsx::obs::lf("bytes", static_cast<std::uint64_t>(
+                                                    model->resident_bytes))});
+    }
+    const std::uint16_t port = server.listen();
+    if (cfg.unix_path.empty())
+      std::printf("gsx_serve: listening on 127.0.0.1:%u\n", port);
+    else
+      std::printf("gsx_serve: listening on %s\n", cfg.unix_path.c_str());
+    std::fflush(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsx_serve: %s\n", e.what());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("gsx_serve: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a dropped client must not kill the daemon
+
+  std::thread watcher([&server] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    gsx::obs::log_info("serve", "signal received, draining", {});
+    server.shutdown();
+  });
+
+  server.serve_forever();
+  server.shutdown();
+
+  // Wake the watcher if shutdown came from an accept error, not a signal.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  watcher.join();
+  std::printf("gsx_serve: drained, bye\n");
+  return 0;
+}
