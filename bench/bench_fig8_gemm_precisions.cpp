@@ -4,11 +4,18 @@
 //
 // Expected shape: SGEMM above DGEMM; SHGEMM below SGEMM (the conversion
 // overhead the paper also observed, falling back to SGEMM for performance).
+// The *_ref variants time the la::ref loops the packed micro-kernel path
+// replaced, so the JSON carries the measured speedup baseline.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "bench_utils.hpp"
 #include "common/rng.hpp"
 #include "la/blas.hpp"
 #include "la/convert.hpp"
+#include "la/gemm_kernel.hpp"
 #include "la/half_blas.hpp"
 #include "la/matrix.hpp"
 
@@ -90,11 +97,106 @@ void BM_hgemm_fp16_store(benchmark::State& state) {
       2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
-BENCHMARK(BM_dgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_sgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_shgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_hgemm_fp16_store)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+void BM_dgemm_ref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = random_mat<double>(n, rng);
+  const auto b = random_mat<double>(n, rng);
+  la::Matrix<double> c(n, n);
+  for (auto _ : state) {
+    la::ref::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, -1.0, a.cview(), b.cview(),
+                          1.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_sgemm_ref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = random_mat<float>(n, rng);
+  const auto b = random_mat<float>(n, rng);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::ref::gemm<float>(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(),
+                         1.0f, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+#define GSX_FIG8_SIZES ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_dgemm) GSX_FIG8_SIZES;
+BENCHMARK(BM_sgemm) GSX_FIG8_SIZES;
+BENCHMARK(BM_shgemm) GSX_FIG8_SIZES;
+BENCHMARK(BM_hgemm_fp16_store) GSX_FIG8_SIZES;
+BENCHMARK(BM_dgemm_ref) GSX_FIG8_SIZES;
+BENCHMARK(BM_sgemm_ref) GSX_FIG8_SIZES;
+
+/// Console output as usual, plus a BenchRecord per run for --json. The size
+/// is recovered from the "BM_name/123" run name.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<bench::BenchRecord> records;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      bench::BenchRecord rec;
+      rec.name = r.benchmark_name();
+      const auto slash = rec.name.rfind('/');
+      if (slash != std::string::npos)
+        rec.size = static_cast<std::size_t>(std::atoll(rec.name.c_str() + slash + 1));
+      rec.seconds = (r.iterations > 0)
+                        ? r.real_accumulated_time / static_cast<double>(r.iterations)
+                        : 0.0;
+      const auto it = r.counters.find("GFlop/s");
+      // Rate counters are already normalized by elapsed time at this point.
+      if (it != r.counters.end()) rec.gflops = it->second.value;
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+/// Derived records: packed-path throughput as a percent of the measured
+/// reference baseline at the same size (stored in `gflops`; `seconds` = 0).
+void append_pct_of_ref(std::vector<bench::BenchRecord>& records) {
+  const std::pair<const char*, const char*> pairs[] = {
+      {"BM_dgemm/", "BM_dgemm_ref/"}, {"BM_sgemm/", "BM_sgemm_ref/"}};
+  std::vector<bench::BenchRecord> derived;
+  for (const auto& [fast_prefix, ref_prefix] : pairs) {
+    for (const auto& fast : records) {
+      if (fast.name.rfind(fast_prefix, 0) != 0) continue;
+      for (const auto& ref : records) {
+        if (ref.name.rfind(ref_prefix, 0) == 0 && ref.size == fast.size &&
+            ref.gflops > 0.0) {
+          bench::BenchRecord rec;
+          rec.name = std::string(fast_prefix) + "pct_of_ref";
+          rec.size = fast.size;
+          rec.gflops = 100.0 * fast.gflops / ref.gflops;
+          derived.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+  records.insert(records.end(), derived.begin(), derived.end());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::string json = bench::json_out_path(argc, argv);
+  std::printf("gemm kernel isa: %s\n", gsx::la::gemm_kernel_isa());
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json.empty()) {
+    append_pct_of_ref(reporter.records);
+    bench::write_bench_json(json, reporter.records);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -87,6 +87,7 @@ int potrf_tile(Tile& akk) {
   GSX_REQUIRE(akk.format() == TileFormat::Dense && akk.precision() == Precision::FP64,
               "potrf_tile: diagonal tiles must be dense FP64");
   account(KernelOp::Potrf, Precision::FP64, obs::potrf_flops(akk.rows()));
+  const obs::KernelTimer timer(KernelOp::Potrf, Precision::FP64);
   return la::potrf<double>(la::Uplo::Lower, akk.d64().view());
 }
 
@@ -96,12 +97,14 @@ void trsm_tile(const Tile& lkk, Tile& amk) {
   switch (amk.precision()) {
     case Precision::FP64: {
       const F64Operand l(lkk);
+      const obs::KernelTimer timer(KernelOp::Trsm, Precision::FP64);
       la::trsm<double>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans,
                        la::Diag::NonUnit, 1.0, l.view(), amk.d64().view());
       break;
     }
     case Precision::FP32: {
       const F32Operand l(lkk);
+      const obs::KernelTimer timer(KernelOp::Trsm, Precision::FP32);
       la::trsm<float>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans, la::Diag::NonUnit,
                       1.0f, l.view(), amk.d32().view());
       break;
@@ -112,8 +115,11 @@ void trsm_tile(const Tile& lkk, Tile& amk) {
       const F32Operand l(lkk);
       la::Matrix<float> a32(amk.rows(), amk.cols());
       la::convert(amk.d16().cview(), a32.view());
-      la::trsm<float>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans, la::Diag::NonUnit,
-                      1.0f, l.view(), a32.view());
+      {
+        const obs::KernelTimer timer(KernelOp::Trsm, Precision::FP16);
+        la::trsm<float>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans,
+                        la::Diag::NonUnit, 1.0f, l.view(), a32.view());
+      }
       la::convert(a32.cview(), amk.d16().view());
       break;
     }
@@ -121,8 +127,11 @@ void trsm_tile(const Tile& lkk, Tile& amk) {
       const F32Operand l(lkk);
       la::Matrix<float> a32(amk.rows(), amk.cols());
       la::convert(amk.dbf16().cview(), a32.view());
-      la::trsm<float>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans, la::Diag::NonUnit,
-                      1.0f, l.view(), a32.view());
+      {
+        const obs::KernelTimer timer(KernelOp::Trsm, Precision::BF16);
+        la::trsm<float>(la::Side::Right, la::Uplo::Lower, la::Trans::Trans,
+                        la::Diag::NonUnit, 1.0f, l.view(), a32.view());
+      }
       la::convert(a32.cview(), amk.dbf16().view());
       break;
     }
@@ -134,6 +143,7 @@ void syrk_tile(const Tile& amk, Tile& amm) {
               "syrk_tile: diagonal tiles must be dense FP64");
   account(KernelOp::Syrk, Precision::FP64, obs::syrk_flops(amm.rows(), amk.cols()));
   const F64Operand a(amk);
+  const obs::KernelTimer timer(KernelOp::Syrk, Precision::FP64);
   la::syrk<double>(la::Uplo::Lower, la::Trans::NoTrans, -1.0, a.view(), 1.0,
                    amm.d64().view());
 }
@@ -145,12 +155,14 @@ void gemm_tile(const Tile& amk, const Tile& ank, Tile& amn) {
   switch (amn.precision()) {
     case Precision::FP64: {
       const F64Operand a(amk), b(ank);
+      const obs::KernelTimer timer(KernelOp::Gemm, Precision::FP64);
       la::gemm<double>(la::Trans::NoTrans, la::Trans::Trans, -1.0, a.view(), b.view(), 1.0,
                        amn.d64().view());
       break;
     }
     case Precision::FP32: {
       const F32Operand a(amk), b(ank);
+      const obs::KernelTimer timer(KernelOp::Gemm, Precision::FP32);
       la::gemm<float>(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.view(), b.view(), 1.0f,
                       amn.d32().view());
       break;
@@ -158,6 +170,7 @@ void gemm_tile(const Tile& amk, const Tile& ank, Tile& amn) {
     case Precision::FP16: {
       // SHGEMM: operands trimmed to FP16, FP32 accumulation, FP16 store.
       const F16Operand a(amk), b(ank);
+      const obs::KernelTimer timer(KernelOp::Gemm, Precision::FP16);
       la::hgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.view(), b.view(), 1.0f,
                 amn.d16().view());
       break;
@@ -165,6 +178,7 @@ void gemm_tile(const Tile& amk, const Tile& ank, Tile& amn) {
     case Precision::BF16: {
       // SBGEMM: operands trimmed to BF16, FP32 accumulation, BF16 store.
       const Bf16Operand a(amk), b(ank);
+      const obs::KernelTimer timer(KernelOp::Gemm, Precision::BF16);
       la::bgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.view(), b.view(), 1.0f,
                 amn.dbf16().view());
       break;

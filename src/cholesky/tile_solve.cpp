@@ -110,7 +110,10 @@ geostat::LoglikValue tile_loglik(const SymTileMatrix& l, std::span<const double>
   geostat::LoglikValue out;
   out.logdet = tile_logdet(l);
   std::vector<double> y(z.begin(), z.end());
-  tile_forward_solve(l, y);
+  {
+    const obs::KernelTimer timer(obs::KernelOp::Solve, Precision::FP64);
+    tile_forward_solve(l, y);
+  }
   out.quadratic = 0.0;
   for (double v : y) out.quadratic += v * v;
   constexpr double kLog2Pi = 1.8378770664093454835606594728112;
@@ -239,12 +242,14 @@ geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
   const obs::ScopedPhase phase("krige");
   obs::add_flops(obs::KernelOp::Krige, Precision::FP64,
                  obs::trsm_flops(m, n) + obs::gemm_flops(m, 1, n));
-  tile_forward_solve_multi(factored, w.view(), workers);
-
   geostat::KrigingResult out;
   out.mean.assign(m, 0.0);
-  la::gemv<double>(la::Trans::Trans, 1.0, w.cview(), y_solved.data(), 0.0,
-                   out.mean.data());
+  {
+    const obs::KernelTimer timer(obs::KernelOp::Krige, Precision::FP64);
+    tile_forward_solve_multi(factored, w.view(), workers);
+    la::gemv<double>(la::Trans::Trans, 1.0, w.cview(), y_solved.data(), 0.0,
+                     out.mean.data());
+  }
 
   if (with_variance) {
     out.variance.assign(m, 0.0);
@@ -267,7 +272,10 @@ geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
   GSX_REQUIRE(z_train.size() == train_locs.size(), "tile_krige: size mismatch");
   obs::add_flops(obs::KernelOp::Krige, Precision::FP64, obs::trsm_flops(1, factored.n()));
   std::vector<double> y(z_train.begin(), z_train.end());
-  tile_forward_solve(factored, y);
+  {
+    const obs::KernelTimer timer(obs::KernelOp::Krige, Precision::FP64);
+    tile_forward_solve(factored, y);
+  }
   return tile_krige_solved(model, factored, y, train_locs, test_locs, with_variance,
                            workers);
 }

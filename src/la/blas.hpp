@@ -1,28 +1,38 @@
-// Level-3 BLAS kernels over column-major views, templated on the scalar.
+// Level-3 BLAS over column-major views, templated on the scalar.
 //
 // These are the sequential task bodies of the tile algorithms: one GEMM /
 // SYRK / TRSM / POTRF call per tile task, scheduled by the runtime (the
 // paper executes SSL kernels the same way, one sequential kernel per task).
-// Loop orders are chosen so the innermost loop strides unit distance through
-// column-major storage and autovectorizes.
+//
+// Two layers:
+//   la::ref::  — the original unit-stride reference loops, kept alive as
+//                test oracles and as the small-problem fallback.
+//   la::       — the public entry points. GEMM dispatches FP32/FP64 work of
+//                meaningful size to the packed, register-tiled micro-kernel
+//                path (gemm_kernel.hpp); SYRK and TRSM are blocked
+//                algorithms whose trailing updates funnel into that GEMM,
+//                with reference code only at the innermost block.
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/span2d.hpp"
+#include "la/blas_types.hpp"
+#include "la/gemm_kernel.hpp"
 
 namespace gsx::la {
 
-enum class Uplo : unsigned char { Lower, Upper };
-enum class Trans : unsigned char { NoTrans, Trans };
-enum class Side : unsigned char { Left, Right };
-enum class Diag : unsigned char { NonUnit, Unit };
-
 namespace detail {
 
-/// Blocking depth in k for GEMM; keeps one panel of A and B in L1/L2.
+/// Blocking depth in k for the reference GEMM; keeps one panel of A and B in
+/// L1/L2.
 inline constexpr std::size_t kGemmKBlock = 256;
+
+/// Order at which blocked SYRK/TRSM stop recursing and run reference code
+/// on the diagonal block.
+inline constexpr std::size_t kMicroBlock = 64;
 
 template <typename T>
 void scale_matrix(T beta, Span2D<T> c) {
@@ -39,20 +49,17 @@ void scale_matrix(T beta, Span2D<T> c) {
 
 }  // namespace detail
 
-/// C = alpha * op(A) * op(B) + beta * C.
-/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+namespace ref {
+
+/// C += alpha * op(A) * op(B); the reference accumulation loops. No
+/// per-element zero tests: sparsity is handled structurally by the callers
+/// (a rank-0 TLR factor arrives as k == 0 and never reaches these loops).
 template <typename T>
-void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T beta,
-          Span2D<T> c) {
+void gemm_accum(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b,
+                Span2D<T> c) {
   const std::size_t m = c.rows();
   const std::size_t n = c.cols();
   const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
-  GSX_REQUIRE(((ta == Trans::NoTrans) ? a.rows() : a.cols()) == m, "gemm: A shape mismatch");
-  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.rows() : b.cols()) == k, "gemm: B inner mismatch");
-  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.cols() : b.rows()) == n, "gemm: B outer mismatch");
-
-  detail::scale_matrix(beta, c);
-  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
 
   for (std::size_t k0 = 0; k0 < k; k0 += detail::kGemmKBlock) {
     const std::size_t kb = std::min(detail::kGemmKBlock, k - k0);
@@ -62,7 +69,6 @@ void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T b
         T* cj = &c(0, j);
         for (std::size_t l = 0; l < kb; ++l) {
           const T blj = alpha * b(k0 + l, j);
-          if (blj == T{0}) continue;
           const T* al = &a(0, k0 + l);
           for (std::size_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
         }
@@ -84,7 +90,6 @@ void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T b
         T* cj = &c(0, j);
         for (std::size_t l = 0; l < kb; ++l) {
           const T blj = alpha * b(j, k0 + l);
-          if (blj == T{0}) continue;
           const T* al = &a(0, k0 + l);
           for (std::size_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
         }
@@ -102,14 +107,22 @@ void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T b
   }
 }
 
-/// C = alpha * op(A) * op(A)^T + beta * C, touching only the `uplo` triangle.
-/// op(A) is n x k; C is n x n.
+/// C = alpha * op(A) * op(B) + beta * C; reference oracle.
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T beta,
+          Span2D<T> c) {
+  detail::scale_matrix(beta, c);
+  if (alpha == T{0}) return;
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+  if (c.rows() == 0 || c.cols() == 0 || k == 0) return;
+  gemm_accum<T>(ta, tb, alpha, a, b, c);
+}
+
+/// C = alpha * op(A) * op(A)^T + beta * C on the `uplo` triangle; oracle.
 template <typename T>
 void syrk(Uplo uplo, Trans trans, T alpha, Span2D<const T> a, T beta, Span2D<T> c) {
   const std::size_t n = c.rows();
-  GSX_REQUIRE(c.cols() == n, "syrk: C must be square");
   const std::size_t k = (trans == Trans::NoTrans) ? a.cols() : a.rows();
-  GSX_REQUIRE(((trans == Trans::NoTrans) ? a.rows() : a.cols()) == n, "syrk: A shape mismatch");
 
   // Scale the addressed triangle.
   for (std::size_t j = 0; j < n; ++j) {
@@ -159,8 +172,6 @@ void trsm(Side side, Uplo uplo, Trans ta, Diag diag, T alpha, Span2D<const T> a,
           Span2D<T> b) {
   const std::size_t m = b.rows();
   const std::size_t n = b.cols();
-  const std::size_t na = (side == Side::Left) ? m : n;
-  GSX_REQUIRE(a.rows() == na && a.cols() == na, "trsm: A shape mismatch");
   const bool unit = (diag == Diag::Unit);
 
   detail::scale_matrix(alpha, b);
@@ -284,6 +295,210 @@ void trsm(Side side, Uplo uplo, Trans ta, Diag diag, T alpha, Span2D<const T> a,
       }
     }
   }
+}
+
+}  // namespace ref
+
+namespace detail {
+
+/// Scalars with a packed micro-kernel implementation.
+template <typename T>
+inline constexpr bool kHasPackedKernel =
+    std::is_same_v<T, double> || std::is_same_v<T, float>;
+
+/// C += alpha * op(A) * op(B): packed path when it pays off, reference
+/// accumulation otherwise.
+template <typename T>
+void gemm_accum_fast(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b,
+                     Span2D<T> c) {
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+  if constexpr (kHasPackedKernel<T>) {
+    if (use_packed(c.rows(), c.cols(), k)) {
+      gemm_packed(ta, tb, alpha, a, b, c);
+      return;
+    }
+  }
+  ref::gemm_accum<T>(ta, tb, alpha, a, b, c);
+}
+
+}  // namespace detail
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, Span2D<const T> a, Span2D<const T> b, T beta,
+          Span2D<T> c) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+  GSX_REQUIRE(((ta == Trans::NoTrans) ? a.rows() : a.cols()) == m, "gemm: A shape mismatch");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.rows() : b.cols()) == k, "gemm: B inner mismatch");
+  GSX_REQUIRE(((tb == Trans::NoTrans) ? b.cols() : b.rows()) == n, "gemm: B outer mismatch");
+
+  detail::scale_matrix(beta, c);
+  // k == 0 is the one structural-sparsity check: rank-0 TLR factors
+  // contribute nothing. No per-element zero tests anywhere downstream.
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+  detail::gemm_accum_fast<T>(ta, tb, alpha, a, b, c);
+}
+
+namespace detail {
+
+/// Accumulating blocked SYRK: C_triangle += alpha * op(A) op(A)^T. Splits
+/// recursively; the off-diagonal quadrant is a plain GEMM (packed path), the
+/// diagonal blocks bottom out in the reference kernel at kMicroBlock.
+template <typename T>
+void syrk_accum_blocked(Uplo uplo, Trans trans, T alpha, Span2D<const T> a, Span2D<T> c) {
+  const std::size_t n = c.rows();
+  const std::size_t k = (trans == Trans::NoTrans) ? a.cols() : a.rows();
+  if (n <= kMicroBlock || !kHasPackedKernel<T>) {
+    // Reference SYRK with beta = 1 accumulates in place.
+    ref::syrk<T>(uplo, trans, alpha, a, T{1}, c);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const Span2D<const T> a1 = (trans == Trans::NoTrans) ? a.sub(0, 0, h, k)
+                                                       : a.sub(0, 0, k, h);
+  const Span2D<const T> a2 = (trans == Trans::NoTrans) ? a.sub(h, 0, n - h, k)
+                                                       : a.sub(0, h, k, n - h);
+  syrk_accum_blocked<T>(uplo, trans, alpha, a1, c.sub(0, 0, h, h));
+  syrk_accum_blocked<T>(uplo, trans, alpha, a2, c.sub(h, h, n - h, n - h));
+  if (uplo == Uplo::Lower) {
+    auto c21 = c.sub(h, 0, n - h, h);
+    if (trans == Trans::NoTrans)
+      gemm_accum_fast<T>(Trans::NoTrans, Trans::Trans, alpha, a2, a1, c21);
+    else
+      gemm_accum_fast<T>(Trans::Trans, Trans::NoTrans, alpha, a2, a1, c21);
+  } else {
+    auto c12 = c.sub(0, h, h, n - h);
+    if (trans == Trans::NoTrans)
+      gemm_accum_fast<T>(Trans::NoTrans, Trans::Trans, alpha, a1, a2, c12);
+    else
+      gemm_accum_fast<T>(Trans::Trans, Trans::NoTrans, alpha, a1, a2, c12);
+  }
+}
+
+}  // namespace detail
+
+/// C = alpha * op(A) * op(A)^T + beta * C, touching only the `uplo` triangle.
+/// op(A) is n x k; C is n x n.
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, Span2D<const T> a, T beta, Span2D<T> c) {
+  const std::size_t n = c.rows();
+  GSX_REQUIRE(c.cols() == n, "syrk: C must be square");
+  const std::size_t k = (trans == Trans::NoTrans) ? a.cols() : a.rows();
+  GSX_REQUIRE(((trans == Trans::NoTrans) ? a.rows() : a.cols()) == n, "syrk: A shape mismatch");
+
+  // Scale the addressed triangle.
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t ibeg = (uplo == Uplo::Lower) ? j : 0;
+    const std::size_t iend = (uplo == Uplo::Lower) ? n : j + 1;
+    for (std::size_t i = ibeg; i < iend; ++i)
+      c(i, j) = (beta == T{0}) ? T{0} : c(i, j) * beta;
+  }
+  if (alpha == T{0} || k == 0 || n == 0) return;
+  detail::syrk_accum_blocked<T>(uplo, trans, alpha, a, c);
+}
+
+namespace detail {
+
+/// In-place blocked triangular solve (alpha already applied to B). Halves
+/// the triangle recursively: the two diagonal sub-solves recurse, the
+/// coupling update is a GEMM on the packed path. All eight
+/// side / uplo / trans combinations reduce to the same four-step pattern.
+template <typename T>
+void trsm_blocked(Side side, Uplo uplo, Trans ta, Diag diag, Span2D<const T> a,
+                  Span2D<T> b) {
+  const std::size_t na = a.rows();
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+  if (na <= kMicroBlock || !kHasPackedKernel<T>) {
+    ref::trsm<T>(side, uplo, ta, diag, T{1}, a, b);
+    return;
+  }
+  const std::size_t h = na / 2;
+  const auto a11 = a.sub(0, 0, h, h);
+  const auto a22 = a.sub(h, h, na - h, na - h);
+  const T neg1 = T{-1};
+
+  if (side == Side::Left) {
+    auto b1 = b.sub(0, 0, h, n);
+    auto b2 = b.sub(h, 0, m - h, n);
+    if (uplo == Uplo::Lower) {
+      const auto a21 = a.sub(h, 0, na - h, h);
+      if (ta == Trans::NoTrans) {
+        // [A11 0; A21 A22] [X1; X2] = [B1; B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::NoTrans, neg1, a21, b1, b2);
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+      } else {
+        // [A11^T A21^T; 0 A22^T] [X1; X2] = [B1; B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+        gemm_accum_fast<T>(Trans::Trans, Trans::NoTrans, neg1, a21, b2, b1);
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+      }
+    } else {
+      const auto a12 = a.sub(0, h, h, na - h);
+      if (ta == Trans::NoTrans) {
+        // [A11 A12; 0 A22] [X1; X2] = [B1; B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::NoTrans, neg1, a12, b2, b1);
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+      } else {
+        // [A11^T 0; A12^T A22^T] [X1; X2] = [B1; B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+        gemm_accum_fast<T>(Trans::Trans, Trans::NoTrans, neg1, a12, b1, b2);
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+      }
+    }
+  } else {  // Side::Right: X op(A) = B
+    auto b1 = b.sub(0, 0, m, h);
+    auto b2 = b.sub(0, h, m, n - h);
+    if (uplo == Uplo::Lower) {
+      const auto a21 = a.sub(h, 0, na - h, h);
+      if (ta == Trans::NoTrans) {
+        // [X1 X2] [A11 0; A21 A22] = [B1 B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::NoTrans, neg1, b2, a21, b1);
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+      } else {
+        // [X1 X2] [A11^T A21^T; 0 A22^T] = [B1 B2]; the tile panel solve.
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::Trans, neg1, b1, a21, b2);
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+      }
+    } else {
+      const auto a12 = a.sub(0, h, h, na - h);
+      if (ta == Trans::NoTrans) {
+        // [X1 X2] [A11 A12; 0 A22] = [B1 B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::NoTrans, neg1, b1, a12, b2);
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+      } else {
+        // [X1 X2] [A11^T 0; A12^T A22^T] = [B1 B2]
+        trsm_blocked<T>(side, uplo, ta, diag, a22, b2);
+        gemm_accum_fast<T>(Trans::NoTrans, Trans::Trans, neg1, b2, a12, b1);
+        trsm_blocked<T>(side, uplo, ta, diag, a11, b1);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// B = alpha * op(A)^{-1} * B (Side::Left) or B = alpha * B * op(A)^{-1}
+/// (Side::Right), with A triangular.
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans ta, Diag diag, T alpha, Span2D<const T> a,
+          Span2D<T> b) {
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+  const std::size_t na = (side == Side::Left) ? m : n;
+  GSX_REQUIRE(a.rows() == na && a.cols() == na, "trsm: A shape mismatch");
+
+  detail::scale_matrix(alpha, b);
+  if (m == 0 || n == 0) return;
+  detail::trsm_blocked<T>(side, uplo, ta, diag, a, b);
 }
 
 /// y = alpha * op(A) x + beta * y.

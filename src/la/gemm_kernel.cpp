@@ -1,0 +1,328 @@
+#include "la/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gsx::la {
+
+namespace {
+
+#if defined(__GNUC__)
+#define GSX_ALWAYS_INLINE inline __attribute__((always_inline))
+#define GSX_RESTRICT __restrict__
+#else
+#define GSX_ALWAYS_INLINE inline
+#define GSX_RESTRICT
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define GSX_X86_DISPATCH 1
+#else
+#define GSX_X86_DISPATCH 0
+#endif
+
+std::size_t env_size(const char* name, std::size_t fallback) noexcept {
+  if (const char* s = std::getenv(name)) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+constexpr std::size_t round_up(std::size_t v, std::size_t q) noexcept {
+  return (v + q - 1) / q * q;
+}
+
+// ---------------------------------------------------------------------------
+// Packing. op(A) is copied into micro-panels of MR rows laid out k-major
+// (panel p holds rows [p*MR, p*MR+MR), element (i, l) at p*MR*kc + l*MR + i),
+// op(B) into micro-panels of NR columns (element (l, j) at p*NR*kc + l*NR + j).
+// Ragged edges are zero-padded so the micro-kernel never branches; the store
+// path masks them out. Widening (half/bfloat16 -> float) happens here, so the
+// 16-bit entry points never materialize full-size FP32 copies.
+
+template <typename TS, typename T, int MR>
+GSX_ALWAYS_INLINE void pack_a(Trans ta, Span2D<const TS> a, std::size_t i0, std::size_t p0,
+                              std::size_t mcb, std::size_t kcb, T* GSX_RESTRICT ap) {
+  for (std::size_t ir = 0; ir < mcb; ir += MR) {
+    const std::size_t mr = std::min<std::size_t>(MR, mcb - ir);
+    T* GSX_RESTRICT panel = ap + ir * kcb;
+    if (ta == Trans::NoTrans) {
+      for (std::size_t l = 0; l < kcb; ++l) {
+        const TS* GSX_RESTRICT src = &a(i0 + ir, p0 + l);
+        T* GSX_RESTRICT dst = panel + l * MR;
+        for (std::size_t i = 0; i < mr; ++i) dst[i] = static_cast<T>(src[i]);
+        for (std::size_t i = mr; i < MR; ++i) dst[i] = T{0};
+      }
+    } else {
+      for (std::size_t l = 0; l < kcb; ++l) {
+        T* GSX_RESTRICT dst = panel + l * MR;
+        for (std::size_t i = 0; i < mr; ++i) dst[i] = static_cast<T>(a(p0 + l, i0 + ir + i));
+        for (std::size_t i = mr; i < MR; ++i) dst[i] = T{0};
+      }
+    }
+  }
+}
+
+template <typename TS, typename T, int NR>
+GSX_ALWAYS_INLINE void pack_b(Trans tb, Span2D<const TS> b, std::size_t j0, std::size_t p0,
+                              std::size_t ncb, std::size_t kcb, T* GSX_RESTRICT bp) {
+  for (std::size_t jr = 0; jr < ncb; jr += NR) {
+    const std::size_t nr = std::min<std::size_t>(NR, ncb - jr);
+    T* GSX_RESTRICT panel = bp + jr * kcb;
+    if (tb == Trans::NoTrans) {
+      // op(B)(l, j) = b(p0 + l, j0 + j): read each column contiguously.
+      for (std::size_t j = 0; j < nr; ++j) {
+        const TS* GSX_RESTRICT src = &b(p0, j0 + jr + j);
+        for (std::size_t l = 0; l < kcb; ++l) panel[l * NR + j] = static_cast<T>(src[l]);
+      }
+    } else {
+      // op(B)(l, j) = b(j0 + j, p0 + l): read rows of B, contiguous in j.
+      for (std::size_t l = 0; l < kcb; ++l) {
+        const TS* GSX_RESTRICT src = &b(j0 + jr, p0 + l);
+        T* GSX_RESTRICT dst = panel + l * NR;
+        for (std::size_t j = 0; j < nr; ++j) dst[j] = static_cast<T>(src[j]);
+      }
+    }
+    if (nr < NR) {
+      for (std::size_t l = 0; l < kcb; ++l)
+        for (std::size_t j = nr; j < NR; ++j) panel[l * NR + j] = T{0};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel: MR x NR register accumulators, one fused pass over a packed
+// A micro-panel and a packed B micro-panel. The i loop is contiguous and
+// vectorizes to the caller's target ISA; NR independent accumulator columns
+// hide FMA latency.
+
+template <typename T, int MR, int NR>
+GSX_ALWAYS_INLINE void micro_accum(std::size_t kc, const T* GSX_RESTRICT ap,
+                                   const T* GSX_RESTRICT bp, T* GSX_RESTRICT acc) {
+  for (std::size_t l = 0; l < kc; ++l) {
+    const T* GSX_RESTRICT al = ap + l * MR;
+    const T* GSX_RESTRICT bl = bp + l * NR;
+    for (int j = 0; j < NR; ++j) {
+      const T blj = bl[j];
+      T* GSX_RESTRICT accj = acc + static_cast<std::size_t>(j) * MR;
+      for (int i = 0; i < MR; ++i) accj[i] += al[i] * blj;
+    }
+  }
+}
+
+template <typename T, int MR, int NR>
+GSX_ALWAYS_INLINE void micro_store(T alpha, const T* GSX_RESTRICT acc, T* GSX_RESTRICT c,
+                                   std::size_t ldc, std::size_t mr, std::size_t nr) {
+  if (mr == MR && nr == NR) {
+    for (int j = 0; j < NR; ++j) {
+      T* GSX_RESTRICT cj = c + static_cast<std::size_t>(j) * ldc;
+      const T* GSX_RESTRICT aj = acc + static_cast<std::size_t>(j) * MR;
+      for (int i = 0; i < MR; ++i) cj[i] += alpha * aj[i];
+    }
+  } else {
+    for (std::size_t j = 0; j < nr; ++j) {
+      T* GSX_RESTRICT cj = c + j * ldc;
+      const T* GSX_RESTRICT aj = acc + j * MR;
+      for (std::size_t i = 0; i < mr; ++i) cj[i] += alpha * aj[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Macro-kernel: the five-loop BLIS structure. Packed B panels are reused
+// across every MC block of A; C is touched once per KC-deep block.
+
+template <typename TS, typename T, int MR, int NR>
+GSX_ALWAYS_INLINE void gemm_macro(Trans ta, Trans tb, T alpha, Span2D<const TS> a,
+                                  Span2D<const TS> b, Span2D<T> c, const GemmBlocking& blk,
+                                  std::vector<T>& apack, std::vector<T>& bpack) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == Trans::NoTrans) ? a.cols() : a.rows();
+
+  for (std::size_t jc = 0; jc < n; jc += blk.nc) {
+    const std::size_t ncb = std::min(blk.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += blk.kc) {
+      const std::size_t kcb = std::min(blk.kc, k - pc);
+      bpack.resize(round_up(ncb, NR) * kcb);
+      pack_b<TS, T, NR>(tb, b, jc, pc, ncb, kcb, bpack.data());
+      for (std::size_t ic = 0; ic < m; ic += blk.mc) {
+        const std::size_t mcb = std::min(blk.mc, m - ic);
+        apack.resize(round_up(mcb, MR) * kcb);
+        pack_a<TS, T, MR>(ta, a, ic, pc, mcb, kcb, apack.data());
+        for (std::size_t jr = 0; jr < ncb; jr += NR) {
+          const std::size_t nr = std::min<std::size_t>(NR, ncb - jr);
+          for (std::size_t ir = 0; ir < mcb; ir += MR) {
+            const std::size_t mr = std::min<std::size_t>(MR, mcb - ir);
+            T acc[static_cast<std::size_t>(MR) * NR] = {};
+            micro_accum<T, MR, NR>(kcb, apack.data() + ir * kcb, bpack.data() + jr * kcb,
+                                   acc);
+            micro_store<T, MR, NR>(alpha, acc, &c(ic + ir, jc + jr), c.ld(), mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ISA variants. Register-tile shapes are chosen per ISA (the portable tile
+// must fit 16 xmm registers; AVX2 has 16 ymm, AVX-512 32 zmm). Each variant
+// is a concrete function so the whole macro-kernel (packing included) is
+// compiled — and its inner loops vectorized — for that target.
+
+#define GSX_GEMM_VARIANT(name, attr, TS, T, MR, NR)                                       \
+  attr void name(Trans ta, Trans tb, T alpha, Span2D<const TS> a, Span2D<const TS> b,     \
+                 Span2D<T> c, const GemmBlocking& blk, std::vector<T>& apack,             \
+                 std::vector<T>& bpack) {                                                 \
+    gemm_macro<TS, T, MR, NR>(ta, tb, alpha, a, b, c, blk, apack, bpack);                 \
+  }
+
+// Tile shapes are chosen empirically per ISA (GCC's SLP vectorizer is
+// shape-sensitive; see docs/tuning.md for the retuning recipe). The fast
+// shapes keep every accumulator column a whole number of vectors and fully
+// unroll into independent FMA chains.
+GSX_GEMM_VARIANT(gemm_f64_portable, , double, double, 32, 8)
+GSX_GEMM_VARIANT(gemm_f32_portable, , float, float, 32, 4)
+GSX_GEMM_VARIANT(gemm_h32_portable, , half, float, 32, 4)
+GSX_GEMM_VARIANT(gemm_b32_portable, , bfloat16, float, 32, 4)
+
+#if GSX_X86_DISPATCH
+#define GSX_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#define GSX_TARGET_AVX512 __attribute__((target("avx512f,avx512dq,avx512vl,avx512bw,fma")))
+
+GSX_GEMM_VARIANT(gemm_f64_avx2, GSX_TARGET_AVX2, double, double, 8, 4)
+GSX_GEMM_VARIANT(gemm_f32_avx2, GSX_TARGET_AVX2, float, float, 32, 4)
+GSX_GEMM_VARIANT(gemm_h32_avx2, GSX_TARGET_AVX2, half, float, 32, 4)
+GSX_GEMM_VARIANT(gemm_b32_avx2, GSX_TARGET_AVX2, bfloat16, float, 32, 4)
+
+GSX_GEMM_VARIANT(gemm_f64_avx512, GSX_TARGET_AVX512, double, double, 32, 6)
+GSX_GEMM_VARIANT(gemm_f32_avx512, GSX_TARGET_AVX512, float, float, 32, 8)
+GSX_GEMM_VARIANT(gemm_h32_avx512, GSX_TARGET_AVX512, half, float, 32, 8)
+GSX_GEMM_VARIANT(gemm_b32_avx512, GSX_TARGET_AVX512, bfloat16, float, 32, 8)
+#endif  // GSX_X86_DISPATCH
+
+#undef GSX_GEMM_VARIANT
+
+enum class Isa : int { Portable = 0, Avx2 = 1, Avx512 = 2 };
+
+Isa pick_isa() noexcept {
+  Isa best = Isa::Portable;
+#if GSX_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) best = Isa::Avx2;
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512bw"))
+    best = Isa::Avx512;
+#endif
+  // Opt-down override for tuning and A/B testing; never opt-up past what the
+  // CPU supports.
+  if (const char* s = std::getenv("GSX_GEMM_ISA")) {
+    const std::string_view v(s);
+    if (v == "portable") return Isa::Portable;
+    if (v == "avx2") return (best == Isa::Portable) ? best : Isa::Avx2;
+    if (v == "avx512") return best;
+  }
+  return best;
+}
+
+Isa active_isa() noexcept {
+  static const Isa isa = pick_isa();
+  return isa;
+}
+
+/// Per-scalar-type variant selection plus thread-local packing scratch; the
+/// buffers keep their capacity across tile-task invocations on a worker.
+template <typename TS, typename T>
+void run_packed(Trans ta, Trans tb, T alpha, Span2D<const TS> a, Span2D<const TS> b,
+                Span2D<T> c) {
+  static thread_local std::vector<T> apack;
+  static thread_local std::vector<T> bpack;
+  const GemmBlocking blk = gemm_blocking(sizeof(T));
+  const Isa isa = active_isa();
+#if GSX_X86_DISPATCH
+  if (isa == Isa::Avx512) {
+    if constexpr (std::is_same_v<TS, double>)
+      gemm_f64_avx512(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else if constexpr (std::is_same_v<TS, float>)
+      gemm_f32_avx512(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else if constexpr (std::is_same_v<TS, half>)
+      gemm_h32_avx512(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else
+      gemm_b32_avx512(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    return;
+  }
+  if (isa == Isa::Avx2) {
+    if constexpr (std::is_same_v<TS, double>)
+      gemm_f64_avx2(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else if constexpr (std::is_same_v<TS, float>)
+      gemm_f32_avx2(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else if constexpr (std::is_same_v<TS, half>)
+      gemm_h32_avx2(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    else
+      gemm_b32_avx2(ta, tb, alpha, a, b, c, blk, apack, bpack);
+    return;
+  }
+#endif
+  (void)isa;
+  if constexpr (std::is_same_v<TS, double>)
+    gemm_f64_portable(ta, tb, alpha, a, b, c, blk, apack, bpack);
+  else if constexpr (std::is_same_v<TS, float>)
+    gemm_f32_portable(ta, tb, alpha, a, b, c, blk, apack, bpack);
+  else if constexpr (std::is_same_v<TS, half>)
+    gemm_h32_portable(ta, tb, alpha, a, b, c, blk, apack, bpack);
+  else
+    gemm_b32_portable(ta, tb, alpha, a, b, c, blk, apack, bpack);
+}
+
+}  // namespace
+
+GemmBlocking gemm_blocking(std::size_t scalar_bytes) noexcept {
+  // Defaults sized for ~48 KiB L1d and >= 1 MiB L2: the packed A block
+  // (MC x KC) fills a fraction of L2 (256 KiB at 8 bytes), one packed B
+  // micro-panel (KC x NR) stays L1-resident (~12 KiB), and NC bounds the
+  // packed-B panel so tall-skinny serving batches don't blow the scratch.
+  static const GemmBlocking f64{env_size("GSX_GEMM_MC", 128), env_size("GSX_GEMM_KC", 256),
+                                env_size("GSX_GEMM_NC", 4096)};
+  static const GemmBlocking f32{env_size("GSX_GEMM_MC", 256), env_size("GSX_GEMM_KC", 256),
+                                env_size("GSX_GEMM_NC", 4096)};
+  return scalar_bytes >= sizeof(double) ? f64 : f32;
+}
+
+const char* gemm_kernel_isa() noexcept {
+  switch (active_isa()) {
+    case Isa::Avx512: return "avx512";
+    case Isa::Avx2: return "avx2";
+    case Isa::Portable: break;
+  }
+  return "portable";
+}
+
+namespace detail {
+
+void gemm_packed(Trans ta, Trans tb, double alpha, Span2D<const double> a,
+                 Span2D<const double> b, Span2D<double> c) {
+  run_packed<double, double>(ta, tb, alpha, a, b, c);
+}
+
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const float> a,
+                 Span2D<const float> b, Span2D<float> c) {
+  run_packed<float, float>(ta, tb, alpha, a, b, c);
+}
+
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const half> a,
+                 Span2D<const half> b, Span2D<float> c) {
+  run_packed<half, float>(ta, tb, alpha, a, b, c);
+}
+
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+                 Span2D<const bfloat16> b, Span2D<float> c) {
+  run_packed<bfloat16, float>(ta, tb, alpha, a, b, c);
+}
+
+}  // namespace detail
+
+}  // namespace gsx::la

@@ -1,0 +1,72 @@
+// Packed, cache-blocked, register-tiled GEMM kernels (BLIS-style).
+//
+// The reference loops in la::ref are limited by C-matrix traffic: every
+// rank-1 axpy re-reads and re-writes a full column of C. The packed path
+// instead copies one MC x KC block of op(A) and one KC x NC panel of op(B)
+// into contiguous, micro-tile-ordered buffers, then drives an MR x NR
+// register-tiled micro-kernel over them: C traffic drops to one
+// read-modify-write per KC-deep block, and the inner loop is a pure
+// multiply-add over register accumulators that the compiler vectorizes for
+// the dispatched ISA (portable / AVX2+FMA / AVX-512, chosen at runtime).
+//
+// The 16-bit entry points widen FP16/BF16 operands to FP32 *during packing*
+// (one pass, no full-matrix scratch copies) and accumulate in FP32 — the
+// SHGEMM semantics the paper borrowed from BLIS for Fugaku's missing kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bfloat16.hpp"
+#include "common/half.hpp"
+#include "common/span2d.hpp"
+#include "la/blas_types.hpp"
+
+namespace gsx::la {
+
+/// Cache-blocking parameters (in elements) for the packed GEMM path:
+/// MC x KC blocks of packed op(A) target L2, one KC x NR micro-panel of
+/// packed op(B) stays L1-resident, NC bounds the packed-B footprint.
+struct GemmBlocking {
+  std::size_t mc = 0;
+  std::size_t kc = 0;
+  std::size_t nc = 0;
+};
+
+/// Active blocking for a scalar of `scalar_bytes` (8 = FP64 table, else the
+/// FP32 table, which 16-bit inputs also use since they compute in FP32).
+/// Defaults are overridable once at startup via GSX_GEMM_MC / GSX_GEMM_KC /
+/// GSX_GEMM_NC (see docs/tuning.md).
+[[nodiscard]] GemmBlocking gemm_blocking(std::size_t scalar_bytes) noexcept;
+
+/// Name of the micro-kernel variant runtime dispatch selected for this
+/// process: "avx512", "avx2" or "portable" (overridable via GSX_GEMM_ISA).
+[[nodiscard]] const char* gemm_kernel_isa() noexcept;
+
+namespace detail {
+
+/// C += alpha * op(A) * op(B) through the packed micro-kernel path.
+/// beta must already have been applied to C by the caller. Shapes are not
+/// re-validated here; la::gemm is the checked entry point.
+void gemm_packed(Trans ta, Trans tb, double alpha, Span2D<const double> a,
+                 Span2D<const double> b, Span2D<double> c);
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const float> a,
+                 Span2D<const float> b, Span2D<float> c);
+
+/// Widening variants: 16-bit storage operands are converted to FP32 as they
+/// are packed; all arithmetic and accumulation is FP32.
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const half> a,
+                 Span2D<const half> b, Span2D<float> c);
+void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
+                 Span2D<const bfloat16> b, Span2D<float> c);
+
+/// Below this many multiply-adds the packing overhead outweighs the
+/// micro-kernel win and la::gemm stays on the reference loops.
+inline constexpr std::size_t kPackedGemmMinMnk = 16384;
+
+[[nodiscard]] inline bool use_packed(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  return m * n * k >= kPackedGemmMinMnk;
+}
+
+}  // namespace detail
+
+}  // namespace gsx::la

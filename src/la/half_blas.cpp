@@ -1,17 +1,17 @@
 #include "la/half_blas.hpp"
 
-#include <vector>
-
 #include "common/error.hpp"
 #include "la/convert.hpp"
+#include "la/gemm_kernel.hpp"
 #include "la/matrix.hpp"
 
 namespace gsx::la {
 
 namespace {
 
-/// Widen the 16-bit-storage operands to a float scratch and run the FP32
-/// kernel (FP32 accumulation semantics of FP16/BF16 matrix engines).
+/// Shared SHGEMM/SBGEMM body: operands stay in 16-bit storage and are
+/// widened to FP32 inside the packing pass of the micro-kernel path (no
+/// full-matrix scratch copies); all arithmetic and accumulation is FP32.
 template <typename T16>
 void shgemm_impl(Trans ta, Trans tb, float alpha, Span2D<const T16> a,
                  Span2D<const T16> b, float beta, Span2D<float> c) {
@@ -22,11 +22,9 @@ void shgemm_impl(Trans ta, Trans tb, float alpha, Span2D<const T16> a,
   GSX_REQUIRE(((tb == Trans::NoTrans) ? b.rows() : b.cols()) == k, "shgemm: B inner");
   GSX_REQUIRE(((tb == Trans::NoTrans) ? b.cols() : b.rows()) == n, "shgemm: B outer");
 
-  Matrix<float> af((ta == Trans::NoTrans) ? m : k, (ta == Trans::NoTrans) ? k : m);
-  Matrix<float> bf((tb == Trans::NoTrans) ? k : n, (tb == Trans::NoTrans) ? n : k);
-  convert(a, af.view());
-  convert(b, bf.view());
-  gemm<float>(ta, tb, alpha, af.cview(), bf.cview(), beta, c);
+  detail::scale_matrix(beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  detail::gemm_packed(ta, tb, alpha, a, b, c);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@ namespace {
 struct Ledger {
   std::array<std::array<std::atomic<std::uint64_t>, kNumKernelOps>, kNumPrecisions> flops{};
   std::array<std::array<std::atomic<std::uint64_t>, kNumKernelOps>, kNumPrecisions> calls{};
+  std::array<std::array<std::atomic<double>, kNumKernelOps>, kNumPrecisions> seconds{};
   std::array<std::array<std::atomic<std::uint64_t>, kNumPrecisions>, kNumPrecisions>
       conv_count{};
   std::array<std::array<std::atomic<std::uint64_t>, kNumPrecisions>, kNumPrecisions>
@@ -31,6 +32,13 @@ void add_flops(KernelOp op, Precision p, std::uint64_t flops) noexcept {
   l.calls[pi][oi].fetch_add(1, std::memory_order_relaxed);
 }
 
+void add_kernel_seconds(KernelOp op, Precision p, double seconds) noexcept {
+  if (!enabled()) return;
+  Ledger& l = ledger();
+  l.seconds[static_cast<std::size_t>(p)][static_cast<std::size_t>(op)].fetch_add(
+      seconds, std::memory_order_relaxed);
+}
+
 void add_conversion(Precision from, Precision to, std::uint64_t elems) noexcept {
   if (!enabled()) return;
   Ledger& l = ledger();
@@ -47,6 +55,7 @@ FlopSnapshot flop_snapshot() noexcept {
     for (std::size_t o = 0; o < kNumKernelOps; ++o) {
       s.flops[p][o] = l.flops[p][o].load(std::memory_order_relaxed);
       s.calls[p][o] = l.calls[p][o].load(std::memory_order_relaxed);
+      s.seconds[p][o] = l.seconds[p][o].load(std::memory_order_relaxed);
     }
     for (std::size_t q = 0; q < kNumPrecisions; ++q) {
       s.conv_count[p][q] = l.conv_count[p][q].load(std::memory_order_relaxed);
@@ -62,6 +71,7 @@ void reset_flops() noexcept {
     for (std::size_t o = 0; o < kNumKernelOps; ++o) {
       l.flops[p][o].store(0, std::memory_order_relaxed);
       l.calls[p][o].store(0, std::memory_order_relaxed);
+      l.seconds[p][o].store(0.0, std::memory_order_relaxed);
     }
     for (std::size_t q = 0; q < kNumPrecisions; ++q) {
       l.conv_count[p][q].store(0, std::memory_order_relaxed);
@@ -81,6 +91,26 @@ std::uint64_t FlopSnapshot::flops_at(Precision p) const noexcept {
   std::uint64_t t = 0;
   for (std::uint64_t v : flops[static_cast<std::size_t>(p)]) t += v;
   return t;
+}
+
+double FlopSnapshot::seconds_at(Precision p) const noexcept {
+  double t = 0.0;
+  for (double v : seconds[static_cast<std::size_t>(p)]) t += v;
+  return t;
+}
+
+double FlopSnapshot::gflops_at(Precision p) const noexcept {
+  const auto pi = static_cast<std::size_t>(p);
+  double secs = 0.0;
+  std::uint64_t timed_flops = 0;
+  for (std::size_t o = 0; o < kNumKernelOps; ++o) {
+    if (seconds[pi][o] > 0.0) {
+      secs += seconds[pi][o];
+      timed_flops += flops[pi][o];
+    }
+  }
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(timed_flops) / secs / 1e9;
 }
 
 std::uint64_t FlopSnapshot::total_conversions() const noexcept {
@@ -103,6 +133,7 @@ FlopSnapshot FlopSnapshot::delta_since(const FlopSnapshot& earlier) const {
     for (std::size_t o = 0; o < kNumKernelOps; ++o) {
       d.flops[p][o] = flops[p][o] - earlier.flops[p][o];
       d.calls[p][o] = calls[p][o] - earlier.calls[p][o];
+      d.seconds[p][o] = seconds[p][o] - earlier.seconds[p][o];
     }
     for (std::size_t q = 0; q < kNumPrecisions; ++q) {
       d.conv_count[p][q] = conv_count[p][q] - earlier.conv_count[p][q];

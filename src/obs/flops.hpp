@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string_view>
 
@@ -77,6 +78,10 @@ struct FlopSnapshot {
   // [precision][kernel op]
   std::array<std::array<std::uint64_t, kNumKernelOps>, kNumPrecisions> flops{};
   std::array<std::array<std::uint64_t, kNumKernelOps>, kNumPrecisions> calls{};
+  /// Wall seconds spent inside instrumented kernel bodies, per cell. Only
+  /// kernels wrapped in a KernelTimer contribute; cells with flops but no
+  /// recorded seconds are excluded from the achieved-rate queries below.
+  std::array<std::array<double, kNumKernelOps>, kNumPrecisions> seconds{};
   // [from precision][to precision]
   std::array<std::array<std::uint64_t, kNumPrecisions>, kNumPrecisions> conv_count{};
   std::array<std::array<std::uint64_t, kNumPrecisions>, kNumPrecisions> conv_elems{};
@@ -85,6 +90,13 @@ struct FlopSnapshot {
   [[nodiscard]] std::uint64_t flops_at(Precision p) const noexcept;
   [[nodiscard]] std::uint64_t total_conversions() const noexcept;
   [[nodiscard]] std::uint64_t total_converted_elems() const noexcept;
+
+  /// Seconds with timing coverage at precision `p` (sum over timed cells).
+  [[nodiscard]] double seconds_at(Precision p) const noexcept;
+  /// Achieved GFLOP/s at precision `p`, computed only over cells that have
+  /// recorded seconds (so untimed kernels don't inflate the rate). Returns
+  /// 0 when nothing at `p` was timed.
+  [[nodiscard]] double gflops_at(Precision p) const noexcept;
 
   /// Element-wise this - earlier (counters are monotonic between resets).
   [[nodiscard]] FlopSnapshot delta_since(const FlopSnapshot& earlier) const;
@@ -97,6 +109,35 @@ void add_flops(KernelOp op, Precision p, std::uint64_t flops) noexcept;
 
 /// Record one precision-conversion pass over `elems` elements.
 void add_conversion(Precision from, Precision to, std::uint64_t elems) noexcept;
+
+/// Accumulate wall seconds spent inside an instrumented kernel body at
+/// (op, p). Pairs with add_flops on the same cell to yield achieved GFLOP/s.
+void add_kernel_seconds(KernelOp op, Precision p, double seconds) noexcept;
+
+/// RAII wall-clock scope that charges its lifetime to (op, p) via
+/// add_kernel_seconds. Wrap exactly the kernel body (not queueing or
+/// conversion glue) to keep the achieved-rate accounting honest. Costs one
+/// enabled() branch when observability is off.
+class KernelTimer {
+ public:
+  KernelTimer(KernelOp op, Precision p) noexcept
+      : op_(op), p_(p), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~KernelTimer() {
+    if (!armed_) return;
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - start_;
+    add_kernel_seconds(op_, p_, dt.count());
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  KernelOp op_;
+  Precision p_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 /// Current ledger totals.
 [[nodiscard]] FlopSnapshot flop_snapshot() noexcept;

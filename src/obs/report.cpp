@@ -128,6 +128,20 @@ void write_profile_json(const std::string& path) {
     }
   }
   os << "},\n";
+  os << "  \"achieved_gflops_by_precision\": {";
+  {
+    // Achieved rates over the kernels wrapped in a KernelTimer; precisions
+    // with flops but no timing coverage are omitted rather than guessed.
+    bool first = true;
+    for (std::size_t p = 0; p < kNumPrecisions; ++p) {
+      const double g = totals.gflops_at(static_cast<Precision>(p));
+      if (g <= 0.0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << precision_label(p) << "\": " << g;
+    }
+  }
+  os << "},\n";
   os << "  \"total_conversions\": " << totals.total_conversions() << ",\n";
   os << "  \"total_converted_elements\": " << totals.total_converted_elems() << ",\n";
   os << "  \"flop_mix\": ";

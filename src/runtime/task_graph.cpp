@@ -193,9 +193,14 @@ void TaskGraph::run(std::size_t num_workers) {
         try {
           t.body();
         } catch (...) {
-          std::lock_guard lk(mtx);
-          if (!first_error) first_error = std::current_exception();
-          aborting.store(true, std::memory_order_release);
+          {
+            std::lock_guard lk(mtx);
+            if (!first_error) first_error = std::current_exception();
+            aborting.store(true, std::memory_order_release);
+          }
+          // Everyone must observe the abort, including sleepers with no
+          // ready work: this is one of the two broadcast points.
+          cv.notify_all();
         }
       }
       const double t1 = wall.seconds();
@@ -207,17 +212,32 @@ void TaskGraph::run(std::size_t num_workers) {
       std::string args;
       if (tracing_ && ann) args = obs::annotation_args(*ann);
 
+      std::size_t newly_ready = 0;
+      bool quiesced = false;
       {
         std::lock_guard lk(mtx);
         if (tracing_)
           trace_.push_back(TraceEvent{t.name, worker_id, t0, t1, std::move(args)});
         ++completed;
+        quiesced = completed == tasks_.size();
         for (std::size_t s : t.successors) {
           GSX_REQUIRE(remaining[s] > 0, "runtime: dependency counter underflow");
-          if (--remaining[s] == 0) push_ready(s, worker_id);
+          if (--remaining[s] == 0) {
+            push_ready(s, worker_id);
+            ++newly_ready;
+          }
         }
       }
-      cv.notify_all();
+      // Wake one sleeper per newly-ready task — a broadcast here stampedes
+      // every idle worker onto one mutex per completed task. Notifies that
+      // land on busy workers are harmless: cv.wait re-checks have_ready()
+      // before sleeping. Broadcast only at quiesce (and at abort, above),
+      // where *all* waiters must observe the terminal state.
+      if (quiesced) {
+        cv.notify_all();
+      } else {
+        for (std::size_t i = 0; i < newly_ready; ++i) cv.notify_one();
+      }
     }
   };
 
@@ -273,6 +293,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t num_workers,
     return;
   }
   std::atomic<std::size_t> next{begin};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex err_mtx;
   {
@@ -280,14 +301,20 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t num_workers,
     pool.reserve(num_workers);
     for (std::size_t w = 0; w < num_workers; ++w) {
       pool.emplace_back([&] {
-        for (;;) {
+        // The abort check in the claim loop makes the pool quiesce promptly
+        // after a sibling's exception instead of grinding through the
+        // remaining iterations whose results would be discarded anyway.
+        while (!abort.load(std::memory_order_acquire)) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= end) return;
           try {
             body(i);
           } catch (...) {
-            std::lock_guard lk(err_mtx);
-            if (!first_error) first_error = std::current_exception();
+            {
+              std::lock_guard lk(err_mtx);
+              if (!first_error) first_error = std::current_exception();
+            }
+            abort.store(true, std::memory_order_release);
             return;
           }
         }
