@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 
@@ -109,6 +110,7 @@ PolicyStats apply_precision_policy(tile::SymTileMatrix& a, const PrecisionPolicy
             std::sqrt(static_cast<double>(t.rows() * t.cols())) * subnormal_floor(p);
         rec.observed_err = demotion_error(t, before);
         obs::record_demotion(rec);
+        GSX_FLIGHT(obs::EventKind::TileDemotion, 0, i, j, rec.observed_err);
         // Demotion can overflow narrow formats (FP16 range) into Inf: the
         // rule only bounds roundoff, so catch range violations here.
         const std::size_t bad = t.nonfinite_count();

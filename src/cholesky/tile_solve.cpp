@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "geostat/assemble.hpp"
 #include "la/blas.hpp"
+#include "obs/flight.hpp"
 #include "obs/flops.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
@@ -226,19 +227,25 @@ geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
                                          std::span<const double> y_solved,
                                          std::span<const geostat::Location> train_locs,
                                          std::span<const geostat::Location> test_locs,
-                                         bool with_variance, std::size_t workers) {
+                                         bool with_variance, std::size_t workers,
+                                         SolveTelemetry* telemetry) {
   const std::size_t n = train_locs.size();
   const std::size_t m = test_locs.size();
   GSX_REQUIRE(factored.n() == n && y_solved.size() == n,
               "tile_krige_solved: size mismatch");
   GSX_REQUIRE(m > 0, "tile_krige_solved: no test locations");
+  const std::uint64_t req = telemetry != nullptr ? telemetry->ctx.request_id : 0;
+  GSX_FLIGHT(obs::EventKind::SolveBegin, req, n, m, 0.0);
 
   // W = L^{-1} Sigma_nm through the tile factor. Assembly parallelizes over
   // test columns; the solve parallelizes over independent column blocks.
+  const double t_assemble0 = obs::now_seconds();
   la::Matrix<double> w(n, m);
   rt::parallel_for(0, m, workers, [&](std::size_t j) {
     for (std::size_t i = 0; i < n; ++i) w(i, j) = model(train_locs[i], test_locs[j]);
   });
+  const double t_solve0 = obs::now_seconds();
+  if (telemetry != nullptr) telemetry->assemble_seconds = t_solve0 - t_assemble0;
   const obs::ScopedPhase phase("krige");
   obs::add_flops(obs::KernelOp::Krige, Precision::FP64,
                  obs::trsm_flops(m, n) + obs::gemm_flops(m, 1, n));
@@ -259,6 +266,27 @@ geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
       for (std::size_t i = 0; i < n; ++i) wnorm += w(i, j) * w(i, j);
       out.variance[j] = smm - wnorm;
     }
+  }
+  const double t_end = obs::now_seconds();
+  if (telemetry != nullptr) telemetry->solve_seconds = t_end - t_solve0;
+  GSX_FLIGHT(obs::EventKind::SolveEnd, req, n, m, t_end - t_solve0);
+
+  // A factor corrupted on disk or a demotion-overflowed tile turns the solve
+  // into Inf/NaN without any BLAS call failing; catch it here so serving
+  // fails loudly (and with forensics) instead of shipping garbage.
+  std::size_t bad = 0;
+  for (const double v : out.mean)
+    if (!std::isfinite(v)) ++bad;
+  if (bad > 0) {
+    if (obs::health_enabled()) obs::record_nonfinite("krige", -1, -1, bad);
+    GSX_FLIGHT(obs::EventKind::NumericalSentinel, req, bad, 0, 0.0);
+    NumericalContext ctx;
+    ctx.rule = "krige_solve";
+    throw NumericalError("tile_krige_solved: " + std::to_string(bad) +
+                             " non-finite prediction mean(s)" +
+                             (req != 0 ? " (request r-" + std::to_string(req) + ")"
+                                       : std::string{}),
+                         ctx);
   }
   return out;
 }

@@ -12,9 +12,20 @@
 #include "geostat/likelihood.hpp"
 #include "geostat/prediction.hpp"
 #include "la/matrix.hpp"
+#include "obs/trace.hpp"
 #include "tile/sym_tile_matrix.hpp"
 
 namespace gsx::cholesky {
+
+/// Per-call telemetry for the serving-path solves: the request trace context
+/// flows IN (stamped onto flight-recorder events and numerical-failure
+/// forensics) and the phase breakdown flows OUT (the wire layer reports it
+/// as the response "timing" object).
+struct SolveTelemetry {
+  obs::RequestContext ctx;        ///< in: request id for events/errors
+  double assemble_seconds = 0.0;  ///< out: Sigma_nm assembly
+  double solve_seconds = 0.0;     ///< out: triangular solve + mean/variance
+};
 
 /// log|Sigma| = 2 * sum log L_ii from the factored diagonal tiles.
 double tile_logdet(const tile::SymTileMatrix& l);
@@ -56,13 +67,18 @@ geostat::KrigingResult tile_krige(const geostat::CovarianceModel& model,
 /// it across every request batch): assembles Sigma_nm, applies the factor to
 /// its columns in parallel, and forms means/variances. `y_solved` must have
 /// length n.
+/// `telemetry` (optional) carries the request trace context in and the
+/// assembly/solve timing breakdown out. Throws NumericalError (with the
+/// request id in its context) when the computed means go non-finite — the
+/// serving layer turns that into a flight-recorder dump.
 geostat::KrigingResult tile_krige_solved(const geostat::CovarianceModel& model,
                                          const tile::SymTileMatrix& factored,
                                          std::span<const double> y_solved,
                                          std::span<const geostat::Location> train_locs,
                                          std::span<const geostat::Location> test_locs,
                                          bool with_variance = true,
-                                         std::size_t workers = 1);
+                                         std::size_t workers = 1,
+                                         SolveTelemetry* telemetry = nullptr);
 
 /// Materialize the lower-triangular Cholesky factor as a dense FP64 matrix
 /// (upper triangle zero); feeds reference paths and tests.

@@ -1,0 +1,97 @@
+#include "obs/export_prom.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace gsx::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "gsx_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_render(const MetricSample& s) {
+  const std::string name = prometheus_name(s.name);
+  std::string out;
+  switch (s.kind) {
+    case MetricSample::Kind::Counter:
+      out += "# TYPE " + name + " counter\n";
+      out += name + " ";
+      append_number(out, s.value);
+      out.push_back('\n');
+      break;
+    case MetricSample::Kind::Gauge:
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " ";
+      append_number(out, s.value);
+      out.push_back('\n');
+      break;
+    case MetricSample::Kind::Histogram: {
+      out += "# TYPE " + name + " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < s.bucket_bounds.size(); ++b) {
+        cum += b < s.bucket_counts.size() ? s.bucket_counts[b] : 0;
+        out += name + "_bucket{le=\"";
+        append_number(out, s.bucket_bounds[b]);
+        out += "\"} ";
+        append_u64(out, cum);
+        out.push_back('\n');
+      }
+      // +Inf and _count come from the same per-bucket sums so the exposition
+      // is internally consistent even if observe() raced the snapshot.
+      if (!s.bucket_counts.empty()) cum += s.bucket_counts.back();
+      out += name + "_bucket{le=\"+Inf\"} ";
+      append_u64(out, cum);
+      out.push_back('\n');
+      out += name + "_sum ";
+      append_number(out, s.sum);
+      out.push_back('\n');
+      out += name + "_count ";
+      append_u64(out, cum);
+      out.push_back('\n');
+      break;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus() {
+  std::string out;
+  for (const MetricSample& s : Registry::instance().samples())
+    out += prometheus_render(s);
+  return out;
+}
+
+}  // namespace gsx::obs

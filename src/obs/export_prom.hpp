@@ -1,0 +1,32 @@
+// Prometheus text-format exposition (version 0.0.4) of the metrics registry.
+//
+// Every registry instrument maps to a Prometheus family: counters and gauges
+// become single samples, histograms become the conventional
+// `_bucket{le="..."}` cumulative series plus `_sum` and `_count`. Instrument
+// names are sanitized (dots to underscores) and prefixed "gsx_", so
+// "serve.predict.seconds" scrapes as `gsx_serve_predict_seconds_bucket{...}`.
+// The renderer is what both the gsx_serve "metrics" verb and the
+// --metrics-port HTTP scrape listener serve.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace gsx::obs {
+
+/// Prometheus-legal metric name: "gsx_" + name with every character outside
+/// [a-zA-Z0-9_:] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Render one sample as its exposition lines (with # TYPE header).
+[[nodiscard]] std::string prometheus_render(const MetricSample& sample);
+
+/// Render the whole registry. Stable order (registry iteration order).
+[[nodiscard]] std::string render_prometheus();
+
+/// The scrape Content-Type for this format.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace gsx::obs

@@ -1,0 +1,77 @@
+// Process-wide flight recorder: merges every thread's event ring into a
+// time-ordered stream and ships it as JSONL — on demand, on a serving
+// failure (NumericalError), or from a fatal-signal handler.
+//
+// Unlike the metrics/tracing layers (opt-in via obs::set_enabled), the
+// flight recorder is ALWAYS ON when compiled in: its job is to explain the
+// failure nobody anticipated, so it cannot depend on someone having turned
+// it on first. The record path costs a handful of relaxed atomic stores
+// into a thread-local ring (see ring.hpp); builds that cannot afford even
+// that compile it out with -DGSX_TELEMETRY=OFF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/ring.hpp"
+
+namespace gsx::obs {
+
+/// Record one event into the calling thread's ring (registers the ring on
+/// first use). Timestamp is taken here. Prefer the GSX_FLIGHT macro at call
+/// sites so GSX_TELEMETRY=OFF builds drop the site entirely.
+void flight_record(EventKind kind, std::uint64_t request, std::uint64_t a,
+                   std::uint64_t b, double v) noexcept;
+
+/// The process-wide recorder.
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Merge all rings, time-ordered. Never blocks writers.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Snapshot serialized as JSONL, one event object per line:
+  ///   {"t":1.25,"kind":"task_run","request":7,"a":3,"b":0,"v":0}
+  [[nodiscard]] std::string snapshot_jsonl() const;
+
+  /// Write snapshot_jsonl() to `path` (truncates). Returns false on I/O
+  /// failure. This is the NumericalError dump path: the serving engine calls
+  /// it with the configured dump file before failing the request.
+  bool dump(const std::string& path) const;
+
+  /// Where failure dumps go; empty disables them. Thread-safe.
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Dump to the configured path (no-op when unset). Returns the path
+  /// written, or empty. Called on NumericalError in the serving engine.
+  std::string dump_on_failure() const;
+
+  /// Async-signal-safe dump: formats events into a stack buffer and
+  /// write()s them to `fd`. No allocation, no locks, no stdio — callable
+  /// from a SIGSEGV/SIGABRT handler. Events may be slightly out of order
+  /// (no sort without allocation); each line carries its timestamp.
+  void dump_fd_signal_safe(int fd) const noexcept;
+
+  /// Install SIGSEGV/SIGBUS/SIGABRT/SIGFPE handlers that dump the flight
+  /// recorder to `fd` (typically an opened crash file or stderr) and then
+  /// re-raise with the default disposition. Idempotent.
+  void install_fatal_handlers(int fd) noexcept;
+
+  /// Total events recorded process-wide (monotonic, includes overwritten).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept;
+
+  // Internal: called by flight_record on a thread's first event.
+  EventRing* acquire_ring(std::uint16_t* index_out) noexcept;
+  void release_ring(EventRing* ring) noexcept;
+
+ private:
+  FlightRecorder() = default;
+};
+
+/// Render one event as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string event_jsonl(const Event& e);
+
+}  // namespace gsx::obs

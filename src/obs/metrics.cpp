@@ -75,9 +75,12 @@ double Histogram::percentile(double p) const noexcept {
     const std::uint64_t c = buckets_[b].load(std::memory_order_relaxed);
     if (c == 0) continue;
     if (static_cast<double>(cum + c) >= target) {
+      // The +inf overflow bucket has no finite upper bound to interpolate
+      // toward: report the observed max instead of a bucket-width guess.
+      if (b == bounds_.size()) return max();
       // Interpolate within [lo, hi); clamp the open edges to observed range.
       const double lo = (b == 0) ? min() : bounds_[b - 1];
-      const double hi = (b == bounds_.size()) ? max() : bounds_[b];
+      const double hi = bounds_[b];
       const double frac =
           (target - static_cast<double>(cum)) / static_cast<double>(c);
       const double v = lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
@@ -198,6 +201,9 @@ std::vector<MetricSample> Registry::samples() const {
     s.p50 = h->percentile(0.50);
     s.p95 = h->percentile(0.95);
     s.p99 = h->percentile(0.99);
+    s.p999 = h->percentile(0.999);
+    s.bucket_bounds = h->upper_bounds();
+    s.bucket_counts = h->bucket_counts();
     out.push_back(std::move(s));
   }
   return out;

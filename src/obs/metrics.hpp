@@ -91,13 +91,17 @@ class Histogram {
   void atomic_add_double(std::atomic<double>& a, double v) noexcept;
 };
 
-/// Snapshot of one named instrument (for reports).
+/// Snapshot of one named instrument (for reports and the Prometheus export).
 struct MetricSample {
   std::string name;
   enum class Kind { Counter, Gauge, Histogram } kind = Kind::Counter;
   double value = 0.0;           ///< counter value or gauge reading
   std::uint64_t count = 0;      ///< histogram observation count
-  double sum = 0.0, min = 0.0, max = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double sum = 0.0, min = 0.0, max = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0,
+         p999 = 0.0;
+  std::vector<double> bucket_bounds;          ///< histogram "le" upper bounds
+  std::vector<std::uint64_t> bucket_counts;   ///< per-bucket (non-cumulative),
+                                              ///< size = bounds + 1 (overflow)
 };
 
 /// Process-wide instrument registry. Lookup takes a mutex — cache the

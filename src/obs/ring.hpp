@@ -1,0 +1,124 @@
+// Flight-recorder event rings: lock-free, per-thread, fixed-size buffers of
+// compact structured events.
+//
+// Every thread that records gets its own ring (registered with the process-
+// wide FlightRecorder on first use), so the record path is a single-writer
+// seqlock store — no locks, no allocation, wait-free for the writer. The
+// ring keeps the last kRingCapacity events per thread; older events are
+// overwritten in place. Readers (snapshot, crash dump) copy slots under the
+// per-slot sequence and discard entries that were being rewritten mid-copy,
+// so a snapshot never blocks or corrupts the hot path.
+//
+// Record sites compile away entirely when the GSX_TELEMETRY CMake option is
+// OFF (the GSX_FLIGHT macro below), bounding the always-on cost to zero for
+// builds that want it.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gsx::obs {
+
+/// Compact event vocabulary. Keep the numeric values stable: they appear in
+/// JSONL dumps that outlive the process that wrote them.
+enum class EventKind : std::uint16_t {
+  RequestAdmit = 1,      ///< a = queue depth after admit
+  RequestDispatch = 2,   ///< a = batch size (requests), b = batch points
+  RequestComplete = 3,   ///< a = ok (1/0), v = total seconds
+  RequestReject = 4,     ///< a = 1 queue-full, 2 deadline, 3 draining
+  TaskReady = 10,        ///< a = task id, b = ready-queue depth
+  TaskRun = 11,          ///< a = task id, b = worker id
+  TaskDone = 12,         ///< a = task id, b = worker id, v = seconds
+  TileDemotion = 20,     ///< a = tile i, b = tile j, v = observed error
+  CacheHit = 30,         ///< request-scoped model lookup hit
+  CacheMiss = 31,
+  CacheEvict = 32,       ///< v = evicted bytes
+  NumericalSentinel = 40,  ///< a = non-finite count, request-scoped
+  SolveBegin = 50,       ///< a = train n, b = batch points
+  SolveEnd = 51,         ///< v = solve seconds
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;
+
+/// One flight-recorder event. `request` is 0 outside any request scope;
+/// `a`/`b`/`v` are kind-specific (see EventKind).
+struct Event {
+  double t = 0.0;            ///< obs::now_seconds() at record time
+  std::uint64_t request = 0; ///< request id (serve::mint_request_id), 0 = none
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double v = 0.0;
+  EventKind kind = EventKind::RequestAdmit;
+  std::uint16_t thread = 0;  ///< recorder-assigned ring index
+};
+
+/// Events per thread ring. Power of two so the write index wraps with a mask.
+inline constexpr std::size_t kRingCapacity = 4096;
+
+/// Single-writer ring of Events with per-slot seqlocks. The owning thread
+/// calls record(); any thread may call snapshot_into() concurrently.
+class EventRing {
+ public:
+  EventRing() = default;
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Owning thread only. Wait-free: two release stores around five relaxed
+  /// payload stores.
+  void record(const Event& e) noexcept;
+
+  /// Copy every consistent, non-empty slot into `out` (appends). Entries
+  /// caught mid-write (odd or changed sequence) are skipped, not blocked on.
+  void snapshot_into(std::vector<Event>& out) const;
+
+  /// Read one slot (0 <= i < kRingCapacity) if it holds a stable event.
+  /// Async-signal-safe: atomic loads only, no allocation — the fatal-signal
+  /// dump walks rings with this.
+  bool read_slot(std::size_t i, Event& out) const noexcept;
+
+  /// Total events ever recorded (monotonic; may exceed kRingCapacity).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-thread liveness: a ring whose thread exited may be adopted by a
+  /// new thread (FlightRecorder reuses the slot).
+  void set_in_use(bool on) noexcept { in_use_.store(on, std::memory_order_release); }
+  [[nodiscard]] bool in_use() const noexcept {
+    return in_use_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    // Seqlock: even = stable, odd = being written. Payload fields are
+    // relaxed atomics so concurrent snapshot reads are race-free (and
+    // tsan-clean) without making the writer take a lock.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<double> t{0.0};
+    std::atomic<std::uint64_t> request{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<double> v{0.0};
+    std::atomic<std::uint32_t> kind_thread{0};  ///< kind << 16 | thread
+  };
+
+  std::array<Slot, kRingCapacity> slots_;
+  std::atomic<std::uint64_t> recorded_{0};  ///< next write position
+  std::atomic<bool> in_use_{false};
+};
+
+}  // namespace gsx::obs
+
+// Compile-time gate for record sites: with GSX_TELEMETRY=OFF the whole
+// argument expression disappears (operands are never evaluated).
+#ifndef GSX_TELEMETRY_DISABLED
+#define GSX_FLIGHT(kind, request, a, b, v) \
+  ::gsx::obs::flight_record((kind), (request), (a), (b), (v))
+#else
+#define GSX_FLIGHT(kind, request, a, b, v) \
+  do {                                     \
+  } while (false)
+#endif

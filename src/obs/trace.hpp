@@ -56,6 +56,13 @@ class ScopedPhase {
   double start_ = -1.0;  ///< < 0: disabled at entry, destructor no-ops
 };
 
+/// Trace context propagated from the serving layer into solver entry points
+/// (an explicit argument, never ambient state), so spans and flight-recorder
+/// events deep in cholesky/ carry the originating request id end-to-end.
+struct RequestContext {
+  std::uint64_t request_id = 0;  ///< serve::mint_request_id(); 0 = no request
+};
+
 // ---------------------------------------------------------------------------
 // Per-task kernel annotations.
 

@@ -10,6 +10,8 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace gsx::rt {
@@ -116,6 +118,11 @@ void TaskGraph::run(std::size_t num_workers) {
   std::exception_ptr first_error;
   std::atomic<bool> aborting{false};
 
+  // The registry lookup takes a mutex; this path runs once per task, so
+  // resolve the gauge once (references stay valid across Registry::reset()).
+  static obs::Gauge& queue_depth_gauge =
+      obs::Registry::instance().gauge("taskgraph.queue_depth");
+
   auto push_ready = [&](std::size_t id, std::size_t worker_hint) {
     switch (policy_) {
       case SchedPolicy::Priority: prio.push(id); break;
@@ -126,6 +133,8 @@ void TaskGraph::run(std::size_t num_workers) {
         break;
     }
     ++ready_count;
+    queue_depth_gauge.set(static_cast<double>(ready_count));
+    GSX_FLIGHT(obs::EventKind::TaskReady, 0, id, ready_count, 0.0);
   };
   auto have_ready = [&] { return ready_count > 0; };
   auto pop_ready = [&](std::size_t worker) {
@@ -163,6 +172,7 @@ void TaskGraph::run(std::size_t num_workers) {
       }
     }
     --ready_count;
+    queue_depth_gauge.set(static_cast<double>(ready_count));
     return id;
   };
 
@@ -188,6 +198,7 @@ void TaskGraph::run(std::size_t num_workers) {
       }
 
       Task& t = tasks_[id];
+      GSX_FLIGHT(obs::EventKind::TaskRun, 0, id, worker_id, 0.0);
       const double t0 = wall.seconds();
       if (!aborting.load(std::memory_order_acquire)) {
         try {
@@ -205,6 +216,7 @@ void TaskGraph::run(std::size_t num_workers) {
       }
       const double t1 = wall.seconds();
       t.duration_seconds = t1 - t0;
+      GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, worker_id, t.duration_seconds);
 
       // Kernel-attached metadata (precision, rank, flops) for the trace.
       // Always drained so a stale annotation never leaks onto a later task.
@@ -256,6 +268,14 @@ void TaskGraph::run(std::size_t num_workers) {
   stats_.total_task_seconds = 0.0;
   for (const Task& t : tasks_) stats_.total_task_seconds += t.duration_seconds;
   compute_critical_path();
+
+  auto& reg = obs::Registry::instance();
+  reg.gauge("taskgraph.workers").set(static_cast<double>(num_workers));
+  if (stats_.makespan_seconds > 0.0) {
+    reg.gauge("taskgraph.worker_utilization")
+        .set(stats_.total_task_seconds /
+             (stats_.makespan_seconds * static_cast<double>(num_workers)));
+  }
 
   if (first_error) std::rethrow_exception(first_error);
   GSX_REQUIRE(completed == tasks_.size(), "runtime: DAG did not quiesce (cycle?)");

@@ -3,8 +3,11 @@
 #include "cholesky/tile_solve.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/wire.hpp"
 
 namespace gsx::serve {
 
@@ -20,6 +23,39 @@ PredictOutcome fail(std::string why) {
   o.ok = false;
   o.error = std::move(why);
   return o;
+}
+
+// RequestReject flight-event reason codes (the `a` field).
+constexpr std::uint64_t kRejectQueueFull = 1;
+constexpr std::uint64_t kRejectDeadline = 2;
+constexpr std::uint64_t kRejectDraining = 3;
+
+/// Chrome-trace spans for one request ("request" category, named
+/// "r-<id>/queue|assemble|solve"), anchored on the observability clock via
+/// the batch-end instant so they align with pipeline/task rows.
+void record_request_spans(std::uint64_t request_id, double end_obs, double total_s,
+                          double queue_s, double pass_s,
+                          const cholesky::SolveTelemetry& t) {
+  if (!obs::enabled()) return;
+  const std::string prefix = request_id_string(request_id) + "/";
+  obs::Span queue;
+  queue.name = prefix + "queue";
+  queue.category = "request";
+  queue.start_seconds = end_obs - total_s;
+  queue.end_seconds = queue.start_seconds + queue_s;
+  obs::record_span(std::move(queue));
+  obs::Span assemble;
+  assemble.name = prefix + "assemble";
+  assemble.category = "request";
+  assemble.start_seconds = end_obs - pass_s;
+  assemble.end_seconds = assemble.start_seconds + t.assemble_seconds;
+  obs::record_span(assemble);
+  obs::Span solve;
+  solve.name = prefix + "solve";
+  solve.category = "request";
+  solve.start_seconds = assemble.end_seconds;
+  solve.end_seconds = solve.start_seconds + t.solve_seconds;
+  obs::record_span(std::move(solve));
 }
 
 }  // namespace
@@ -42,18 +78,21 @@ KrigingEngine::~KrigingEngine() { drain(); }
 
 std::future<PredictOutcome> KrigingEngine::submit(
     std::shared_ptr<const LoadedModel> model, std::vector<geostat::Location> points,
-    bool with_variance, Clock::time_point deadline) {
+    bool with_variance, Clock::time_point deadline, std::uint64_t request_id) {
   std::promise<PredictOutcome> promise;
   std::future<PredictOutcome> future = promise.get_future();
+  if (request_id == 0) request_id = mint_request_id();
   if (model == nullptr || points.empty()) {
     promise.set_value(fail(model == nullptr ? "no such model" : "no points"));
     return future;
   }
 
   const auto now = Clock::now();
+  std::size_t depth = 0;
   {
     std::lock_guard lk(mu_);
     if (stopping_) {
+      GSX_FLIGHT(obs::EventKind::RequestReject, request_id, kRejectDraining, 0, 0.0);
       promise.set_value(fail("engine draining"));
       return future;
     }
@@ -61,6 +100,7 @@ std::future<PredictOutcome> KrigingEngine::submit(
       // Fast-fail admission control: shed load instead of convoying.
       ++stats_.rejected_queue_full;
       obs::Registry::instance().counter("serve.rejected.queue_full").add();
+      GSX_FLIGHT(obs::EventKind::RequestReject, request_id, kRejectQueueFull, 0, 0.0);
       promise.set_value(fail("queue full"));
       return future;
     }
@@ -68,15 +108,18 @@ std::future<PredictOutcome> KrigingEngine::submit(
     p.model = std::move(model);
     p.points = std::move(points);
     p.with_variance = with_variance;
+    p.request_id = request_id;
     p.deadline = deadline;
     p.enqueued = now;
     p.promise = std::move(promise);
     queue_.push_back(std::move(p));
     ++stats_.accepted;
-    stats_.queue_depth = queue_.size();
+    depth = queue_.size();
+    stats_.queue_depth = depth;
     obs::Registry::instance().gauge("serve.queue.depth")
-        .set(static_cast<double>(queue_.size()));
+        .set(static_cast<double>(depth));
   }
+  GSX_FLIGHT(obs::EventKind::RequestAdmit, request_id, depth, 0, 0.0);
   cv_.notify_one();
   return future;
 }
@@ -136,6 +179,9 @@ void KrigingEngine::dispatch_loop() {
     obs::Registry::instance().gauge("serve.queue.depth")
         .set(static_cast<double>(queue_.size()));
     lk.unlock();
+    for (const Pending& p : batch)
+      GSX_FLIGHT(obs::EventKind::RequestDispatch, p.request_id, batch.size(), points,
+                 0.0);
     obs::Registry::instance().histogram("serve.batch.points")
         .observe(static_cast<double>(points));
     process_batch(std::move(batch));
@@ -160,6 +206,7 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
         ++stats_.rejected_deadline;
       }
       obs::Registry::instance().counter("serve.rejected.deadline").add();
+      GSX_FLIGHT(obs::EventKind::RequestReject, p.request_id, kRejectDeadline, 0, 0.0);
       p.promise.set_value(fail("deadline exceeded while queued"));
       continue;
     }
@@ -169,6 +216,11 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
   }
   if (live.empty()) return;
 
+  // The whole micro-batch shares one solver pass, so the trace context
+  // carries the oldest request's id (its deadline admitted the batch).
+  cholesky::SolveTelemetry telemetry;
+  telemetry.ctx.request_id = live.front().request_id;
+
   PredictOutcome failure;
   geostat::KrigingResult result;
   bool ok = true;
@@ -176,14 +228,21 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
     // One tiled Sigma_mn assembly + solve pass for the whole micro-batch.
     result = cholesky::tile_krige_solved(*model.kernel, model.factor, model.y_solved,
                                          model.train_locs, points, any_variance,
-                                         cfg_.workers);
+                                         cfg_.workers, &telemetry);
   } catch (const std::exception& e) {
     ok = false;
     failure = fail(std::string("prediction failed: ") + e.what());
+    // A numerical failure is exactly what the flight recorder exists for:
+    // persist the in-memory rings next to the error before anything else
+    // overwrites them, and hand the dump path back on the wire.
+    failure.flight_dump = obs::FlightRecorder::instance().dump_on_failure();
     obs::log_warn("serve", "batch prediction failed", {obs::lf("error", e.what())});
   }
 
   const auto end = Clock::now();
+  // Anchor wall-clock offsets onto the observability clock so per-request
+  // spans land on the same axis as pipeline phases and task events.
+  const double end_obs = obs::now_seconds();
   auto& latency = obs::Registry::instance().histogram(
       "serve.predict.seconds", obs::Histogram::duration_bounds());
   auto& queue_wait = obs::Registry::instance().histogram(
@@ -192,15 +251,25 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
   std::size_t offset = 0;
   for (Pending& p : live) {
     const std::size_t m = p.points.size();
+    const double queue_s = seconds_between(p.enqueued, start);
+    const double total_s = seconds_between(p.enqueued, end);
+    record_request_spans(p.request_id, end_obs, total_s, queue_s,
+                         seconds_between(start, end), telemetry);
     if (!ok) {
-      p.promise.set_value(failure);
+      PredictOutcome o = failure;
+      o.request_id = p.request_id;
+      GSX_FLIGHT(obs::EventKind::RequestComplete, p.request_id, 0, 0, total_s);
+      p.promise.set_value(std::move(o));
       continue;
     }
     PredictOutcome o;
     o.ok = true;
     o.batched_with = live.size();
-    o.queue_seconds = seconds_between(p.enqueued, start);
-    o.total_seconds = seconds_between(p.enqueued, end);
+    o.request_id = p.request_id;
+    o.queue_seconds = queue_s;
+    o.assemble_seconds = telemetry.assemble_seconds;
+    o.solve_seconds = telemetry.solve_seconds;
+    o.total_seconds = total_s;
     o.mean.assign(result.mean.begin() + static_cast<std::ptrdiff_t>(offset),
                   result.mean.begin() + static_cast<std::ptrdiff_t>(offset + m));
     if (p.with_variance) {
@@ -209,6 +278,7 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
     }
     latency.observe(o.total_seconds);
     queue_wait.observe(o.queue_seconds);
+    GSX_FLIGHT(obs::EventKind::RequestComplete, p.request_id, 1, 0, total_s);
     p.promise.set_value(std::move(o));
     offset += m;
   }

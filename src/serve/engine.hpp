@@ -42,8 +42,12 @@ struct PredictOutcome {
   std::vector<double> mean;
   std::vector<double> variance;       ///< empty unless requested
   std::size_t batched_with = 0;       ///< total requests in the micro-batch
+  std::uint64_t request_id = 0;       ///< id the request carried end-to-end
   double queue_seconds = 0.0;         ///< admission -> batch start
+  double assemble_seconds = 0.0;      ///< Sigma_nm assembly inside the batch pass
+  double solve_seconds = 0.0;         ///< triangular solve + mean/variance
   double total_seconds = 0.0;         ///< admission -> completion
+  std::string flight_dump;            ///< flight-recorder JSONL path, on failure
 };
 
 struct EngineStats {
@@ -72,11 +76,14 @@ class KrigingEngine {
 
   /// Enqueue one prediction. Never blocks: a full queue or an expired
   /// deadline resolves the future immediately. `deadline` of
-  /// Clock::time_point::max() means no deadline.
+  /// Clock::time_point::max() means no deadline. `request_id` is the wire
+  /// layer's trace id (0 mints one here), stamped on flight-recorder events,
+  /// spans and the outcome.
   std::future<PredictOutcome> submit(std::shared_ptr<const LoadedModel> model,
                                      std::vector<geostat::Location> points,
                                      bool with_variance,
-                                     Clock::time_point deadline = Clock::time_point::max());
+                                     Clock::time_point deadline = Clock::time_point::max(),
+                                     std::uint64_t request_id = 0);
 
   /// Stop accepting, finish everything queued, join the dispatcher.
   /// Idempotent; also called by the destructor.
@@ -89,6 +96,7 @@ class KrigingEngine {
     std::shared_ptr<const LoadedModel> model;
     std::vector<geostat::Location> points;
     bool with_variance = true;
+    std::uint64_t request_id = 0;
     Clock::time_point deadline;
     Clock::time_point enqueued;
     std::promise<PredictOutcome> promise;

@@ -5,6 +5,7 @@
 #include "cholesky/tile_solve.hpp"
 #include "common/error.hpp"
 #include "geostat/kernel_registry.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -64,14 +65,15 @@ void ModelRegistry::evict_to_fit_locked(std::size_t incoming_bytes) {
           victim->second.last_used.load(std::memory_order_relaxed))
         victim = it;
     }
-    resident_bytes_ -= victim->second.model->resident_bytes;
+    const std::size_t victim_bytes = victim->second.model->resident_bytes;
+    resident_bytes_ -= victim_bytes;
     obs::log_info("serve", "evicting model from factor cache",
                   {obs::lf("name", victim->first),
-                   obs::lf("bytes",
-                           static_cast<std::uint64_t>(victim->second.model->resident_bytes))});
+                   obs::lf("bytes", static_cast<std::uint64_t>(victim_bytes))});
     entries_.erase(victim);
     ++evictions_;
     obs::Registry::instance().counter("serve.cache.evictions").add();
+    GSX_FLIGHT(obs::EventKind::CacheEvict, 0, 0, 0, static_cast<double>(victim_bytes));
   }
 }
 
@@ -102,7 +104,7 @@ std::shared_ptr<const LoadedModel> ModelRegistry::insert(
   e.model = model;
   e.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                     std::memory_order_relaxed);
-  obs::Registry::instance().gauge("serve.cache.resident_bytes")
+  obs::Registry::instance().gauge("serve.cache.bytes")
       .set(static_cast<double>(resident_bytes_));
   obs::Registry::instance().gauge("serve.cache.models")
       .set(static_cast<double>(entries_.size()));
@@ -114,9 +116,13 @@ std::shared_ptr<const LoadedModel> ModelRegistry::get(const std::string& name) c
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.cache.misses").add();
+    GSX_FLIGHT(obs::EventKind::CacheMiss, 0, 0, 0, 0.0);
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("serve.cache.hits").add();
+  GSX_FLIGHT(obs::EventKind::CacheHit, 0, 0, 0, 0.0);
   it->second.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                              std::memory_order_relaxed);
   return it->second.model;
@@ -128,7 +134,7 @@ bool ModelRegistry::unload(const std::string& name) {
   if (it == entries_.end()) return false;
   resident_bytes_ -= it->second.model->resident_bytes;
   entries_.erase(it);
-  obs::Registry::instance().gauge("serve.cache.resident_bytes")
+  obs::Registry::instance().gauge("serve.cache.bytes")
       .set(static_cast<double>(resident_bytes_));
   obs::Registry::instance().gauge("serve.cache.models")
       .set(static_cast<double>(entries_.size()));

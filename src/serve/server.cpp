@@ -12,7 +12,9 @@
 
 #include "common/error.hpp"
 #include "geostat/kernel_registry.hpp"
+#include "obs/export_prom.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace gsx::serve {
 
@@ -70,7 +72,24 @@ const std::string& require_string(const JsonValue& req, const std::string& key) 
 Server::Server(ServerConfig cfg)
     : cfg_(cfg),
       registry_(cfg.cache_bytes),
-      engine_(EngineConfig{cfg.workers, cfg.queue_capacity, cfg.max_batch_points}) {}
+      engine_(EngineConfig{cfg.workers, cfg.queue_capacity, cfg.max_batch_points}) {
+  // Pre-register the serving metrics so a scrape sees the full schema (zeroed
+  // series included) before the first request, not a shape that grows as
+  // traffic happens to exercise code paths.
+  auto& reg = obs::Registry::instance();
+  reg.gauge("serve.queue.depth");
+  reg.gauge("serve.cache.bytes");
+  reg.gauge("serve.cache.models");
+  reg.gauge("taskgraph.queue_depth");
+  reg.counter("serve.cache.hits");
+  reg.counter("serve.cache.misses");
+  reg.counter("serve.cache.evictions");
+  reg.counter("serve.rejected.queue_full");
+  reg.counter("serve.rejected.deadline");
+  reg.histogram("serve.predict.seconds", obs::Histogram::duration_bounds());
+  reg.histogram("serve.queue.seconds", obs::Histogram::duration_bounds());
+  reg.histogram("serve.batch.points");
+}
 
 Server::~Server() {
   shutdown();
@@ -93,6 +112,7 @@ std::string Server::handle_request(const JsonValue& req) {
   if (op == "predict") return do_predict(req);
   if (op == "stats") return do_stats();
   if (op == "health") return do_health();
+  if (op == "metrics") return do_metrics();
   return wire_error("unknown op \"" + op + "\"");
 }
 
@@ -151,15 +171,28 @@ std::string Server::do_predict(const JsonValue& req) {
       std::chrono::duration_cast<KrigingEngine::Clock::duration>(
           std::chrono::duration<double>(deadline_seconds));
 
-  PredictOutcome out =
-      engine_.submit(std::move(model), std::move(points), with_variance, deadline).get();
-  if (!out.ok) return wire_error(out.error);
+  // The request id is minted here at the wire boundary so rejects, flight
+  // events, spans and the response all agree on one name for this request.
+  const std::uint64_t request_id = mint_request_id();
+  PredictOutcome out = engine_
+                           .submit(std::move(model), std::move(points), with_variance,
+                                   deadline, request_id)
+                           .get();
+  if (!out.ok) {
+    JsonValue::Object o;
+    o["ok"] = JsonValue(false);
+    o["error"] = JsonValue(out.error);
+    o["request_id"] = JsonValue(request_id_string(request_id));
+    if (!out.flight_dump.empty()) o["flight_dump"] = JsonValue(out.flight_dump);
+    return JsonValue(std::move(o)).dump();
+  }
 
   JsonValue::Array mean;
   mean.reserve(out.mean.size());
   for (const double m : out.mean) mean.emplace_back(m);
   JsonValue::Object o;
   o["ok"] = JsonValue(true);
+  o["request_id"] = JsonValue(request_id_string(request_id));
   o["mean"] = JsonValue(std::move(mean));
   if (with_variance) {
     JsonValue::Array variance;
@@ -170,11 +203,25 @@ std::string Server::do_predict(const JsonValue& req) {
   o["batched_with"] = JsonValue(out.batched_with);
   o["queue_seconds"] = JsonValue(out.queue_seconds);
   o["total_seconds"] = JsonValue(out.total_seconds);
+  JsonValue::Object timing;
+  timing["queue_seconds"] = JsonValue(out.queue_seconds);
+  timing["assemble_seconds"] = JsonValue(out.assemble_seconds);
+  timing["solve_seconds"] = JsonValue(out.solve_seconds);
+  timing["total_seconds"] = JsonValue(out.total_seconds);
+  o["timing"] = JsonValue(std::move(timing));
   return JsonValue(std::move(o)).dump();
 }
 
 std::string Server::do_stats() {
   return stats_to_json(registry_.stats(), engine_.stats()).dump();
+}
+
+std::string Server::do_metrics() {
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["content_type"] = JsonValue(obs::kPrometheusContentType);
+  o["prometheus"] = JsonValue(obs::render_prometheus());
+  return JsonValue(std::move(o)).dump();
 }
 
 std::string Server::do_health() {
@@ -229,11 +276,76 @@ std::uint16_t Server::listen() {
   }
   GSX_REQUIRE(::listen(listen_fd_, 64) == 0, "listen() failed");
   running_.store(true, std::memory_order_release);
+  if (cfg_.metrics_port >= 0) start_metrics_listener();
   obs::log_info("serve", "listening",
                 {obs::lf("endpoint", cfg_.unix_path.empty()
                                          ? "127.0.0.1:" + std::to_string(bound_port)
                                          : cfg_.unix_path)});
   return bound_port;
+}
+
+void Server::start_metrics_listener() {
+  metrics_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  GSX_REQUIRE(metrics_fd_ >= 0, "socket(AF_INET) for metrics failed");
+  const int one = 1;
+  ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.metrics_port));
+  if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(metrics_fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
+    throw InvalidArgument(std::string("metrics bind(127.0.0.1:") +
+                          std::to_string(cfg_.metrics_port) +
+                          ") failed: " + std::strerror(saved));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  metrics_port_ = ntohs(bound.sin_port);
+  metrics_thread_ = std::thread([this] { metrics_loop(); });
+  obs::log_info("serve", "metrics scrape endpoint listening",
+                {obs::lf("endpoint", "127.0.0.1:" + std::to_string(metrics_port_))});
+}
+
+void Server::metrics_loop() {
+  // Deliberately minimal HTTP/1.0: one request per connection, close after
+  // the response. A Prometheus scraper needs nothing more, and anything more
+  // would drag a web server into the serving daemon.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // metrics fd closed by shutdown(), or fatal error
+    }
+    char buf[2048];
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < std::size_t{16} * 1024) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    const bool get_root = request.rfind("GET / ", 0) == 0;
+    const bool get_metrics = request.rfind("GET /metrics", 0) == 0;
+    std::string response;
+    if (get_root || get_metrics) {
+      const std::string body = obs::render_prometheus();
+      response = "HTTP/1.0 200 OK\r\nContent-Type: " +
+                 std::string(obs::kPrometheusContentType) +
+                 "\r\nContent-Length: " + std::to_string(body.size()) +
+                 "\r\nConnection: close\r\n\r\n" + body;
+    } else {
+      response =
+          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    }
+    write_all(fd, response.data(), response.size());
+    ::close(fd);
+  }
 }
 
 void Server::serve_forever() {
@@ -305,6 +417,12 @@ void Server::shutdown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (metrics_fd_ >= 0) {
+    ::shutdown(metrics_fd_, SHUT_RDWR);  // wakes the metrics accept()
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   std::vector<std::thread> threads;
   {
     std::lock_guard lk(conn_mu_);

@@ -9,6 +9,7 @@
 //    "variance":true,"deadline_ms":250}
 //   {"op":"stats"}
 //   {"op":"health"}
+//   {"op":"metrics"}
 //
 // Every response carries "ok"; failures add "error". handle_line() is the
 // whole protocol — the daemon's connection threads and the in-process tests
@@ -37,6 +38,8 @@ struct ServerConfig {
   std::size_t max_batch_points = 8192;
   std::size_t cache_bytes = std::size_t{1} << 30;  ///< factor-cache capacity
   double default_deadline_seconds = 30.0;  ///< applied when a request sends none
+  int metrics_port = -1;  ///< Prometheus HTTP scrape port on 127.0.0.1
+                          ///< (-1 = off, 0 = ephemeral); started by listen()
 };
 
 /// Request handler + listener. Construct, optionally pre-load models through
@@ -67,6 +70,10 @@ class Server {
 
   [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Bound port of the Prometheus scrape listener (0 until listen() starts
+  /// it, or when cfg.metrics_port is -1).
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
+
   ModelRegistry& registry() { return registry_; }
   KrigingEngine& engine() { return engine_; }
 
@@ -77,7 +84,10 @@ class Server {
   std::string do_predict(const JsonValue& req);
   std::string do_stats();
   std::string do_health();
+  std::string do_metrics();
 
+  void start_metrics_listener();
+  void metrics_loop();
   void connection_loop(int fd);
   void reap_finished_locked();
 
@@ -86,6 +96,9 @@ class Server {
   KrigingEngine engine_;
 
   int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  std::uint16_t metrics_port_ = 0;
+  std::thread metrics_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};

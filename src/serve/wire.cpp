@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -324,6 +325,15 @@ std::string wire_error(const std::string& why) {
   o["ok"] = JsonValue(false);
   o["error"] = JsonValue(why);
   return JsonValue(std::move(o)).dump();
+}
+
+std::uint64_t mint_request_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string request_id_string(std::uint64_t id) {
+  return "r-" + std::to_string(id);
 }
 
 }  // namespace gsx::serve

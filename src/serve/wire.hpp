@@ -7,6 +7,7 @@
 // escapes including \uXXXX with surrogate pairs.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -62,5 +63,14 @@ class JsonValue {
 
 /// {"ok":false,"error":why} — the uniform wire error shape.
 std::string wire_error(const std::string& why);
+
+/// Mint a process-unique request id (monotone from 1). The wire layer stamps
+/// one on every predict before it enters the engine; the same id threads
+/// through batching, the solver's flight-recorder events, spans and the
+/// response, so one grep correlates a request across every artifact.
+[[nodiscard]] std::uint64_t mint_request_id() noexcept;
+
+/// Wire/trace spelling of a request id: "r-<n>".
+[[nodiscard]] std::string request_id_string(std::uint64_t id);
 
 }  // namespace gsx::serve

@@ -113,6 +113,41 @@ TEST_F(ObsMetrics, HistogramPercentilesInterpolate) {
   EXPECT_EQ(empty.percentile(0.5), 0.0);
 }
 
+TEST_F(ObsMetrics, OverflowBucketPercentileReturnsObservedMax) {
+  // When the requested quantile falls in the +inf overflow bucket there is
+  // no finite upper bound to interpolate toward: the only honest answer is
+  // the tracked maximum, not a bucket-width extrapolation.
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(100.0);  // overflow
+  h.observe(250.0);  // overflow; observed max
+
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 250.0);
+  // Quantiles below the overflow bucket still interpolate finitely.
+  EXPECT_LE(h.percentile(0.25), 1.0);
+}
+
+TEST_F(ObsMetrics, SamplesCarryP999AndBucketLayout) {
+  auto& h = Registry::instance().histogram("t.p999", {1.0, 10.0});
+  for (int i = 0; i < 500; ++i) h.observe(0.5);
+  h.observe(5000.0);  // the tail event: p999 of 501 samples lands on it
+
+  for (const MetricSample& s : Registry::instance().samples()) {
+    if (s.name != "t.p999") continue;
+    EXPECT_DOUBLE_EQ(s.p999, 5000.0);  // overflow bucket -> observed max
+    EXPECT_LE(s.p50, 1.0);
+    ASSERT_EQ(s.bucket_bounds.size(), 2u);
+    ASSERT_EQ(s.bucket_counts.size(), 3u);  // bounds + overflow
+    EXPECT_EQ(s.bucket_counts[0], 500u);
+    EXPECT_EQ(s.bucket_counts[2], 1u);
+    return;
+  }
+  FAIL() << "t.p999 not found in samples()";
+}
+
 TEST_F(ObsMetrics, RegistryReferencesSurviveReset) {
   Counter& c = Registry::instance().counter("t.stable");
   c.add(5);

@@ -11,7 +11,9 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +24,9 @@
 #include "geostat/kernel_registry.hpp"
 #include "geostat/locations.hpp"
 #include "geostat/prediction.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
@@ -460,6 +465,277 @@ TEST(Server, SocketEndToEndLoadPredictStatsDrain) {
   accept_thread.join();
   EXPECT_FALSE(server.running());
   std::remove(ckpt_path.c_str());
+}
+
+// --- response schemas -------------------------------------------------------
+
+void expect_number_field(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  ASSERT_NE(v, nullptr) << "missing \"" << key << "\"";
+  EXPECT_TRUE(v->is_number()) << key;
+}
+
+TEST(Server, StatsSchemaReflectsCompletedPredict) {
+  const Problem p = make_problem(72);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+  server.registry().insert(make_model(p, "m"));
+
+  const JsonValue before = JsonValue::parse(server.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(before.find("ok")->as_bool());
+  const JsonValue* reg = before.find("registry");
+  const JsonValue* eng = before.find("engine");
+  ASSERT_NE(reg, nullptr);
+  ASSERT_NE(eng, nullptr);
+  for (const char* key : {"models", "resident_bytes", "capacity_bytes", "hits",
+                          "misses", "loads", "evictions"})
+    expect_number_field(*reg, key);
+  for (const char* key : {"accepted", "completed", "rejected_queue_full",
+                          "rejected_deadline", "batches", "batched_points",
+                          "queue_depth"})
+    expect_number_field(*eng, key);
+  EXPECT_EQ(eng->find("completed")->as_number(), 0.0);
+
+  const JsonValue r = JsonValue::parse(server.handle_line(
+      R"({"op":"predict","model":"m","points":[[0.2,0.3],[0.4,0.5]]})"));
+  ASSERT_TRUE(r.find("ok")->as_bool()) << r.dump();
+
+  const JsonValue after = JsonValue::parse(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(after.find("engine")->find("completed")->as_number(), 1.0);
+  EXPECT_EQ(after.find("engine")->find("accepted")->as_number(), 1.0);
+  EXPECT_GE(after.find("engine")->find("batches")->as_number(), 1.0);
+  EXPECT_GE(after.find("engine")->find("batched_points")->as_number(), 2.0);
+  EXPECT_GE(after.find("registry")->find("hits")->as_number(), 1.0);
+}
+
+TEST(Server, HealthSchema) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+  const JsonValue h = JsonValue::parse(server.handle_line(R"({"op":"health"})"));
+  ASSERT_TRUE(h.find("ok")->as_bool());
+  const JsonValue* status = h.find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_TRUE(status->is_string());
+  EXPECT_EQ(status->as_string(), "serving");
+  expect_number_field(h, "models");
+  expect_number_field(h, "queue_depth");
+}
+
+// --- per-request tracing ----------------------------------------------------
+
+TEST(Server, PredictCarriesRequestIdAndConsistentTiming) {
+  const Problem p = make_problem(96);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  Server server(cfg);
+  server.registry().insert(make_model(p, "m"));
+
+  obs::set_enabled(true);
+  obs::reset_trace();
+  const JsonValue r = JsonValue::parse(server.handle_line(
+      R"({"op":"predict","model":"m","points":[[0.1,0.9],[0.5,0.5],[0.9,0.1]]})"));
+  obs::set_enabled(false);
+  ASSERT_TRUE(r.find("ok")->as_bool()) << r.dump();
+
+  const JsonValue* id = r.find("request_id");
+  ASSERT_NE(id, nullptr);
+  ASSERT_TRUE(id->is_string());
+  EXPECT_EQ(id->as_string().rfind("r-", 0), 0u) << id->as_string();
+
+  const JsonValue* timing = r.find("timing");
+  ASSERT_NE(timing, nullptr);
+  for (const char* key :
+       {"queue_seconds", "assemble_seconds", "solve_seconds", "total_seconds"})
+    expect_number_field(*timing, key);
+  const double queue = timing->find("queue_seconds")->as_number();
+  const double assemble = timing->find("assemble_seconds")->as_number();
+  const double solve = timing->find("solve_seconds")->as_number();
+  const double total = timing->find("total_seconds")->as_number();
+  EXPECT_GE(queue, 0.0);
+  EXPECT_GT(assemble, 0.0);
+  EXPECT_GT(solve, 0.0);
+  EXPECT_GT(total, 0.0);
+  // The spans tile the request's life: their sum cannot exceed the total
+  // (scatter/future overhead makes it strictly less).
+  EXPECT_LE(queue + assemble + solve, total + 1e-9);
+  EXPECT_DOUBLE_EQ(total, r.find("total_seconds")->as_number());
+
+  // The same spans landed in the Chrome-trace store under the request id.
+  const std::string prefix = id->as_string() + "/";
+  int request_spans = 0;
+  for (const obs::Span& s : obs::trace_spans()) {
+    if (s.category != "request" || s.name.rfind(prefix, 0) != 0) continue;
+    ++request_spans;
+    EXPECT_LE(s.start_seconds, s.end_seconds) << s.name;
+  }
+  EXPECT_EQ(request_spans, 3) << "queue/assemble/solve spans for " << prefix;
+}
+
+// --- metrics exposition ------------------------------------------------------
+
+TEST(Server, MetricsVerbRendersPrometheusText) {
+  const Problem p = make_problem(72);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+  server.registry().insert(make_model(p, "m"));
+
+  obs::set_enabled(true);
+  const JsonValue r = JsonValue::parse(server.handle_line(
+      R"({"op":"predict","model":"m","points":[[0.3,0.7]]})"));
+  ASSERT_TRUE(r.find("ok")->as_bool()) << r.dump();
+  const JsonValue m = JsonValue::parse(server.handle_line(R"({"op":"metrics"})"));
+  obs::set_enabled(false);
+
+  ASSERT_TRUE(m.find("ok")->as_bool());
+  EXPECT_NE(m.find("content_type")->as_string().find("version=0.0.4"),
+            std::string::npos);
+  const std::string& text = m.find("prometheus")->as_string();
+
+  // The pre-registered serving schema is present even where still zero.
+  EXPECT_NE(text.find("# TYPE gsx_serve_predict_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsx_taskgraph_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("gsx_serve_cache_bytes"), std::string::npos);
+  EXPECT_NE(text.find("gsx_serve_cache_hits"), std::string::npos);
+
+  // Round-trip the predict-latency histogram: cumulative buckets are
+  // non-decreasing, the +Inf bucket equals _count, and one observe landed.
+  std::istringstream in(text);
+  std::string line;
+  double prev = 0.0, inf_bucket = -1.0, count = -1.0;
+  while (std::getline(in, line)) {
+    if (line.rfind("gsx_serve_predict_seconds_bucket", 0) == 0) {
+      const double value = std::stod(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(value, prev) << line;
+      prev = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_bucket = value;
+    } else if (line.rfind("gsx_serve_predict_seconds_count", 0) == 0) {
+      count = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_EQ(inf_bucket, count);
+  EXPECT_GE(count, 1.0);
+}
+
+TEST(Server, MetricsHttpScrapeEndpoint) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics_port = 0;  // ephemeral
+  Server server(cfg);
+  const std::uint16_t port = server.listen();
+  (void)port;
+  ASSERT_GT(server.metrics_port(), 0);
+
+  auto scrape = [&](const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.metrics_port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string req = "GET " + target + " HTTP/1.0\r\nHost: x\r\n\r\n";
+    EXPECT_EQ(::write(fd, req.data(), req.size()), static_cast<ssize_t>(req.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+      response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+  };
+
+  const std::string ok = scrape("/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("gsx_serve_cache_bytes"), std::string::npos);
+  EXPECT_NE(ok.find("gsx_serve_predict_seconds_bucket"), std::string::npos);
+
+  EXPECT_NE(scrape("/").find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(scrape("/nope").find("HTTP/1.0 404"), std::string::npos);
+
+  server.shutdown();
+}
+
+// --- failure forensics -------------------------------------------------------
+
+TEST(Server, NumericalFailureDumpsFlightRecorderWithRequestId) {
+  // A checkpoint whose factor has a zero on the diagonal: loading silently
+  // produces a non-finite y_solved (forward solve divides by L_00), and the
+  // first predict hits the non-finite sentinel in tile_krige_solved. The
+  // wire cannot inject Inf/NaN directly — this is how bad state really
+  // arrives: through data, not through the protocol.
+  Problem p = make_problem(72);
+  core::ModelConfig mcfg;
+  mcfg.variant = core::ComputeVariant::DenseFP64;
+  mcfg.tile_size = 24;
+  mcfg.calibrate_perf_model = false;
+  const core::GsxModel model(geostat::make_kernel("matern", p.theta), mcfg);
+  ModelCheckpoint ckpt;
+  ckpt.kernel = "matern";
+  ckpt.theta = p.theta;
+  ckpt.config = mcfg;
+  ckpt.train_locs = p.locs;
+  ckpt.z_train = p.z;
+  ckpt.factor = model.factor_at(p.theta, p.locs);
+  ckpt.factor.at(0, 0).d64()(0, 0) = 0.0;  // the corruption
+  const std::string ckpt_path = temp_path("gsx_serve_corrupt.ckpt");
+  save_model_checkpoint(ckpt_path, ckpt);
+
+  const std::string dump_path = temp_path("gsx_serve_flight.jsonl");
+  std::remove(dump_path.c_str());
+  obs::FlightRecorder::instance().set_dump_path(dump_path);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg);
+  const std::uint16_t port = server.listen();
+  std::thread accept_thread([&] { server.serve_forever(); });
+
+  {
+    Client c(port);
+    const JsonValue loaded =
+        c.request(R"({"op":"load","name":"bad","path":")" + ckpt_path + R"("})");
+    ASSERT_TRUE(loaded.find("ok")->as_bool()) << loaded.dump();
+
+    const JsonValue r =
+        c.request(R"({"op":"predict","model":"bad","points":[[0.4,0.6]]})");
+    ASSERT_FALSE(r.find("ok")->as_bool()) << r.dump();
+    EXPECT_NE(r.find("error")->as_string().find("non-finite"), std::string::npos)
+        << r.dump();
+
+    const JsonValue* id = r.find("request_id");
+    ASSERT_NE(id, nullptr) << r.dump();
+    ASSERT_EQ(id->as_string().rfind("r-", 0), 0u);
+    const std::string id_num = id->as_string().substr(2);
+
+    const JsonValue* dumped = r.find("flight_dump");
+    ASSERT_NE(dumped, nullptr) << "failure response must name the dump file";
+    EXPECT_EQ(dumped->as_string(), dump_path);
+
+    // The dump must tie this request to the solve that blew up.
+    std::ifstream in(dump_path);
+    ASSERT_TRUE(in.good()) << dump_path;
+    std::string line;
+    bool solve_begin = false, sentinel = false;
+    while (std::getline(in, line)) {
+      if (line.find("\"request\":" + id_num) == std::string::npos) continue;
+      if (line.find("\"kind\":\"solve_begin\"") != std::string::npos)
+        solve_begin = true;
+      if (line.find("\"kind\":\"numerical_sentinel\"") != std::string::npos)
+        sentinel = true;
+    }
+    EXPECT_TRUE(solve_begin) << "dump lacks the request's solve_begin event";
+    EXPECT_TRUE(sentinel) << "dump lacks the request's numerical_sentinel event";
+  }
+
+  server.shutdown();
+  accept_thread.join();
+  obs::FlightRecorder::instance().set_dump_path("");
+  std::remove(ckpt_path.c_str());
+  std::remove(dump_path.c_str());
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ if [ ! -e "$serving" ]; then
   echo "MISSING DOC: docs/serving.md"
   status=1
 else
-  for verb in load unload predict stats health; do
+  for verb in load unload predict stats health metrics; do
     if ! grep -q "\"op\":\"$verb\"" "$serving"; then
       echo "MISSING VERB: docs/serving.md has no example for op \"$verb\""
       status=1

@@ -21,7 +21,9 @@
 
 #include <unistd.h>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -46,7 +48,11 @@ void usage(const char* argv0) {
                "  --queue N            admission queue capacity (default 256)\n"
                "  --max-batch-points N micro-batch cap in test points (default 8192)\n"
                "  --cache-mb N         factor cache capacity in MiB (default 1024)\n"
-               "  --deadline-ms N      default per-request deadline (default 30000)\n",
+               "  --deadline-ms N      default per-request deadline (default 30000)\n"
+               "  --metrics-port N     Prometheus scrape endpoint on 127.0.0.1:N\n"
+               "                       (0 = ephemeral; omit to disable)\n"
+               "  --flight-dump PATH   flight-recorder dump file (default\n"
+               "                       gsx-flight.jsonl in the working directory)\n",
                argv0);
 }
 
@@ -88,6 +94,10 @@ int main(int argc, char** argv) {
       cfg.cache_bytes = std::stoul(value()) * (std::size_t{1} << 20);
     } else if (arg == "--deadline-ms") {
       cfg.default_deadline_seconds = std::stod(value()) / 1000.0;
+    } else if (arg == "--metrics-port") {
+      cfg.metrics_port = static_cast<int>(std::stoul(value()));
+    } else if (arg == "--flight-dump") {
+      gsx::obs::FlightRecorder::instance().set_dump_path(value());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -97,6 +107,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // The daemon's metrics are always on (the scrape endpoint is only useful
+  // live), and a crash should leave a flight-recorder dump behind.
+  gsx::obs::set_enabled(true);
+  gsx::obs::FlightRecorder::instance().install_fatal_handlers(STDERR_FILENO);
 
   gsx::serve::Server server(cfg);
   try {
@@ -112,6 +127,8 @@ int main(int argc, char** argv) {
       std::printf("gsx_serve: listening on 127.0.0.1:%u\n", port);
     else
       std::printf("gsx_serve: listening on %s\n", cfg.unix_path.c_str());
+    if (cfg.metrics_port >= 0)
+      std::printf("gsx_serve: metrics on 127.0.0.1:%u\n", server.metrics_port());
     std::fflush(stdout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gsx_serve: %s\n", e.what());
