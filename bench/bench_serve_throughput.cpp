@@ -7,20 +7,35 @@
 // (p50/p99/p999) across concurrency levels and solver worker counts, against
 // GsxModel::predict (which assembles and factors Sigma_nn on every call).
 //
-//   bench_serve_throughput [--json FILE]   (GSX_BENCH_SCALE scales n)
+// With --fleet N it instead benchmarks the sharded serving fleet: for each
+// replica count k = 1..N it stands up k in-process replicas plus a router,
+// loads one model per shard from a shared checkpoint store, and drives
+// concurrent predict clients through the router socket — aggregate req/s and
+// p999 vs replica count, all emitted as gsx-bench-v1 records.
+//
+//   bench_serve_throughput [--json FILE] [--fleet N]   (GSX_BENCH_SCALE scales n)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_utils.hpp"
 #include "core/model.hpp"
 #include "geostat/kernel_registry.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/engine.hpp"
+#include "serve/listener.hpp"
 #include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -43,9 +58,141 @@ std::vector<geostat::Location> request_points(std::size_t m, std::uint64_t seed)
   return pts;
 }
 
+/// --fleet N: router + k replicas per point, k = 1..N. Returns exit status.
+int run_fleet_bench(std::size_t max_replicas, const std::string& json) {
+  const std::size_t n = bench::scaled(600);
+  const std::size_t points_per_request = 4;
+  const std::size_t requests = bench::scaled(96);
+  const std::size_t client_threads = 8;
+  const std::vector<double> theta{1.0, 0.1, 0.5};
+
+  bench::print_header("Sharded serving fleet: aggregate throughput vs replica "
+                      "count (n = " + std::to_string(n) + ")");
+  const bench::SpaceProblem p = bench::make_space_problem(n, 0.1);
+
+  core::ModelConfig cfg;
+  cfg.variant = core::ComputeVariant::DenseFP64;
+  cfg.tile_size = 96;
+  cfg.calibrate_perf_model = false;
+  const core::GsxModel model(geostat::make_kernel("matern", theta), cfg);
+
+  // One checkpoint in a shared store, served under one model name per shard
+  // ("load" with a relative path resolves against each replica's --store).
+  const std::string store =
+      (std::filesystem::temp_directory_path() /
+       ("gsx_bench_store_" + std::to_string(::getpid()))).string();
+  std::filesystem::create_directories(store);
+  {
+    serve::ModelCheckpoint ckpt;
+    ckpt.kernel = "matern";
+    ckpt.theta = theta;
+    ckpt.config = cfg;
+    ckpt.train_locs = p.locs;
+    ckpt.z_train = p.z;
+    ckpt.factor = model.factor_at(theta, p.locs);
+    serve::save_model_checkpoint(store + "/shared.ckpt", ckpt);
+  }
+
+  std::vector<bench::BenchRecord> records;
+  for (std::size_t k = 1; k <= max_replicas; ++k) {
+    std::vector<std::unique_ptr<serve::Server>> replicas;
+    std::vector<std::thread> loops;
+    serve::RouterConfig rcfg;
+    rcfg.stale_after_seconds = 60.0;  // no announcers in-process; never expire
+    serve::Router router(rcfg);
+    for (std::size_t i = 0; i < k; ++i) {
+      serve::ServerConfig scfg;
+      scfg.workers = 1;
+      scfg.queue_capacity = requests + client_threads;
+      scfg.store_dir = store;
+      replicas.push_back(std::make_unique<serve::Server>(scfg));
+      const std::uint16_t port = replicas.back()->listen();
+      loops.emplace_back([s = replicas.back().get()] { s->serve_forever(); });
+      router.membership().join("r" + std::to_string(i), "127.0.0.1", port);
+    }
+    const std::uint16_t router_port = router.listen();
+    loops.emplace_back([&router] { router.serve_forever(); });
+
+    const std::size_t models = 2 * k;  // a couple of shards per replica
+    {
+      serve::WireClient admin;
+      if (!admin.dial_tcp("127.0.0.1", router_port)) return 1;
+      for (std::size_t m = 0; m < models; ++m) {
+        std::string response;
+        if (!admin.request("{\"op\":\"load\",\"name\":\"m" + std::to_string(m) +
+                               "\",\"path\":\"shared.ckpt\"}",
+                           &response))
+          return 1;
+      }
+    }
+
+    std::vector<double> latencies(requests, -1.0);
+    std::atomic<std::size_t> next{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < client_threads; ++c) {
+      clients.emplace_back([&] {
+        serve::WireClient client;
+        if (!client.dial_tcp("127.0.0.1", router_port)) return;
+        for (std::size_t r = next.fetch_add(1); r < requests;
+             r = next.fetch_add(1)) {
+          const auto pts = request_points(points_per_request, 900 + r);
+          std::string req = "{\"op\":\"predict\",\"model\":\"m" +
+                            std::to_string(r % models) + "\",\"points\":[";
+          for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (i) req += ",";
+            req += "[" + std::to_string(pts[i].x) + "," +
+                   std::to_string(pts[i].y) + "]";
+          }
+          req += "]}";
+          const auto r0 = std::chrono::steady_clock::now();
+          std::string response;
+          if (client.request(req, &response) &&
+              response.find("\"ok\":true") != std::string::npos)
+            latencies[r] = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - r0).count();
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    router.shutdown();
+    for (auto& r : replicas) r->shutdown();
+    for (auto& t : loops) t.join();
+
+    std::size_t failed = 0;
+    std::vector<double> ok_latencies;
+    for (const double l : latencies)
+      l < 0 ? void(++failed) : ok_latencies.push_back(l);
+    if (failed > 0 || ok_latencies.empty()) {
+      std::printf("  !! %zu fleet requests failed at k=%zu\n", failed, k);
+      return 1;
+    }
+    const double rps = static_cast<double>(requests) / wall;
+    const double p999 = percentile(ok_latencies, 0.999);
+    char label[64];
+    std::snprintf(label, sizeof label, "fleet replicas=%zu", k);
+    std::printf("%-34s %10.2f req/s   p999 %8.2f ms\n", label, rps, 1e3 * p999);
+    records.push_back({std::string(label) + " req/s", n, wall, rps});
+    records.push_back({std::string(label) + " p999 seconds", n, p999, 0.0});
+  }
+
+  std::filesystem::remove_all(store);
+  bench::print_rule();
+  if (!json.empty()) bench::write_bench_json(json, records);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--fleet" && i + 1 < argc)
+      return run_fleet_bench(std::stoul(argv[i + 1]),
+                             bench::json_out_path(argc, argv));
+
   const std::size_t n = bench::scaled(2000);
   const std::size_t points_per_request = 4;
   const std::size_t requests = bench::scaled(64);

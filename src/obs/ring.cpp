@@ -18,6 +18,7 @@ std::string_view event_kind_name(EventKind k) noexcept {
     case EventKind::NumericalSentinel: return "numerical_sentinel";
     case EventKind::SolveBegin: return "solve_begin";
     case EventKind::SolveEnd: return "solve_end";
+    case EventKind::RouterForward: return "router_forward";
   }
   return "unknown";
 }

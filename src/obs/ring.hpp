@@ -39,6 +39,9 @@ enum class EventKind : std::uint16_t {
   NumericalSentinel = 40,  ///< a = non-finite count, request-scoped
   SolveBegin = 50,       ///< a = train n, b = batch points
   SolveEnd = 51,         ///< v = solve seconds
+  RouterForward = 60,    ///< a = fleet_hash(model), b = attempt (0-based),
+                         ///< v = forward seconds; router-side hop of a
+                         ///< request, same id as the replica-side events
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;

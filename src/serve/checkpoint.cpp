@@ -1,10 +1,13 @@
 #include "serve/checkpoint.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <span>
+#include <system_error>
 #include <type_traits>
 
 #include "common/error.hpp"
@@ -374,6 +377,50 @@ CheckpointKind probe_checkpoint(const std::string& path) {
   if (has_section(sections, kTagFact)) return CheckpointKind::Model;
   if (has_section(sections, kTagFitp)) return CheckpointKind::FitProgress;
   throw InvalidArgument("checkpoint: " + path + " has neither FACT nor FITP section");
+}
+
+bool checkpoint_valid(const std::string& path) noexcept {
+  try {
+    const Bytes data = read_file(path);
+    const std::vector<Section> sections =
+        parse_sections(data, path, /*verify_crc=*/true);
+    return has_section(sections, kTagFact) || has_section(sections, kTagFitp);
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string resolve_store_checkpoint(const std::string& store_dir,
+                                     const std::string& model) {
+  GSX_REQUIRE(!store_dir.empty(), "resolve_store_checkpoint: empty store dir");
+  namespace fs = std::filesystem;
+  std::error_code ec;
+
+  const fs::path flat = fs::path(store_dir) / (model + ".ckpt");
+  if (fs::is_regular_file(flat, ec) && checkpoint_valid(flat.string()))
+    return flat.string();
+
+  const fs::path dir = fs::path(store_dir) / model;
+  if (fs::is_directory(dir, ec)) {
+    std::vector<std::string> versions;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      if (entry.path().extension() != ".ckpt") continue;  // skips .tmp partials
+      versions.push_back(entry.path().string());
+    }
+    // Lexicographically last valid file is "newest": version file names are
+    // sortable by construction (v0001.ckpt, 20260809T1200.ckpt, ...). A
+    // corrupt or half-copied newest version falls back to its predecessor
+    // instead of taking the replica down.
+    std::sort(versions.begin(), versions.end());
+    for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+      if (checkpoint_valid(*it)) return *it;
+      obs::log_warn("serve", "skipping invalid checkpoint in store",
+                    {obs::lf("path", *it)});
+    }
+  }
+  throw InvalidArgument("checkpoint store " + store_dir +
+                        " has no valid checkpoint for model \"" + model + "\"");
 }
 
 }  // namespace gsx::serve

@@ -66,6 +66,21 @@ FitCheckpoint load_fit_checkpoint(const std::string& path);
 /// Cheap kind probe (magic + section tags only, no payload validation).
 CheckpointKind probe_checkpoint(const std::string& path);
 
+/// Full structural + CRC validation without materializing the model: every
+/// section parsed and CRC-checked. False for missing files, bad magic,
+/// truncation (a partially copied file in a shared store) or CRC mismatch.
+[[nodiscard]] bool checkpoint_valid(const std::string& path) noexcept;
+
+/// Resolve `model` to its newest valid checkpoint in a shared store
+/// directory. Layout, in precedence order:
+///   <store>/<model>.ckpt            — single current version
+///   <store>/<model>/<version>.ckpt  — versioned; lexicographically last
+///                                     *valid* file wins (invalid/partial
+///                                     files are skipped, never fatal)
+/// Throws InvalidArgument when no valid checkpoint exists for the model.
+std::string resolve_store_checkpoint(const std::string& store_dir,
+                                     const std::string& model);
+
 /// CRC32 (IEEE 802.3 reflected polynomial) — exposed for tests and tools.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 

@@ -125,6 +125,11 @@ std::future<PredictOutcome> KrigingEngine::submit(
 }
 
 void KrigingEngine::drain() {
+  // drain_mu_ serializes concurrent drainers: two threads racing past the
+  // joinable() check would otherwise both join the dispatcher — UB that in
+  // practice parks the loser on a futex forever (seen when a wire-initiated
+  // drain and the daemon's post-accept-loop shutdown overlap).
+  std::lock_guard drain_lk(drain_mu_);
   {
     std::lock_guard lk(mu_);
     if (stopping_ && !dispatcher_.joinable()) return;

@@ -86,7 +86,9 @@ class KrigingEngine {
                                      std::uint64_t request_id = 0);
 
   /// Stop accepting, finish everything queued, join the dispatcher.
-  /// Idempotent; also called by the destructor.
+  /// Idempotent and safe to call from several threads at once (a signal
+  /// watcher and the accept loop can race to drain); also called by the
+  /// destructor.
   void drain();
 
   [[nodiscard]] EngineStats stats() const;
@@ -107,6 +109,7 @@ class KrigingEngine {
 
   const EngineConfig cfg_;
   mutable std::mutex mu_;
+  std::mutex drain_mu_;  // serializes concurrent drain() callers around join
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;

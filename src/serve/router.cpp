@@ -1,0 +1,375 @@
+#include "serve/router.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/export_prom.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gsx::serve {
+
+namespace {
+
+const std::string& require_string(const JsonValue& req, const std::string& key) {
+  const JsonValue* v = req.find(key);
+  GSX_REQUIRE(v != nullptr && v->is_string(),
+              "request needs a string \"" + key + "\" field");
+  return v->as_string();
+}
+
+}  // namespace
+
+Router::Router(RouterConfig cfg)
+    : cfg_(cfg),
+      membership_(cfg.stale_after_seconds, cfg.virtual_nodes),
+      listener_(
+          LineListener::Config{"", cfg.tcp_port, cfg.metrics_port, "router"},
+          [this](const std::string& line) { return handle_line(line); }) {
+  // Pre-register the router metric schema (see Server's constructor for the
+  // rationale). Per-replica request counters are keyed by replica name and
+  // appear on first forward.
+  auto& reg = obs::Registry::instance();
+  reg.counter("router.rehash_events");
+  reg.counter("router.forwards");
+  reg.counter("router.forward.failures");
+  reg.counter("router.failover.loads");
+  reg.gauge("router.replicas.alive");
+  reg.gauge("router.heartbeat.age.max_seconds");
+  reg.histogram("router.forward.seconds", obs::Histogram::duration_bounds());
+}
+
+Router::~Router() {
+  shutdown();
+  if (drain_thread_.joinable()) drain_thread_.join();
+}
+
+std::string Router::handle_line(const std::string& line) {
+  try {
+    const JsonValue req = JsonValue::parse(line);
+    GSX_REQUIRE(req.is_object(), "request must be a JSON object");
+    return handle_request(req);
+  } catch (const std::exception& e) {
+    return wire_error(e.what());
+  }
+}
+
+std::string Router::handle_request(const JsonValue& req) {
+  const std::string& op = require_string(req, "op");
+  if (op == "register") return do_register(req);
+  if (op == "heartbeat") return do_heartbeat(req);
+  if (op == "drain") return do_drain(req);
+  if (op == "load") return do_forward_by_name(req, "load");
+  if (op == "unload") return do_forward_by_name(req, "unload");
+  if (op == "predict") return do_predict(req);
+  if (op == "stats") return do_stats();
+  if (op == "health") return do_health();
+  if (op == "metrics") return do_metrics();
+  return wire_error("unknown op \"" + op + "\"");
+}
+
+std::string Router::do_register(const JsonValue& req) {
+  const std::string& name = require_string(req, "replica");
+  const JsonValue* port = req.find("port");
+  GSX_REQUIRE(port != nullptr && port->is_number() && port->as_number() > 0 &&
+                  port->as_number() < 65536,
+              "register needs a \"port\" in (0, 65536)");
+  std::string host = "127.0.0.1";
+  if (const JsonValue* h = req.find("host"))
+    if (h->is_string()) host = h->as_string();
+  const bool rehashed = membership_.join(
+      name, host, static_cast<std::uint16_t>(port->as_number()));
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["rehashed"] = JsonValue(rehashed);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::do_heartbeat(const JsonValue& req) {
+  const std::string& name = require_string(req, "replica");
+  double queue_depth = 0.0;
+  if (const JsonValue* q = req.find("queue_depth"))
+    if (q->is_number()) queue_depth = q->as_number();
+  if (!membership_.heartbeat(name, queue_depth))
+    return wire_error("unknown or non-alive replica \"" + name +
+                      "\" — re-register");
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::do_drain(const JsonValue& req) {
+  const JsonValue* replica = req.find("replica");
+  if (replica == nullptr) {
+    // Drain the router itself (mirrors the replica's drain verb).
+    draining_.store(true, std::memory_order_release);
+    if (!drain_started_.exchange(true, std::memory_order_acq_rel)) {
+      obs::log_info("router", "drain requested over the wire", {});
+      drain_thread_ = std::thread([this] { shutdown(); });
+    }
+    JsonValue::Object o;
+    o["ok"] = JsonValue(true);
+    o["status"] = JsonValue("draining");
+    return JsonValue(std::move(o)).dump();
+  }
+
+  GSX_REQUIRE(replica->is_string(), "\"replica\" must be a string");
+  const std::string& name = replica->as_string();
+  bool goodbye = false;
+  if (const JsonValue* g = req.find("goodbye"))
+    if (g->is_bool()) goodbye = g->as_bool();
+
+  std::optional<ReplicaInfo> info;
+  for (const ReplicaInfo& r : membership_.snapshot())
+    if (r.name == name) info = r;
+  if (!info) return wire_error("unknown replica \"" + name + "\"");
+
+  membership_.drain(name);
+  // An operator-initiated drain is forwarded so the replica actually winds
+  // down; a goodbye drain came FROM the replica's announcer on its way out —
+  // forwarding it back would just race its exit.
+  bool forwarded = false;
+  if (!goodbye) {
+    std::string response;
+    forwarded = forward(*info, "{\"op\":\"drain\"}", &response);
+  }
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["replica"] = JsonValue(name);
+  o["state"] = JsonValue("draining");
+  o["forwarded"] = JsonValue(forwarded);
+  return JsonValue(std::move(o)).dump();
+}
+
+bool Router::forward(const ReplicaInfo& replica, const std::string& line,
+                     std::string* response) {
+  WireClient client;
+  if (!client.dial_tcp(replica.host, replica.port)) return false;
+  return client.request(line, response);
+}
+
+bool Router::load_on(const ReplicaInfo& replica, const std::string& model) {
+  std::string path;
+  {
+    std::lock_guard lk(models_mu_);
+    const auto it = models_.find(model);
+    if (it == models_.end()) return false;
+    path = it->second;
+  }
+  JsonValue::Object o;
+  o["op"] = JsonValue("load");
+  o["name"] = JsonValue(model);
+  if (!path.empty()) o["path"] = JsonValue(path);
+  std::string response;
+  if (!forward(replica, JsonValue(std::move(o)).dump(), &response)) return false;
+  try {
+    const JsonValue r = JsonValue::parse(response);
+    const JsonValue* ok = r.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+      obs::Registry::instance().counter("router.failover.loads").add();
+      obs::log_info("router", "failover load replayed",
+                    {obs::lf("model", model), obs::lf("replica", replica.name)});
+      return true;
+    }
+  } catch (...) {
+  }
+  return false;
+}
+
+std::string Router::do_forward_by_name(const JsonValue& req,
+                                       const std::string& op) {
+  const std::string& name = require_string(req, "name");
+  const std::optional<ReplicaInfo> owner = membership_.owner(name);
+  if (!owner) return wire_error("no routable replica for model \"" + name + "\"");
+
+  std::string line = [&] {
+    JsonValue::Object o = req.as_object();  // copy, preserve client fields
+    return JsonValue(std::move(o)).dump();
+  }();
+  std::string response;
+  if (!forward(*owner, line, &response)) {
+    membership_.mark_dead(owner->name);
+    return wire_error("replica \"" + owner->name + "\" unreachable for " + op);
+  }
+  obs::Registry::instance().counter("router.requests." + owner->name).add();
+
+  // Remember (or forget) the load spec so a failover can replay it.
+  if (op == "load") {
+    std::string path;
+    if (const JsonValue* p = req.find("path"))
+      if (p->is_string()) path = p->as_string();
+    std::lock_guard lk(models_mu_);
+    models_[name] = path;
+  } else {
+    std::lock_guard lk(models_mu_);
+    models_.erase(name);
+  }
+
+  try {
+    JsonValue::Object o = JsonValue::parse(response).as_object();
+    o["replica"] = JsonValue(owner->name);
+    return JsonValue(std::move(o)).dump();
+  } catch (...) {
+    return response;
+  }
+}
+
+std::string Router::do_predict(const JsonValue& req) {
+  const std::string& model = require_string(req, "model");
+
+  // Mint (or adopt) the request id at the front door; the forwarded line
+  // carries it so the replica's flight events share this hop's id.
+  std::uint64_t request_id = 0;
+  if (const JsonValue* rid = req.find("request_id"))
+    if (rid->is_string()) request_id = parse_request_id(rid->as_string());
+  if (request_id == 0) request_id = mint_request_id();
+
+  const std::string line = [&] {
+    JsonValue::Object o = req.as_object();
+    o["request_id"] = JsonValue(request_id_string(request_id));
+    return JsonValue(std::move(o)).dump();
+  }();
+
+  auto& reg = obs::Registry::instance();
+  std::string last_error = "no routable replica for model \"" + model + "\"";
+  for (std::size_t attempt = 0; attempt < cfg_.max_forward_attempts; ++attempt) {
+    const std::optional<ReplicaInfo> owner = membership_.owner(model);
+    if (!owner) break;
+
+    const double t0 = obs::now_seconds();
+    std::string response;
+    const bool delivered = forward(*owner, line, &response);
+    const double seconds = obs::now_seconds() - t0;
+    GSX_FLIGHT(obs::EventKind::RouterForward, request_id, fleet_hash(model),
+               attempt, seconds);
+    reg.counter("router.forwards").add();
+    reg.histogram("router.forward.seconds").observe(seconds);
+
+    if (!delivered) {
+      // The dial/roundtrip failure IS the failure detector: kill the owner
+      // (one rehash event) and retry on whoever inherits its arc.
+      reg.counter("router.forward.failures").add();
+      membership_.mark_dead(owner->name);
+      last_error = "replica \"" + owner->name + "\" unreachable";
+      continue;
+    }
+    reg.counter("router.requests." + owner->name).add();
+
+    JsonValue parsed;
+    try {
+      parsed = JsonValue::parse(response);
+    } catch (...) {
+      return response;  // pass garbage through; client sees what we saw
+    }
+    const JsonValue* ok = parsed.find("ok");
+    const JsonValue* err = parsed.find("error");
+    const bool no_model = ok != nullptr && ok->is_bool() && !ok->as_bool() &&
+                          err != nullptr && err->is_string() &&
+                          err->as_string().rfind("no such model", 0) == 0;
+    if (no_model && load_on(*owner, model)) {
+      std::string retry;
+      if (forward(*owner, line, &retry)) response = retry;
+      try {
+        parsed = JsonValue::parse(response);
+      } catch (...) {
+        return response;
+      }
+    }
+    JsonValue::Object o = parsed.as_object();
+    o["replica"] = JsonValue(owner->name);
+    return JsonValue(std::move(o)).dump();
+  }
+  return wire_error(last_error);
+}
+
+std::string Router::do_stats() {
+  const std::vector<ReplicaInfo> replicas = membership_.snapshot();
+  auto& reg = obs::Registry::instance();
+  JsonValue::Array arr;
+  for (const ReplicaInfo& r : replicas) {
+    JsonValue::Object e;
+    e["name"] = JsonValue(r.name);
+    e["endpoint"] = JsonValue(r.host + ":" + std::to_string(r.port));
+    e["state"] = JsonValue(replica_state_name(r.state));
+    e["heartbeat_age_seconds"] = JsonValue(r.heartbeat_age_seconds);
+    e["heartbeats"] = JsonValue(static_cast<std::size_t>(r.heartbeats));
+    e["queue_depth"] = JsonValue(r.queue_depth);
+    e["requests"] =
+        JsonValue(static_cast<std::size_t>(reg.counter("router.requests." + r.name).value()));
+    arr.push_back(JsonValue(std::move(e)));
+  }
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["replicas"] = JsonValue(std::move(arr));
+  o["alive"] = JsonValue(membership_.alive_count());
+  o["rehash_events"] =
+      JsonValue(static_cast<std::size_t>(membership_.rehash_events()));
+  {
+    std::lock_guard lk(models_mu_);
+    o["models"] = JsonValue(models_.size());
+  }
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::do_health() {
+  JsonValue::Object o;
+  const std::size_t alive = membership_.alive_count();
+  o["ok"] = JsonValue(true);
+  o["status"] = JsonValue(draining_.load(std::memory_order_acquire)
+                              ? "draining"
+                              : (alive > 0 ? "routing" : "no-replicas"));
+  o["alive"] = JsonValue(alive);
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::do_metrics() {
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["content_type"] = JsonValue(obs::kPrometheusContentType);
+  o["prometheus"] = JsonValue(obs::render_prometheus());
+  return JsonValue(std::move(o)).dump();
+}
+
+void Router::sweep_loop() {
+  auto& reg = obs::Registry::instance();
+  while (sweeping_.load(std::memory_order_acquire)) {
+    membership_.expire_stale();
+    const std::vector<ReplicaInfo> replicas = membership_.snapshot();
+    double max_age = 0.0;
+    for (const ReplicaInfo& r : replicas)
+      if (r.state == ReplicaState::Alive && r.heartbeat_age_seconds > max_age)
+        max_age = r.heartbeat_age_seconds;
+    reg.gauge("router.replicas.alive")
+        .set(static_cast<double>(membership_.alive_count()));
+    reg.gauge("router.heartbeat.age.max_seconds").set(max_age);
+    std::unique_lock lk(sweep_mu_);
+    sweep_cv_.wait_for(lk, std::chrono::duration<double>(cfg_.sweep_seconds),
+                       [this] { return !sweeping_.load(std::memory_order_acquire); });
+  }
+}
+
+std::uint16_t Router::listen() {
+  const std::uint16_t port = listener_.listen();
+  sweeping_.store(true, std::memory_order_release);
+  sweep_thread_ = std::thread([this] { sweep_loop(); });
+  return port;
+}
+
+void Router::serve_forever() { listener_.serve_forever(); }
+
+void Router::shutdown() {
+  // A wire-initiated drain (watcher thread) and the daemon's post-accept
+  // shutdown path can call this concurrently; both joining sweep_thread_
+  // would be UB, so serialize the whole teardown.
+  std::lock_guard lk(shutdown_mu_);
+  draining_.store(true, std::memory_order_release);
+  sweeping_.store(false, std::memory_order_release);
+  sweep_cv_.notify_all();
+  if (sweep_thread_.joinable()) sweep_thread_.join();
+  listener_.shutdown();
+}
+
+}  // namespace gsx::serve

@@ -1,0 +1,124 @@
+// Fleet router: one NDJSON front door that consistent-hashes model names
+// across a fleet of gsx_serve replicas.
+//
+// The router speaks the same newline-delimited JSON wire as the replicas
+// (the authoritative verb table is router_verbs() in serve/wire.cpp):
+//
+//   replica-facing (the Announcer sends these):
+//     {"op":"register","replica":"r0","host":"127.0.0.1","port":9101}
+//     {"op":"heartbeat","replica":"r0","queue_depth":2}
+//     {"op":"drain","replica":"r0"}            // operator: drain one replica
+//     {"op":"drain","replica":"r0","goodbye":true}  // replica: I'm leaving
+//
+//   client-facing (forwarded to the owning replica):
+//     {"op":"load","name":"era5","path":"era5.ckpt"}   // path optional
+//     {"op":"unload","name":"era5"}
+//     {"op":"predict","model":"era5","points":[...]}
+//
+//   local:
+//     {"op":"stats"}   — replica table, placements, forward counters
+//     {"op":"health"}  — alive replica count
+//     {"op":"metrics"} — Prometheus text (also served on --metrics-port)
+//     {"op":"drain"}   — no "replica": drain the router itself
+//
+// Placement is Membership's consistent-hash ring, so it depends only on the
+// set of routable replica names. Forwards dial the owner per request (the
+// fleet is loopback-local; a dial failure IS the failure detector). A failed
+// forward marks the owner Dead — one rehash event — and retries on the new
+// owner; if the new owner answers "no such model", the router replays the
+// remembered load spec there first, so failover is invisible to clients
+// beyond latency. The router mints the request id when the client didn't,
+// and forwards it on the second hop, so one id traces both hops in the
+// flight recorder.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/listener.hpp"
+#include "serve/membership.hpp"
+#include "serve/wire.hpp"
+
+namespace gsx::serve {
+
+struct RouterConfig {
+  std::uint16_t tcp_port = 0;   ///< client + replica port on 127.0.0.1
+  int metrics_port = -1;        ///< Prometheus HTTP scrape port (-1 = off)
+  double stale_after_seconds = 10.0;  ///< heartbeat age that kills a replica
+  std::size_t virtual_nodes = 64;     ///< ring points per replica
+  double sweep_seconds = 1.0;   ///< stale-heartbeat sweep cadence
+  std::size_t max_forward_attempts = 3;  ///< owner + failover retries
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Handle one request line, return one response line (no trailing '\n').
+  /// Never throws. Tests drive this directly, like Server::handle_line.
+  std::string handle_line(const std::string& line);
+
+  /// Bind + listen; starts the stale-heartbeat sweeper. Returns the bound
+  /// TCP port (useful with tcp_port = 0).
+  std::uint16_t listen();
+
+  void serve_forever();
+  void shutdown();
+
+  [[nodiscard]] bool running() const { return listener_.running(); }
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return listener_.metrics_port();
+  }
+
+  Membership& membership() { return membership_; }
+
+ private:
+  std::string handle_request(const JsonValue& req);
+  std::string do_register(const JsonValue& req);
+  std::string do_heartbeat(const JsonValue& req);
+  std::string do_drain(const JsonValue& req);
+  std::string do_forward_by_name(const JsonValue& req, const std::string& op);
+  std::string do_predict(const JsonValue& req);
+  std::string do_stats();
+  std::string do_health();
+  std::string do_metrics();
+
+  /// One hop: dial `replica`, send `line`, read one line. False on any I/O
+  /// failure (the caller marks the replica dead and rehashes).
+  bool forward(const ReplicaInfo& replica, const std::string& line,
+               std::string* response);
+
+  /// Replay the remembered load spec for `model` on `replica`; true when the
+  /// replica answered ok. Used before retrying a predict after failover.
+  bool load_on(const ReplicaInfo& replica, const std::string& model);
+
+  void sweep_loop();
+
+  const RouterConfig cfg_;
+  Membership membership_;
+  LineListener listener_;
+
+  std::mutex models_mu_;
+  std::map<std::string, std::string> models_;  ///< model -> load "path" ("" = store)
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_started_{false};
+  std::thread drain_thread_;
+
+  std::atomic<bool> sweeping_{false};
+  std::mutex sweep_mu_;
+  std::mutex shutdown_mu_;  // serializes concurrent shutdown() callers
+  std::condition_variable sweep_cv_;
+  std::thread sweep_thread_;
+};
+
+}  // namespace gsx::serve

@@ -1,13 +1,6 @@
 #include "serve/server.hpp"
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
@@ -15,24 +8,11 @@
 #include "obs/export_prom.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "serve/checkpoint.hpp"
 
 namespace gsx::serve {
 
 namespace {
-
-/// write() the whole buffer, tolerating short writes and EINTR.
-bool write_all(int fd, const char* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 JsonValue stats_to_json(const RegistryStats& r, const EngineStats& e) {
   JsonValue::Object reg;
@@ -72,7 +52,11 @@ const std::string& require_string(const JsonValue& req, const std::string& key) 
 Server::Server(ServerConfig cfg)
     : cfg_(cfg),
       registry_(cfg.cache_bytes),
-      engine_(EngineConfig{cfg.workers, cfg.queue_capacity, cfg.max_batch_points}) {
+      engine_(EngineConfig{cfg.workers, cfg.queue_capacity, cfg.max_batch_points}),
+      listener_(
+          LineListener::Config{cfg.unix_path, cfg.tcp_port, cfg.metrics_port,
+                               "serve"},
+          [this](const std::string& line) { return handle_line(line); }) {
   // Pre-register the serving metrics so a scrape sees the full schema (zeroed
   // series included) before the first request, not a shape that grows as
   // traffic happens to exercise code paths.
@@ -86,6 +70,7 @@ Server::Server(ServerConfig cfg)
   reg.counter("serve.cache.evictions");
   reg.counter("serve.rejected.queue_full");
   reg.counter("serve.rejected.deadline");
+  reg.counter("serve.drains");
   reg.histogram("serve.predict.seconds", obs::Histogram::duration_bounds());
   reg.histogram("serve.queue.seconds", obs::Histogram::duration_bounds());
   reg.histogram("serve.batch.points");
@@ -93,6 +78,7 @@ Server::Server(ServerConfig cfg)
 
 Server::~Server() {
   shutdown();
+  if (drain_thread_.joinable()) drain_thread_.join();
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -113,16 +99,31 @@ std::string Server::handle_request(const JsonValue& req) {
   if (op == "stats") return do_stats();
   if (op == "health") return do_health();
   if (op == "metrics") return do_metrics();
+  if (op == "drain") return do_drain();
   return wire_error("unknown op \"" + op + "\"");
 }
 
 std::string Server::do_load(const JsonValue& req) {
   const std::string& name = require_string(req, "name");
-  const std::string& path = require_string(req, "path");
+  std::string path;
+  if (const JsonValue* p = req.find("path")) {
+    GSX_REQUIRE(p->is_string(), "\"path\" must be a string");
+    path = p->as_string();
+    // A relative path names a file inside the shared store, so routers can
+    // ship one load spec to any replica regardless of its working directory.
+    if (!cfg_.store_dir.empty() && !path.empty() && path.front() != '/')
+      path = cfg_.store_dir + "/" + path;
+  } else {
+    if (cfg_.store_dir.empty())
+      return wire_error("load without \"path\" needs a checkpoint store "
+                        "(--store) to resolve \"" + name + "\"");
+    path = resolve_store_checkpoint(cfg_.store_dir, name);
+  }
   const std::shared_ptr<const LoadedModel> model = registry_.load(name, path);
   JsonValue::Object o;
   o["ok"] = JsonValue(true);
   o["name"] = JsonValue(model->name);
+  o["path"] = JsonValue(path);
   o["kernel"] = JsonValue(geostat::kernel_name(*model->kernel));
   o["n_train"] = JsonValue(model->train_locs.size());
   o["resident_bytes"] = JsonValue(model->resident_bytes);
@@ -171,9 +172,13 @@ std::string Server::do_predict(const JsonValue& req) {
       std::chrono::duration_cast<KrigingEngine::Clock::duration>(
           std::chrono::duration<double>(deadline_seconds));
 
-  // The request id is minted here at the wire boundary so rejects, flight
-  // events, spans and the response all agree on one name for this request.
-  const std::uint64_t request_id = mint_request_id();
+  // The request id is minted here at the wire boundary — unless an upstream
+  // router already minted one and forwarded it, in which case both hops'
+  // flight events and spans trace under the router's id.
+  std::uint64_t request_id = 0;
+  if (const JsonValue* rid = req.find("request_id"))
+    if (rid->is_string()) request_id = parse_request_id(rid->as_string());
+  if (request_id == 0) request_id = mint_request_id();
   PredictOutcome out = engine_
                            .submit(std::move(model), std::move(points), with_variance,
                                    deadline, request_id)
@@ -229,213 +234,41 @@ std::string Server::do_health() {
   const EngineStats e = engine_.stats();
   JsonValue::Object o;
   o["ok"] = JsonValue(true);
-  o["status"] = JsonValue(stopping_.load(std::memory_order_acquire) ? "draining"
-                                                                    : "serving");
+  o["status"] =
+      JsonValue(draining_.load(std::memory_order_acquire) ? "draining" : "serving");
   o["models"] = JsonValue(r.models);
   o["queue_depth"] = JsonValue(e.queue_depth);
   return JsonValue(std::move(o)).dump();
 }
 
-std::uint16_t Server::listen() {
-  GSX_REQUIRE(listen_fd_ < 0, "Server::listen: already listening");
-  std::uint16_t bound_port = 0;
-  if (!cfg_.unix_path.empty()) {
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    GSX_REQUIRE(listen_fd_ >= 0, "socket(AF_UNIX) failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    GSX_REQUIRE(cfg_.unix_path.size() < sizeof(addr.sun_path),
-                "unix socket path too long");
-    std::strncpy(addr.sun_path, cfg_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
-    ::unlink(cfg_.unix_path.c_str());  // stale socket from a previous run
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      throw InvalidArgument("bind(" + cfg_.unix_path + ") failed: " +
-                            std::strerror(errno));
-    }
-  } else {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    GSX_REQUIRE(listen_fd_ >= 0, "socket(AF_INET) failed");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // serving is local-only
-    addr.sin_port = htons(cfg_.tcp_port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      throw InvalidArgument(std::string("bind(127.0.0.1) failed: ") +
-                            std::strerror(errno));
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-    bound_port = ntohs(bound.sin_port);
+std::string Server::do_drain() {
+  draining_.store(true, std::memory_order_release);
+  // One-shot: the first drain spawns the background exit; repeats just
+  // re-acknowledge. The response is written before the listener tears the
+  // connection down because shutdown() half-closes with SHUT_RD — a reply
+  // in flight always reaches the client.
+  if (!drain_started_.exchange(true, std::memory_order_acq_rel)) {
+    obs::Registry::instance().counter("serve.drains").add();
+    obs::log_info("serve", "drain requested over the wire", {});
+    drain_thread_ = std::thread([this] {
+      if (on_drain_) on_drain_();
+      else shutdown();
+    });
   }
-  GSX_REQUIRE(::listen(listen_fd_, 64) == 0, "listen() failed");
-  running_.store(true, std::memory_order_release);
-  if (cfg_.metrics_port >= 0) start_metrics_listener();
-  obs::log_info("serve", "listening",
-                {obs::lf("endpoint", cfg_.unix_path.empty()
-                                         ? "127.0.0.1:" + std::to_string(bound_port)
-                                         : cfg_.unix_path)});
-  return bound_port;
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["status"] = JsonValue("draining");
+  return JsonValue(std::move(o)).dump();
 }
 
-void Server::start_metrics_listener() {
-  metrics_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  GSX_REQUIRE(metrics_fd_ >= 0, "socket(AF_INET) for metrics failed");
-  const int one = 1;
-  ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.metrics_port));
-  if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(metrics_fd_, 16) != 0) {
-    const int saved = errno;
-    ::close(metrics_fd_);
-    metrics_fd_ = -1;
-    throw InvalidArgument(std::string("metrics bind(127.0.0.1:") +
-                          std::to_string(cfg_.metrics_port) +
-                          ") failed: " + std::strerror(saved));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  metrics_port_ = ntohs(bound.sin_port);
-  metrics_thread_ = std::thread([this] { metrics_loop(); });
-  obs::log_info("serve", "metrics scrape endpoint listening",
-                {obs::lf("endpoint", "127.0.0.1:" + std::to_string(metrics_port_))});
-}
+std::uint16_t Server::listen() { return listener_.listen(); }
 
-void Server::metrics_loop() {
-  // Deliberately minimal HTTP/1.0: one request per connection, close after
-  // the response. A Prometheus scraper needs nothing more, and anything more
-  // would drag a web server into the serving daemon.
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(metrics_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // metrics fd closed by shutdown(), or fatal error
-    }
-    char buf[2048];
-    std::string request;
-    while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < std::size_t{16} * 1024) {
-      const ssize_t n = ::read(fd, buf, sizeof(buf));
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      request.append(buf, static_cast<std::size_t>(n));
-    }
-    const bool get_root = request.rfind("GET / ", 0) == 0;
-    const bool get_metrics = request.rfind("GET /metrics", 0) == 0;
-    std::string response;
-    if (get_root || get_metrics) {
-      const std::string body = obs::render_prometheus();
-      response = "HTTP/1.0 200 OK\r\nContent-Type: " +
-                 std::string(obs::kPrometheusContentType) +
-                 "\r\nContent-Length: " + std::to_string(body.size()) +
-                 "\r\nConnection: close\r\n\r\n" + body;
-    } else {
-      response =
-          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
-    }
-    write_all(fd, response.data(), response.size());
-    ::close(fd);
-  }
-}
-
-void Server::serve_forever() {
-  GSX_REQUIRE(listen_fd_ >= 0, "Server::serve_forever: call listen() first");
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen fd closed by shutdown(), or fatal error
-    }
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard lk(conn_mu_);
-    reap_finished_locked();
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
-  }
-  running_.store(false, std::memory_order_release);
-}
-
-void Server::connection_loop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open && !stopping_.load(std::memory_order_acquire)) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t nl;
-    while (open && (nl = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (line.empty()) continue;
-      std::string response = handle_line(line);
-      response.push_back('\n');
-      open = write_all(fd, response.data(), response.size());
-    }
-  }
-  {
-    std::lock_guard lk(conn_mu_);
-    conn_fds_.erase(fd);
-    finished_ids_.insert(std::this_thread::get_id());
-  }
-  ::close(fd);
-}
-
-void Server::reap_finished_locked() {
-  // Bounded housekeeping: connection threads mark themselves finished on the
-  // way out, so joining here never blocks on a live connection (the marked
-  // thread has nothing left to run but close() + return).
-  if (finished_ids_.empty()) return;
-  auto it = conn_threads_.begin();
-  while (it != conn_threads_.end()) {
-    const std::thread::id id = it->get_id();
-    if (finished_ids_.count(id) != 0) {
-      it->join();
-      finished_ids_.erase(id);
-      it = conn_threads_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
+void Server::serve_forever() { listener_.serve_forever(); }
 
 void Server::shutdown() {
-  stopping_.store(true, std::memory_order_release);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);  // wakes accept()
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (metrics_fd_ >= 0) {
-    ::shutdown(metrics_fd_, SHUT_RDWR);  // wakes the metrics accept()
-    ::close(metrics_fd_);
-    metrics_fd_ = -1;
-  }
-  if (metrics_thread_.joinable()) metrics_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard lk(conn_mu_);
-    // Wake connection threads blocked in read(); they close their own fds.
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
-    finished_ids_.clear();
-  }
-  for (std::thread& t : threads)
-    if (t.joinable()) t.join();
+  draining_.store(true, std::memory_order_release);
+  listener_.shutdown();
   engine_.drain();
-  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
-  running_.store(false, std::memory_order_release);
 }
 
 }  // namespace gsx::serve

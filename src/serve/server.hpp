@@ -1,30 +1,39 @@
-// Serving front end: the request handler plus a POSIX socket listener.
+// Serving front end: the replica request handler on top of the shared
+// LineListener socket machinery (serve/listener.hpp).
 //
 // The wire protocol is newline-delimited JSON — one request object per line,
-// one response object per line, over a Unix-domain or TCP socket. Verbs:
+// one response object per line, over a Unix-domain or TCP socket. Verbs
+// (the authoritative table is server_verbs() in serve/wire.cpp):
 //
 //   {"op":"load","name":"era5","path":"/models/era5.ckpt"}
+//   {"op":"load","name":"era5"}                  // resolve from --store
 //   {"op":"unload","name":"era5"}
 //   {"op":"predict","model":"era5","points":[[x,y],[x,y,t],...],
-//    "variance":true,"deadline_ms":250}
+//    "variance":true,"deadline_ms":250,"request_id":"r-17"}
 //   {"op":"stats"}
 //   {"op":"health"}
 //   {"op":"metrics"}
+//   {"op":"drain"}
 //
 // Every response carries "ok"; failures add "error". handle_line() is the
 // whole protocol — the daemon's connection threads and the in-process tests
 // both drive it, so the socket layer stays a thin framing loop.
+//
+// "drain" starts a graceful shutdown on a background thread and answers
+// immediately: the listener stops accepting, in-flight requests finish and
+// flush their responses (SHUT_RD, never SHUT_RDWR, on connection sockets),
+// and the engine completes everything already queued. Zero requests are
+// dropped. A fleet router drains replicas this way to hot-swap them.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <set>
+#include <functional>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/listener.hpp"
 #include "serve/registry.hpp"
 #include "serve/wire.hpp"
 
@@ -40,6 +49,8 @@ struct ServerConfig {
   double default_deadline_seconds = 30.0;  ///< applied when a request sends none
   int metrics_port = -1;  ///< Prometheus HTTP scrape port on 127.0.0.1
                           ///< (-1 = off, 0 = ephemeral); started by listen()
+  std::string store_dir;  ///< shared checkpoint store; "" disables store
+                          ///< resolution ("load" then requires "path")
 };
 
 /// Request handler + listener. Construct, optionally pre-load models through
@@ -64,15 +75,29 @@ class Server {
   /// Accept loop; returns after shutdown() (or a fatal accept error).
   void serve_forever();
 
-  /// Graceful drain: stop accepting, wake the accept loop, finish queued
-  /// predictions, join connection threads. Safe from a signal-watcher thread.
+  /// Graceful drain: stop accepting, finish in-flight requests (responses
+  /// still flush), complete queued predictions, join connection threads.
+  /// Safe from a signal-watcher thread; idempotent.
   void shutdown();
 
-  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool running() const { return listener_.running(); }
+
+  /// True once a "drain" verb (or shutdown()) was seen; health reports
+  /// "draining" from that point on.
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Bound port of the Prometheus scrape listener (0 until listen() starts
   /// it, or when cfg.metrics_port is -1).
-  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return listener_.metrics_port();
+  }
+
+  /// Hook invoked (once) when the "drain" verb arrives, instead of the
+  /// default in-process shutdown(). The daemon wires this to its signal
+  /// pipe so a wire-initiated drain and a SIGTERM share one exit path.
+  void set_on_drain(std::function<void()> hook) { on_drain_ = std::move(hook); }
 
   ModelRegistry& registry() { return registry_; }
   KrigingEngine& engine() { return engine_; }
@@ -85,27 +110,17 @@ class Server {
   std::string do_stats();
   std::string do_health();
   std::string do_metrics();
-
-  void start_metrics_listener();
-  void metrics_loop();
-  void connection_loop(int fd);
-  void reap_finished_locked();
+  std::string do_drain();
 
   const ServerConfig cfg_;
   ModelRegistry registry_;
   KrigingEngine engine_;
+  LineListener listener_;
 
-  int listen_fd_ = -1;
-  int metrics_fd_ = -1;
-  std::uint16_t metrics_port_ = 0;
-  std::thread metrics_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> connections_{0};
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::set<int> conn_fds_;
-  std::set<std::thread::id> finished_ids_;
+  std::function<void()> on_drain_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_started_{false};
+  std::thread drain_thread_;
 };
 
 }  // namespace gsx::serve

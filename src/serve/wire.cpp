@@ -336,4 +336,31 @@ std::string request_id_string(std::uint64_t id) {
   return "r-" + std::to_string(id);
 }
 
+std::uint64_t parse_request_id(const std::string& s) noexcept {
+  std::string_view sv(s);
+  if (sv.rfind("r-", 0) == 0) sv.remove_prefix(2);
+  if (sv.empty()) return 0;
+  std::uint64_t id = 0;
+  const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), id);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) return 0;
+  return id;
+}
+
+// Verb tables. tools/check_docs.sh greps the initializer lists below, so
+// keep one string literal per verb (no computed entries).
+const std::vector<std::string>& server_verbs() {
+  static const std::vector<std::string> kServerVerbs = {
+      "load", "unload", "predict", "stats", "health", "metrics", "drain",
+  };
+  return kServerVerbs;
+}
+
+const std::vector<std::string>& router_verbs() {
+  static const std::vector<std::string> kRouterVerbs = {
+      "register", "heartbeat", "drain",  "load",    "unload",
+      "predict",  "stats",     "health", "metrics",
+  };
+  return kRouterVerbs;
+}
+
 }  // namespace gsx::serve

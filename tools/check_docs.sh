@@ -3,7 +3,13 @@
 #   1. every relative markdown link in the top-level docs and docs/ resolves
 #      to an existing file or directory;
 #   2. every module directory under src/ appears in the README module map;
-#   3. docs/serving.md documents every wire-protocol verb the daemon speaks.
+#   3. every wire verb the server speaks (kServerVerbs in
+#      src/serve/wire.cpp) has an "op" example in docs/serving.md, and
+#      every router verb (kRouterVerbs) has one in docs/fleet.md — the
+#      verb lists are extracted from the source, so adding a verb without
+#      documenting it fails this check;
+#   4. every CLI flag printed by gsx_serve's and gsx_router's usage() text
+#      is mentioned somewhere in README.md or docs/.
 # Run from anywhere: paths resolve against the repo root (this script's
 # parent directory). Exits non-zero listing every violation.
 set -u
@@ -46,19 +52,68 @@ for mod in "$root"/src/*/; do
   fi
 done
 
-# --- 3. serving doc covers every wire verb ---------------------------------
-serving="$root/docs/serving.md"
-if [ ! -e "$serving" ]; then
-  echo "MISSING DOC: docs/serving.md"
-  status=1
-else
-  for verb in load unload predict stats health metrics; do
-    if ! grep -q "\"op\":\"$verb\"" "$serving"; then
-      echo "MISSING VERB: docs/serving.md has no example for op \"$verb\""
+# --- 3. docs cover every wire verb -----------------------------------------
+# The verb tables in src/serve/wire.cpp keep one string literal per verb so
+# they can be extracted here: take the initializer list of the named table.
+wire="$root/src/serve/wire.cpp"
+extract_verbs() {
+  # $1 = table name (kServerVerbs / kRouterVerbs)
+  sed -n "/$1 = {/,/};/p" "$wire" | grep -o '"[a-z_]*"' | tr -d '"'
+}
+check_verbs() {
+  # $1 = table name, $2 = doc path (repo-relative)
+  doc="$root/$2"
+  if [ ! -e "$doc" ]; then
+    echo "MISSING DOC: $2"
+    status=1
+    return
+  fi
+  verbs=$(extract_verbs "$1")
+  if [ -z "$verbs" ]; then
+    echo "EXTRACT FAILED: no verbs found for $1 in src/serve/wire.cpp"
+    status=1
+    return
+  fi
+  for verb in $verbs; do
+    if ! grep -q "\"op\":\"$verb\"" "$doc"; then
+      echo "MISSING VERB: $2 has no example for op \"$verb\" ($1)"
       status=1
     fi
   done
-fi
+}
+check_verbs kServerVerbs docs/serving.md
+check_verbs kRouterVerbs docs/fleet.md
+
+# --- 4. docs cover every daemon CLI flag -----------------------------------
+# Flags are taken from each tool's usage() text (the lines between
+# "usage:" and the closing of the fprintf call), so a flag added to the
+# daemons must show up in README.md or docs/*.md.
+check_flags() {
+  # $1 = tool source (repo-relative)
+  src="$root/$1"
+  flags=$(sed -n '/^void usage/,/^}/p' "$src" | grep -o '\--[a-z-][a-z-]*' | sort -u)
+  if [ -z "$flags" ]; then
+    echo "EXTRACT FAILED: no flags found in $1 usage()"
+    status=1
+    return
+  fi
+  for flag in $flags; do
+    found=0
+    for doc in $docs; do
+      [ -e "$doc" ] || continue
+      if grep -q -- "$flag" "$doc"; then
+        found=1
+        break
+      fi
+    done
+    if [ "$found" -eq 0 ]; then
+      echo "MISSING FLAG: $flag ($1) is not documented in README.md or docs/"
+      status=1
+    fi
+  done
+}
+check_flags tools/gsx_serve.cpp
+check_flags tools/gsx_router.cpp
 
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"

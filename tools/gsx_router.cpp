@@ -1,0 +1,131 @@
+// gsx_router: fleet front door for a set of gsx_serve replicas.
+//
+// Speaks the same newline-delimited JSON wire as gsx_serve (see
+// docs/fleet.md). Replicas started with --announce register here and
+// heartbeat; clients send load/unload/predict to the router, which
+// consistent-hashes the model name to the owning replica and forwards.
+// SIGINT/SIGTERM drain the router (replicas keep running).
+//
+//   gsx_router --port 7500 --metrics-port 9200
+//   gsx_serve --port 0 --name r0 --announce 127.0.0.1:7500 --store /models
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/router.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler only writes one byte; the watcher thread does
+// the actual shutdown, keeping async-signal-safety trivial.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "\n"
+               "  --port N             listen on 127.0.0.1:N (0 = ephemeral; default)\n"
+               "  --metrics-port N     Prometheus scrape endpoint on 127.0.0.1:N\n"
+               "                       (0 = ephemeral; omit to disable)\n"
+               "  --stale-ms N         heartbeat age that marks a replica dead\n"
+               "                       (default 10000)\n"
+               "  --virtual-nodes N    consistent-hash ring points per replica\n"
+               "                       (default 64)\n"
+               "  --flight-dump PATH   flight-recorder dump file (default\n"
+               "                       gsx-flight.jsonl in the working directory)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gsx::serve::RouterConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      cfg.tcp_port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--metrics-port") {
+      cfg.metrics_port = static_cast<int>(std::stoul(value()));
+    } else if (arg == "--stale-ms") {
+      cfg.stale_after_seconds = std::stod(value()) / 1000.0;
+    } else if (arg == "--virtual-nodes") {
+      cfg.virtual_nodes = std::stoul(value());
+    } else if (arg == "--flight-dump") {
+      gsx::obs::FlightRecorder::instance().set_dump_path(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  gsx::obs::set_enabled(true);
+  gsx::obs::FlightRecorder::instance().install_fatal_handlers(STDERR_FILENO);
+
+  gsx::serve::Router router(cfg);
+  try {
+    const std::uint16_t port = router.listen();
+    std::printf("gsx_router: listening on 127.0.0.1:%u\n", port);
+    if (cfg.metrics_port >= 0)
+      std::printf("gsx_router: metrics on 127.0.0.1:%u\n", router.metrics_port());
+    std::fflush(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsx_router: %s\n", e.what());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("gsx_router: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a dropped client must not kill the daemon
+
+  std::thread watcher([&router] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    gsx::obs::log_info("router", "signal received, draining", {});
+    router.shutdown();
+  });
+
+  router.serve_forever();
+
+  // serve_forever returns once a signal/wire drain closed the listener or
+  // the accept loop failed. The watcher owns the teardown either way (a
+  // second shutdown() caller here would race it joining the same threads):
+  // wake it for the accept-error case and wait for it to finish.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  watcher.join();
+  std::printf("gsx_router: drained, bye\n");
+  return 0;
+}

@@ -8,12 +8,15 @@
 //
 //   gsx_serve --socket /tmp/gsx.sock --workers 4 --model era5=/models/era5.ckpt
 //   gsx_serve --port 7421 --cache-mb 2048
+//   gsx_serve --port 0 --name r0 --announce 127.0.0.1:7500 --store /models
+//     (fleet replica: registers with a gsx_router, see docs/fleet.md)
 
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -24,6 +27,7 @@
 #include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "serve/membership.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -52,7 +56,15 @@ void usage(const char* argv0) {
                "  --metrics-port N     Prometheus scrape endpoint on 127.0.0.1:N\n"
                "                       (0 = ephemeral; omit to disable)\n"
                "  --flight-dump PATH   flight-recorder dump file (default\n"
-               "                       gsx-flight.jsonl in the working directory)\n",
+               "                       gsx-flight.jsonl in the working directory)\n"
+               "  --store DIR          shared checkpoint store; \"load\" without a\n"
+               "                       path resolves NAME to its newest valid\n"
+               "                       checkpoint in DIR (see docs/fleet.md)\n"
+               "  --announce HOST:PORT register with a gsx_router and heartbeat;\n"
+               "                       requires --port (the router dials back)\n"
+               "  --name NAME          replica name announced to the router\n"
+               "                       (default gsx-<pid>)\n"
+               "  --heartbeat-ms N     announcer heartbeat period (default 2000)\n",
                argv0);
 }
 
@@ -61,6 +73,9 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   gsx::serve::ServerConfig cfg;
   std::vector<std::pair<std::string, std::string>> preload;
+  std::string announce;  // HOST:PORT of the router, "" = standalone
+  std::string replica_name = "gsx-" + std::to_string(::getpid());
+  double heartbeat_seconds = 2.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +113,14 @@ int main(int argc, char** argv) {
       cfg.metrics_port = static_cast<int>(std::stoul(value()));
     } else if (arg == "--flight-dump") {
       gsx::obs::FlightRecorder::instance().set_dump_path(value());
+    } else if (arg == "--store") {
+      cfg.store_dir = value();
+    } else if (arg == "--announce") {
+      announce = value();
+    } else if (arg == "--name") {
+      replica_name = value();
+    } else if (arg == "--heartbeat-ms") {
+      heartbeat_seconds = std::stod(value()) / 1000.0;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -114,6 +137,7 @@ int main(int argc, char** argv) {
   gsx::obs::FlightRecorder::instance().install_fatal_handlers(STDERR_FILENO);
 
   gsx::serve::Server server(cfg);
+  std::unique_ptr<gsx::serve::Announcer> announcer;
   try {
     for (const auto& [name, path] : preload) {
       const auto model = server.registry().load(name, path);
@@ -129,6 +153,29 @@ int main(int argc, char** argv) {
       std::printf("gsx_serve: listening on %s\n", cfg.unix_path.c_str());
     if (cfg.metrics_port >= 0)
       std::printf("gsx_serve: metrics on 127.0.0.1:%u\n", server.metrics_port());
+    if (!announce.empty()) {
+      const std::size_t colon = announce.rfind(':');
+      if (!cfg.unix_path.empty() || colon == std::string::npos) {
+        // The router dials the replica back over TCP, so a fleet member
+        // must listen on a TCP port and the announce spec must carry one.
+        std::fprintf(stderr,
+                     "gsx_serve: --announce needs HOST:PORT and a TCP "
+                     "listener (--port), not --socket\n");
+        return 2;
+      }
+      gsx::serve::Announcer::Config acfg;
+      acfg.router_host = announce.substr(0, colon);
+      acfg.router_port =
+          static_cast<std::uint16_t>(std::stoul(announce.substr(colon + 1)));
+      acfg.replica_name = replica_name;
+      acfg.replica_port = port;
+      acfg.heartbeat_seconds = heartbeat_seconds;
+      announcer = std::make_unique<gsx::serve::Announcer>(
+          acfg, [&server] { return server.engine().stats().queue_depth; });
+      announcer->start();
+      std::printf("gsx_serve: announcing as %s to %s\n", replica_name.c_str(),
+                  announce.c_str());
+    }
     std::fflush(stdout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gsx_serve: %s\n", e.what());
@@ -145,18 +192,25 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // a dropped client must not kill the daemon
 
-  std::thread watcher([&server] {
+  // A wire-initiated "drain" exits through the same pipe as SIGTERM, so both
+  // paths stop the announcer (goodbye to the router) before the listener.
+  server.set_on_drain([] { on_signal(0); });
+
+  std::thread watcher([&server, &announcer] {
     char byte;
     while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
     gsx::obs::log_info("serve", "signal received, draining", {});
+    if (announcer) announcer->stop();
     server.shutdown();
   });
 
   server.serve_forever();
-  server.shutdown();
 
-  // Wake the watcher if shutdown came from an accept error, not a signal.
+  // serve_forever returns once a signal/wire drain closed the listener or
+  // the accept loop failed. The watcher owns the teardown either way (a
+  // second stop/shutdown caller here would race it joining the same
+  // threads): wake it for the accept-error case and wait for it to finish.
   const char byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
   watcher.join();
