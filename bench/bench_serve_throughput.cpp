@@ -30,6 +30,7 @@
 #include "bench_utils.hpp"
 #include "core/model.hpp"
 #include "geostat/kernel_registry.hpp"
+#include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/engine.hpp"
 #include "serve/listener.hpp"
@@ -60,6 +61,9 @@ std::vector<geostat::Location> request_points(std::size_t m, std::uint64_t seed)
 
 /// --fleet N: router + k replicas per point, k = 1..N. Returns exit status.
 int run_fleet_bench(std::size_t max_replicas, const std::string& json) {
+  // The daemons run with recording on; the scrape-overhead cell is only
+  // meaningful if the bench fleet pays the same instrumentation cost.
+  obs::set_enabled(true);
   const std::size_t n = bench::scaled(600);
   const std::size_t points_per_request = 4;
   const std::size_t requests = bench::scaled(96);
@@ -126,57 +130,102 @@ int run_fleet_bench(std::size_t max_replicas, const std::string& json) {
       }
     }
 
-    std::vector<double> latencies(requests, -1.0);
-    std::atomic<std::size_t> next{0};
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> clients;
-    for (std::size_t c = 0; c < client_threads; ++c) {
-      clients.emplace_back([&] {
-        serve::WireClient client;
-        if (!client.dial_tcp("127.0.0.1", router_port)) return;
-        for (std::size_t r = next.fetch_add(1); r < requests;
-             r = next.fetch_add(1)) {
-          const auto pts = request_points(points_per_request, 900 + r);
-          std::string req = "{\"op\":\"predict\",\"model\":\"m" +
-                            std::to_string(r % models) + "\",\"points\":[";
-          for (std::size_t i = 0; i < pts.size(); ++i) {
-            if (i) req += ",";
-            req += "[" + std::to_string(pts[i].x) + "," +
-                   std::to_string(pts[i].y) + "]";
-          }
-          req += "]}";
-          const auto r0 = std::chrono::steady_clock::now();
+    // One pass = the full request sweep through the router; with `scrape`
+    // a background thread hammers the federated fleet_metrics verb (every
+    // replica scraped per call) so the overhead of observing the fleet
+    // under load is measurable rather than assumed.
+    auto run_pass = [&](bool scrape, double* rps_out, double* p999_out) {
+      std::vector<double> latencies(requests, -1.0);
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> stop_scraper{false};
+      std::thread scraper;
+      if (scrape) {
+        scraper = std::thread([&] {
+          serve::WireClient c;
+          if (!c.dial_tcp("127.0.0.1", router_port)) return;
           std::string response;
-          if (client.request(req, &response) &&
-              response.find("\"ok\":true") != std::string::npos)
-            latencies[r] = std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - r0).count();
-        }
-      });
-    }
-    for (auto& t : clients) t.join();
-    const double wall = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
+          while (!stop_scraper.load(std::memory_order_acquire)) {
+            if (!c.request("{\"op\":\"fleet_metrics\"}", &response)) return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        });
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < client_threads; ++c) {
+        clients.emplace_back([&] {
+          serve::WireClient client;
+          if (!client.dial_tcp("127.0.0.1", router_port)) return;
+          for (std::size_t r = next.fetch_add(1); r < requests;
+               r = next.fetch_add(1)) {
+            const auto pts = request_points(points_per_request, 900 + r);
+            std::string req = "{\"op\":\"predict\",\"model\":\"m" +
+                              std::to_string(r % models) + "\",\"points\":[";
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+              if (i) req += ",";
+              req += "[" + std::to_string(pts[i].x) + "," +
+                     std::to_string(pts[i].y) + "]";
+            }
+            req += "]}";
+            const auto r0 = std::chrono::steady_clock::now();
+            std::string response;
+            if (client.request(req, &response) &&
+                response.find("\"ok\":true") != std::string::npos)
+              latencies[r] = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - r0).count();
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      const double wall = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - t0).count();
+      stop_scraper.store(true, std::memory_order_release);
+      if (scraper.joinable()) scraper.join();
+
+      std::size_t failed = 0;
+      std::vector<double> ok_latencies;
+      for (const double l : latencies)
+        l < 0 ? void(++failed) : ok_latencies.push_back(l);
+      if (failed > 0 || ok_latencies.empty()) {
+        std::printf("  !! %zu fleet requests failed at k=%zu\n", failed, k);
+        return false;
+      }
+      *rps_out = static_cast<double>(requests) / wall;
+      *p999_out = percentile(ok_latencies, 0.999);
+      return true;
+    };
+
+    double rps = 0.0, p999 = 0.0;
+    const bool pass_ok = run_pass(false, &rps, &p999);
+
+    // At the widest fleet, measure the cost of scraping under load: the
+    // federated exposition must be an observability free lunch (<2% req/s).
+    double scraped_rps = 0.0, scraped_p999 = 0.0;
+    bool scraped_ok = false;
+    if (pass_ok && k == max_replicas)
+      scraped_ok = run_pass(true, &scraped_rps, &scraped_p999);
 
     router.shutdown();
     for (auto& r : replicas) r->shutdown();
     for (auto& t : loops) t.join();
+    if (!pass_ok) return 1;
 
-    std::size_t failed = 0;
-    std::vector<double> ok_latencies;
-    for (const double l : latencies)
-      l < 0 ? void(++failed) : ok_latencies.push_back(l);
-    if (failed > 0 || ok_latencies.empty()) {
-      std::printf("  !! %zu fleet requests failed at k=%zu\n", failed, k);
-      return 1;
-    }
-    const double rps = static_cast<double>(requests) / wall;
-    const double p999 = percentile(ok_latencies, 0.999);
     char label[64];
     std::snprintf(label, sizeof label, "fleet replicas=%zu", k);
     std::printf("%-34s %10.2f req/s   p999 %8.2f ms\n", label, rps, 1e3 * p999);
-    records.push_back({std::string(label) + " req/s", n, wall, rps});
+    records.push_back({std::string(label) + " req/s", n,
+                       static_cast<double>(requests) / rps, rps});
     records.push_back({std::string(label) + " p999 seconds", n, p999, 0.0});
+    if (scraped_ok) {
+      const double overhead = rps > 0.0 ? (rps - scraped_rps) / rps : 0.0;
+      std::snprintf(label, sizeof label, "fleet k=%zu scraped", k);
+      std::printf("%-34s %10.2f req/s   p999 %8.2f ms   (%.2f%% overhead)\n",
+                  label, scraped_rps, 1e3 * scraped_p999, 1e2 * overhead);
+      records.push_back({std::string(label) + " req/s", n,
+                         static_cast<double>(requests) / scraped_rps, scraped_rps});
+      records.push_back({"fleet scrape-under-load overhead fraction", n,
+                         overhead, 0.0});
+    }
   }
 
   std::filesystem::remove_all(store);

@@ -1,7 +1,12 @@
 #include "obs/export_prom.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+#include <utility>
 
 namespace gsx::obs {
 
@@ -92,6 +97,119 @@ std::string render_prometheus() {
   for (const MetricSample& s : Registry::instance().samples())
     out += prometheus_render(s);
   return out;
+}
+
+namespace {
+
+/// Call `fn(line)` for every newline-terminated line of `text`.
+template <typename Fn>
+void for_each_line(const std::string& text, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    fn(std::string_view(text).substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+
+std::string prometheus_with_label(const std::string& exposition,
+                                  const std::string& key,
+                                  const std::string& value) {
+  const std::string pair = key + "=\"" + value + "\"";
+  std::string out;
+  out.reserve(exposition.size() + 64);
+  for_each_line(exposition, [&](std::string_view line) {
+    if (line.empty() || line.front() == '#') {
+      out.append(line);
+      out.push_back('\n');
+      return;
+    }
+    // A sample line is "<series> <value>"; the series may carry a label set.
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {  // malformed: pass through untouched
+      out.append(line);
+      out.push_back('\n');
+      return;
+    }
+    const std::string_view series = line.substr(0, sp);
+    const std::size_t brace = series.find('{');
+    if (brace == std::string::npos) {
+      out.append(series);
+      out.push_back('{');
+      out.append(pair);
+      out.push_back('}');
+    } else {
+      out.append(series.substr(0, brace + 1));
+      out.append(pair);
+      out.push_back(',');
+      out.append(series.substr(brace + 1));
+    }
+    out.append(line.substr(sp));
+    out.push_back('\n');
+  });
+  return out;
+}
+
+std::string prometheus_merge(const std::vector<std::string>& parts) {
+  std::string out;
+  std::vector<std::string> seen_types;  // "# TYPE <name> <kind>" lines kept
+  for (const std::string& part : parts) {
+    for_each_line(part, [&](std::string_view line) {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        for (const std::string& s : seen_types)
+          if (s == line) return;  // family already declared by an earlier part
+        seen_types.emplace_back(line);
+      }
+      out.append(line);
+      out.push_back('\n');
+    });
+  }
+  return out;
+}
+
+double prometheus_histogram_quantile(const std::string& exposition,
+                                     const std::string& family, double q) {
+  // Aggregate cumulative bucket counts across label sets (a federated
+  // exposition carries one set of buckets per replica).
+  const std::string bucket_prefix = family + "_bucket{";
+  std::vector<std::pair<double, double>> buckets;  // bound -> cumulative count
+  for_each_line(exposition, [&](std::string_view line) {
+    if (line.rfind(bucket_prefix, 0) != 0) return;
+    const std::size_t le = line.find("le=\"");
+    if (le == std::string::npos) return;
+    const std::size_t le_end = line.find('"', le + 4);
+    if (le_end == std::string::npos) return;
+    const std::string bound_s(line.substr(le + 4, le_end - le - 4));
+    const double bound =
+        bound_s == "+Inf" ? std::numeric_limits<double>::infinity()
+                          : std::strtod(bound_s.c_str(), nullptr);
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) return;
+    const double count = std::strtod(std::string(line.substr(sp + 1)).c_str(), nullptr);
+    for (auto& [b, c] : buckets) {
+      if (b == bound) {
+        c += count;
+        return;
+      }
+    }
+    buckets.emplace_back(bound, count);
+  });
+  if (buckets.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(buckets.begin(), buckets.end());
+  const double total = buckets.back().second;
+  if (total <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double target = q * total;
+  double largest_finite = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& [bound, cum] : buckets) {
+    if (std::isfinite(bound)) largest_finite = bound;
+    if (cum >= target && std::isfinite(bound)) return bound;
+  }
+  // q falls in the overflow bucket: the text has no observed max, so the
+  // largest finite bound is the best available estimate.
+  return largest_finite;
 }
 
 }  // namespace gsx::obs

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -24,6 +25,30 @@ namespace gsx::obs {
 
 /// Render the whole registry. Stable order (registry iteration order).
 [[nodiscard]] std::string render_prometheus();
+
+// ---------------------------------------------------------------------------
+// Federation: rewriting and merging exposition text from several processes
+// into one scrape (the router's fleet_metrics verb).
+
+/// Inject `key="value"` into every sample line of `exposition` (comment
+/// lines pass through). A series that already has labels gains one more;
+/// a bare series gains a label set. `value` must not contain '"' or '\\'.
+[[nodiscard]] std::string prometheus_with_label(const std::string& exposition,
+                                                const std::string& key,
+                                                const std::string& value);
+
+/// Concatenate expositions, keeping only the first "# TYPE" header per
+/// family so the union stays a valid single exposition.
+[[nodiscard]] std::string prometheus_merge(const std::vector<std::string>& parts);
+
+/// Estimate quantile `q` (0..1) of histogram `family` (already-sanitized
+/// name, without the "_bucket" suffix) from exposition text: the smallest
+/// bucket bound whose cumulative count covers q of the total. Returns the
+/// largest finite bound when q falls in the +Inf overflow bucket, and NaN
+/// when the family is absent or empty. Label sets are aggregated.
+[[nodiscard]] double prometheus_histogram_quantile(const std::string& exposition,
+                                                   const std::string& family,
+                                                   double q);
 
 /// The scrape Content-Type for this format.
 inline constexpr const char* kPrometheusContentType =

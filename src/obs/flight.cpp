@@ -6,6 +6,8 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 
 #include "obs/trace.hpp"
@@ -28,6 +30,14 @@ std::string& dump_path_storage() {
   static std::string p;
   return p;
 }
+
+std::mutex g_name_mutex;
+std::string& process_name_storage() {
+  static std::string n = "gsx";
+  return n;
+}
+
+thread_local std::uint64_t t_current_trace = 0;
 
 /// Thread-local ring handle; releases the ring for adoption on thread exit.
 struct RingHandle {
@@ -87,12 +97,44 @@ char* format_event_line(char* p, char* end, const Event& e) {
   p = put_u64(p, end, e.thread);
   p = put_str(p, end, ",\"request\":");
   p = put_u64(p, end, e.request);
+  p = put_str(p, end, ",\"trace\":");
+  p = put_u64(p, end, e.trace);
   p = put_str(p, end, ",\"a\":");
   p = put_u64(p, end, e.a);
   p = put_str(p, end, ",\"b\":");
   p = put_u64(p, end, e.b);
   p = put_str(p, end, ",\"v\":");
   p = put_f6(p, end, e.v);
+  p = put_str(p, end, "}\n");
+  return p;
+}
+
+// Signal-safe copy of the process name (set_process_name keeps it in sync
+// with the locked std::string used by the allocating paths).
+char g_proc_name[64] = "gsx";
+
+double wall_clock_seconds() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// The dump header: the cross-process alignment datum. Both clocks are
+/// sampled here, at dump time, so wall = wall_anchor + (t - mono_anchor)
+/// converts any event timestamp in this dump to wall-clock time.
+char* format_header_line(char* p, char* end) noexcept {
+  const double mono = now_seconds();
+  const double wall = wall_clock_seconds();
+  p = put_str(p, end, "{\"t\":");
+  p = put_f6(p, end, mono);
+  p = put_str(p, end, ",\"kind\":\"dump_header\",\"process\":\"");
+  p = put_str(p, end, g_proc_name);
+  p = put_str(p, end, "\",\"pid\":");
+  p = put_u64(p, end, static_cast<std::uint64_t>(::getpid()));
+  p = put_str(p, end, ",\"wall_anchor\":");
+  p = put_f6(p, end, wall);
+  p = put_str(p, end, ",\"mono_anchor\":");
+  p = put_f6(p, end, mono);
   p = put_str(p, end, "}\n");
   return p;
 }
@@ -130,10 +172,26 @@ void flight_record(EventKind kind, std::uint64_t request, std::uint64_t a,
   e.kind = kind;
   e.thread = t_ring.index;
   e.request = request;
+  e.trace = t_current_trace;
   e.a = a;
   e.b = b;
   e.v = v;
   t_ring.ring->record(e);
+}
+
+std::uint64_t set_current_trace(std::uint64_t trace) noexcept {
+  const std::uint64_t prev = t_current_trace;
+  t_current_trace = trace;
+  return prev;
+}
+
+std::uint64_t current_trace() noexcept { return t_current_trace; }
+
+std::uint64_t mint_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  const std::uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid()) & 0xFFFF;
+  return (pid << 48) | (n & 0xFFFFFFFFFFFFULL);
 }
 
 FlightRecorder& FlightRecorder::instance() {
@@ -180,14 +238,28 @@ std::vector<Event> FlightRecorder::snapshot() const {
 }
 
 std::string event_jsonl(const Event& e) {
-  char buf[256];
+  char buf[320];
   char* p = format_event_line(buf, buf + sizeof buf - 1, e);
   if (p > buf && p[-1] == '\n') --p;  // snapshot_jsonl joins with '\n' itself
   return std::string(buf, static_cast<std::size_t>(p - buf));
 }
 
+void FlightRecorder::set_process_name(std::string name) {
+  std::lock_guard lk(g_name_mutex);
+  std::strncpy(g_proc_name, name.c_str(), sizeof g_proc_name - 1);
+  g_proc_name[sizeof g_proc_name - 1] = '\0';
+  process_name_storage() = std::move(name);
+}
+
+std::string FlightRecorder::process_name() const {
+  std::lock_guard lk(g_name_mutex);
+  return process_name_storage();
+}
+
 std::string FlightRecorder::snapshot_jsonl() const {
-  std::string out;
+  char hdr[320];
+  char* p = format_header_line(hdr, hdr + sizeof hdr);
+  std::string out(hdr, static_cast<std::size_t>(p - hdr));
   for (const Event& e : snapshot()) {
     out += event_jsonl(e);
     out.push_back('\n');
@@ -222,8 +294,11 @@ std::string FlightRecorder::dump_on_failure() const {
 
 void FlightRecorder::dump_fd_signal_safe(int fd) const noexcept {
   // One line per consistent slot, formatted into a stack buffer. Reads the
-  // same atomics as snapshot() but without allocation or sorting.
-  char buf[256];
+  // same atomics as snapshot() but without allocation or sorting. The
+  // header goes first so even a crash dump carries the wall-clock anchor.
+  char buf[320];
+  char* h = format_header_line(buf, buf + sizeof buf);
+  write_fd_all(fd, buf, static_cast<std::size_t>(h - buf));
   const std::size_t count = g_ring_count.load(std::memory_order_acquire);
   Event e;
   for (std::size_t i = 0; i < count; ++i) {

@@ -19,10 +19,46 @@
 namespace gsx::obs {
 
 /// Record one event into the calling thread's ring (registers the ring on
-/// first use). Timestamp is taken here. Prefer the GSX_FLIGHT macro at call
-/// sites so GSX_TELEMETRY=OFF builds drop the site entirely.
+/// first use). Timestamp is taken here; the calling thread's ambient trace
+/// id (FlightTraceScope) is stamped on the event. Prefer the GSX_FLIGHT
+/// macro at call sites so GSX_TELEMETRY=OFF builds drop the site entirely.
 void flight_record(EventKind kind, std::uint64_t request, std::uint64_t a,
                    std::uint64_t b, double v) noexcept;
+
+// ---------------------------------------------------------------------------
+// Distributed tracing primitives.
+//
+// The trace id is ambient per-thread state (unlike RequestContext, which is
+// threaded explicitly): GSX_FLIGHT sites are scattered across layers whose
+// signatures must not grow a trace parameter, and the id only decorates
+// events — it never changes behavior. A scope installs the id for the
+// duration of one request's work on the current thread.
+
+/// Set the calling thread's ambient trace id (0 clears). Returns the
+/// previous value so scopes can nest.
+std::uint64_t set_current_trace(std::uint64_t trace) noexcept;
+
+/// The calling thread's ambient trace id (0 = untraced).
+[[nodiscard]] std::uint64_t current_trace() noexcept;
+
+/// RAII trace scope: events recorded by this thread inside the scope carry
+/// `trace`; the previous ambient id is restored on exit.
+class FlightTraceScope {
+ public:
+  explicit FlightTraceScope(std::uint64_t trace) noexcept
+      : prev_(set_current_trace(trace)) {}
+  ~FlightTraceScope() { set_current_trace(prev_); }
+  FlightTraceScope(const FlightTraceScope&) = delete;
+  FlightTraceScope& operator=(const FlightTraceScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Mint a span id unique across the fleet: low 48 bits are a process-local
+/// counter, the top 16 bits fold in the pid so router- and replica-minted
+/// ids never collide in a merged timeline.
+[[nodiscard]] std::uint64_t mint_span_id() noexcept;
 
 /// The process-wide recorder.
 class FlightRecorder {
@@ -32,9 +68,20 @@ class FlightRecorder {
   /// Merge all rings, time-ordered. Never blocks writers.
   [[nodiscard]] std::vector<Event> snapshot() const;
 
-  /// Snapshot serialized as JSONL, one event object per line:
-  ///   {"t":1.25,"kind":"task_run","request":7,"a":3,"b":0,"v":0}
+  /// Snapshot serialized as JSONL. The first line is a dump header carrying
+  /// the alignment datum for cross-process merges — wall clock
+  /// (CLOCK_REALTIME) and monotonic clock sampled at the same instant, plus
+  /// process name and pid:
+  ///   {"t":1.25,"kind":"dump_header","process":"r0","pid":4242,
+  ///    "wall_anchor":1754700000.5,"mono_anchor":1.25}
+  /// followed by one event object per line:
+  ///   {"t":1.25,"kind":"task_run","thread":0,"request":7,"trace":9,...}
   [[nodiscard]] std::string snapshot_jsonl() const;
+
+  /// Process name stamped on dump headers (defaults to "gsx"). Set once at
+  /// daemon startup (e.g. the replica's --name).
+  void set_process_name(std::string name);
+  [[nodiscard]] std::string process_name() const;
 
   /// Write snapshot_jsonl() to `path` (truncates). Returns false on I/O
   /// failure. This is the NumericalError dump path: the serving engine calls

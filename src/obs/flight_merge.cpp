@@ -1,0 +1,158 @@
+#include "obs/flight_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+namespace gsx::obs {
+
+namespace {
+
+// Flat-JSON field scanners. The dump writer (flight.cpp) emits fixed keys in
+// a fixed order with no nesting, so a substring search per key is exact.
+
+bool find_field(std::string_view line, std::string_view key, std::string_view* out) {
+  const std::string pat = "\"" + std::string(key) + "\":";
+  const std::size_t pos = line.find(pat);
+  if (pos == std::string_view::npos) return false;
+  std::size_t begin = pos + pat.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string_view::npos) return false;
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+std::uint64_t field_u64(std::string_view line, std::string_view key) {
+  std::string_view v;
+  if (!find_field(line, key, &v)) return 0;
+  return std::strtoull(std::string(v).c_str(), nullptr, 10);
+}
+
+double field_f64(std::string_view line, std::string_view key) {
+  std::string_view v;
+  if (!find_field(line, key, &v)) return 0.0;
+  return std::strtod(std::string(v).c_str(), nullptr);
+}
+
+std::string field_str(std::string_view line, std::string_view key) {
+  std::string_view v;
+  if (!find_field(line, key, &v)) return {};
+  return std::string(v);
+}
+
+double median(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+bool same_event(const MergedEvent& a, const MergedEvent& b) {
+  return a.pid == b.pid && a.thread == b.thread && a.t == b.t &&
+         a.kind == b.kind && a.request == b.request && a.trace == b.trace &&
+         a.a == b.a && a.b == b.b && a.v == b.v;
+}
+
+}  // namespace
+
+FlightDump parse_flight_dump(const std::string& jsonl) {
+  FlightDump dump;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    const std::string_view line = std::string_view(jsonl).substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line.front() != '{') continue;
+    const std::string kind = field_str(line, "kind");
+    if (kind.empty()) continue;
+    if (kind == "dump_header") {
+      dump.process = field_str(line, "process");
+      dump.pid = field_u64(line, "pid");
+      dump.wall_anchor = field_f64(line, "wall_anchor");
+      dump.mono_anchor = field_f64(line, "mono_anchor");
+      dump.has_header = true;
+      continue;
+    }
+    MergedEvent e;
+    e.t = field_f64(line, "t");
+    e.kind = kind;
+    e.thread = field_u64(line, "thread");
+    e.request = field_u64(line, "request");
+    e.trace = field_u64(line, "trace");
+    e.a = field_u64(line, "a");
+    e.b = field_u64(line, "b");
+    e.v = field_f64(line, "v");
+    dump.events.push_back(std::move(e));
+  }
+  for (MergedEvent& e : dump.events) {
+    e.process = dump.process;
+    e.pid = dump.pid;
+    e.t_wall = dump.has_header ? dump.wall_anchor + (e.t - dump.mono_anchor) : e.t;
+  }
+  return dump;
+}
+
+MergeResult merge_flight_dumps(const std::vector<FlightDump>& dumps) {
+  MergeResult result;
+
+  // Heartbeat pairing, keyed by (process, seq): a replica's send/ack bracket
+  // the router's recv. Several dumps of the same process (in-process fleet
+  // collection) overwrite each other harmlessly — the values are identical.
+  struct Pair {
+    double send = std::nan("");
+    double ack = std::nan("");
+  };
+  std::map<std::pair<std::string, std::uint64_t>, Pair> pairs;
+  std::map<std::uint64_t, double> recv_by_seq;  // reference clock (router)
+  for (const FlightDump& d : dumps) {
+    for (const MergedEvent& e : d.events) {
+      if (e.kind == "heartbeat_send") pairs[{d.process, e.a}].send = e.t_wall;
+      else if (e.kind == "heartbeat_ack") pairs[{d.process, e.a}].ack = e.t_wall;
+      else if (e.kind == "heartbeat_recv") recv_by_seq[e.a] = e.t_wall;
+    }
+    if (result.clock_offsets.find(d.process) == result.clock_offsets.end())
+      result.clock_offsets[d.process] = 0.0;
+  }
+
+  // NTP-style estimate per process: offset = recv - (send + ack)/2, the
+  // router-clock error of the replica's request midpoint. The median over
+  // all paired heartbeats rejects outliers from scheduling jitter.
+  std::map<std::string, std::vector<double>> samples;
+  for (const auto& [key, p] : pairs) {
+    if (std::isnan(p.send) || std::isnan(p.ack)) continue;
+    const auto recv = recv_by_seq.find(key.second);
+    if (recv == recv_by_seq.end()) continue;
+    samples[key.first].push_back(recv->second - 0.5 * (p.send + p.ack));
+  }
+  for (auto& [process, xs] : samples)
+    if (!xs.empty()) result.clock_offsets[process] = median(xs);
+
+  for (const FlightDump& d : dumps) {
+    const double offset = result.clock_offsets.at(d.process);
+    for (const MergedEvent& e : d.events) {
+      result.timeline.push_back(e);
+      result.timeline.back().t_wall += offset;
+    }
+  }
+  std::stable_sort(result.timeline.begin(), result.timeline.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     return a.t_wall < b.t_wall;
+                   });
+  result.timeline.erase(
+      std::unique(result.timeline.begin(), result.timeline.end(), same_event),
+      result.timeline.end());
+
+  for (std::size_t i = 0; i < result.timeline.size(); ++i)
+    if (result.timeline[i].trace != 0)
+      result.traces[result.timeline[i].trace].push_back(i);
+  return result;
+}
+
+}  // namespace gsx::obs

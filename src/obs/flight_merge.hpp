@@ -1,0 +1,76 @@
+// Cross-process flight-dump correlation: merge per-process JSONL dumps into
+// one causally-ordered timeline.
+//
+// Each dump (FlightRecorder::snapshot_jsonl) opens with a header that pairs
+// a CLOCK_REALTIME wall-clock anchor with a monotonic anchor sampled at the
+// same instant, so every event's monotonic timestamp converts to wall time:
+// wall = wall_anchor + (t - mono_anchor). That alone aligns processes to
+// the resolution of their wall clocks; on top of it, heartbeat
+// request/response pairs (HeartbeatSend/HeartbeatAck on the replica,
+// HeartbeatRecv on the router) give an NTP-style per-replica offset
+// estimate — offset = recv - (send + ack)/2, the router-clock error of the
+// replica's midpoint — which the merge applies before ordering.
+//
+// This is the post-mortem engine behind the gsx_obs tool and the router's
+// flight_collect verb: gather dumps, merge, group by trace id, and read one
+// fleet-wide story of a failover or a NumericalError.
+//
+// Deliberately obs-local: dumps are parsed with a small flat-JSON scanner
+// (keys are fixed by flight.cpp's writer) instead of the serving layer's
+// JsonValue, keeping obs free of a serve dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsx::obs {
+
+/// One event on the merged fleet timeline.
+struct MergedEvent {
+  double t_wall = 0.0;   ///< wall-clock seconds, offset-corrected
+  double t = 0.0;        ///< original monotonic timestamp from the dump
+  std::string process;   ///< dump header's process name
+  std::uint64_t pid = 0;
+  std::string kind;
+  std::uint64_t thread = 0;
+  std::uint64_t request = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double v = 0.0;
+};
+
+/// One parsed per-process dump.
+struct FlightDump {
+  std::string process = "gsx";
+  std::uint64_t pid = 0;
+  double wall_anchor = 0.0;
+  double mono_anchor = 0.0;
+  bool has_header = false;   ///< false: events stay on their monotonic clock
+  std::vector<MergedEvent> events;  ///< t_wall = anchor-converted, no offset
+};
+
+/// The merged fleet timeline.
+struct MergeResult {
+  std::vector<MergedEvent> timeline;  ///< wall-ordered, exact dups removed
+  /// Estimated clock offset per process (seconds to ADD to a process's wall
+  /// times to land on the reference clock). The reference process — the one
+  /// handling heartbeats, i.e. the router — and processes with no heartbeat
+  /// pairing get 0.
+  std::map<std::string, double> clock_offsets;
+  /// Trace id -> indices into `timeline`, in timeline order.
+  std::map<std::uint64_t, std::vector<std::size_t>> traces;
+};
+
+/// Parse one dump (JSONL text). Unparseable lines are skipped; a missing
+/// header leaves has_header false and t_wall = t.
+[[nodiscard]] FlightDump parse_flight_dump(const std::string& jsonl);
+
+/// Merge parsed dumps: estimate per-process offsets from heartbeat pairs,
+/// correct, order, dedupe (collecting from an in-process fleet yields the
+/// same snapshot several times), and group by trace id.
+[[nodiscard]] MergeResult merge_flight_dumps(const std::vector<FlightDump>& dumps);
+
+}  // namespace gsx::obs

@@ -19,6 +19,15 @@ std::string_view event_kind_name(EventKind k) noexcept {
     case EventKind::SolveBegin: return "solve_begin";
     case EventKind::SolveEnd: return "solve_end";
     case EventKind::RouterForward: return "router_forward";
+    case EventKind::SpanRouterQueue: return "span_router_queue";
+    case EventKind::SpanRouterForward: return "span_router_forward";
+    case EventKind::SpanRouterRetry: return "span_router_retry";
+    case EventKind::SpanReplicaQueue: return "span_replica_queue";
+    case EventKind::SpanReplicaAssemble: return "span_replica_assemble";
+    case EventKind::SpanReplicaSolve: return "span_replica_solve";
+    case EventKind::HeartbeatSend: return "heartbeat_send";
+    case EventKind::HeartbeatAck: return "heartbeat_ack";
+    case EventKind::HeartbeatRecv: return "heartbeat_recv";
   }
   return "unknown";
 }
@@ -30,6 +39,7 @@ void EventRing::record(const Event& e) noexcept {
   s.seq.store(seq + 1, std::memory_order_release);  // odd: write in progress
   s.t.store(e.t, std::memory_order_relaxed);
   s.request.store(e.request, std::memory_order_relaxed);
+  s.trace.store(e.trace, std::memory_order_relaxed);
   s.a.store(e.a, std::memory_order_relaxed);
   s.b.store(e.b, std::memory_order_relaxed);
   s.v.store(e.v, std::memory_order_relaxed);
@@ -45,6 +55,7 @@ bool EventRing::read_slot(std::size_t i, Event& out) const noexcept {
   if (before == 0 || (before & 1) != 0) return false;  // empty or mid-write
   out.t = s.t.load(std::memory_order_relaxed);
   out.request = s.request.load(std::memory_order_relaxed);
+  out.trace = s.trace.load(std::memory_order_relaxed);
   out.a = s.a.load(std::memory_order_relaxed);
   out.b = s.b.load(std::memory_order_relaxed);
   out.v = s.v.load(std::memory_order_relaxed);

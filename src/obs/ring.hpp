@@ -42,15 +42,31 @@ enum class EventKind : std::uint16_t {
   RouterForward = 60,    ///< a = fleet_hash(model), b = attempt (0-based),
                          ///< v = forward seconds; router-side hop of a
                          ///< request, same id as the replica-side events
+  // Completed spans (distributed tracing): a = span id, b = parent span id,
+  // v = duration seconds, t = span end. The span hierarchy crosses the
+  // router->replica hop via the parent id carried on the wire.
+  SpanRouterQueue = 61,     ///< router: parse + owner lookup before the hop
+  SpanRouterForward = 62,   ///< router: one forward attempt round trip
+  SpanRouterRetry = 63,     ///< router: failover retry (attempt >= 1)
+  SpanReplicaQueue = 64,    ///< replica: admission -> batch start
+  SpanReplicaAssemble = 65, ///< replica: Sigma_mn assembly inside the pass
+  SpanReplicaSolve = 66,    ///< replica: triangular solve + mean/variance
+  // Heartbeat request/response pairs: the clock-alignment datum for
+  // cross-process dump merges (gsx_obs). a = heartbeat seq number.
+  HeartbeatSend = 70,  ///< replica: request written to the router
+  HeartbeatAck = 71,   ///< replica: response read back, v = round trip seconds
+  HeartbeatRecv = 72,  ///< router: heartbeat handled
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;
 
 /// One flight-recorder event. `request` is 0 outside any request scope;
-/// `a`/`b`/`v` are kind-specific (see EventKind).
+/// `a`/`b`/`v` are kind-specific (see EventKind). `trace` is the distributed
+/// trace id stamped from the thread's ambient trace scope (0 = untraced).
 struct Event {
   double t = 0.0;            ///< obs::now_seconds() at record time
   std::uint64_t request = 0; ///< request id (serve::mint_request_id), 0 = none
+  std::uint64_t trace = 0;   ///< distributed trace id, 0 = none
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   double v = 0.0;
@@ -102,6 +118,7 @@ class EventRing {
     std::atomic<std::uint64_t> seq{0};
     std::atomic<double> t{0.0};
     std::atomic<std::uint64_t> request{0};
+    std::atomic<std::uint64_t> trace{0};
     std::atomic<std::uint64_t> a{0};
     std::atomic<std::uint64_t> b{0};
     std::atomic<double> v{0.0};

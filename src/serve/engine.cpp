@@ -78,10 +78,14 @@ KrigingEngine::~KrigingEngine() { drain(); }
 
 std::future<PredictOutcome> KrigingEngine::submit(
     std::shared_ptr<const LoadedModel> model, std::vector<geostat::Location> points,
-    bool with_variance, Clock::time_point deadline, std::uint64_t request_id) {
+    bool with_variance, Clock::time_point deadline, std::uint64_t request_id,
+    std::uint64_t trace_id, std::uint64_t parent_span) {
   std::promise<PredictOutcome> promise;
   std::future<PredictOutcome> future = promise.get_future();
   if (request_id == 0) request_id = mint_request_id();
+  // Rejections below record under the request's trace so a client-visible
+  // fast-fail still shows up in the fleet timeline.
+  obs::FlightTraceScope trace_scope(trace_id);
   if (model == nullptr || points.empty()) {
     promise.set_value(fail(model == nullptr ? "no such model" : "no points"));
     return future;
@@ -109,6 +113,8 @@ std::future<PredictOutcome> KrigingEngine::submit(
     p.points = std::move(points);
     p.with_variance = with_variance;
     p.request_id = request_id;
+    p.trace_id = trace_id;
+    p.parent_span = parent_span;
     p.deadline = deadline;
     p.enqueued = now;
     p.promise = std::move(promise);
@@ -150,6 +156,7 @@ EngineStats KrigingEngine::stats() const {
   std::lock_guard lk(mu_);
   EngineStats s = stats_;
   s.queue_depth = queue_.size();
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -222,9 +229,17 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
   if (live.empty()) return;
 
   // The whole micro-batch shares one solver pass, so the trace context
-  // carries the oldest request's id (its deadline admitted the batch).
+  // carries the oldest request's id (its deadline admitted the batch). The
+  // ambient trace scope follows the same rule: SolveBegin/SolveEnd and the
+  // numerical sentinels recorded inside the pass stamp the oldest request's
+  // distributed trace id.
   cholesky::SolveTelemetry telemetry;
   telemetry.ctx.request_id = live.front().request_id;
+  obs::FlightTraceScope batch_trace(live.front().trace_id);
+
+  in_flight_.fetch_add(live.size(), std::memory_order_relaxed);
+  obs::Registry::instance().gauge("serve.inflight")
+      .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
 
   PredictOutcome failure;
   geostat::KrigingResult result;
@@ -260,6 +275,19 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
     const double total_s = seconds_between(p.enqueued, end);
     record_request_spans(p.request_id, end_obs, total_s, queue_s,
                          seconds_between(start, end), telemetry);
+    // Replica-side distributed-trace spans: queue/assemble/solve siblings
+    // under the router's forward span. Recorded even on failure — a span
+    // tree that stops at the router is exactly the blind spot this exists
+    // to remove.
+    if (p.trace_id != 0) {
+      obs::FlightTraceScope req_trace(p.trace_id);
+      GSX_FLIGHT(obs::EventKind::SpanReplicaQueue, p.request_id,
+                 obs::mint_span_id(), p.parent_span, queue_s);
+      GSX_FLIGHT(obs::EventKind::SpanReplicaAssemble, p.request_id,
+                 obs::mint_span_id(), p.parent_span, telemetry.assemble_seconds);
+      GSX_FLIGHT(obs::EventKind::SpanReplicaSolve, p.request_id,
+                 obs::mint_span_id(), p.parent_span, telemetry.solve_seconds);
+    }
     if (!ok) {
       PredictOutcome o = failure;
       o.request_id = p.request_id;
@@ -287,6 +315,9 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
     p.promise.set_value(std::move(o));
     offset += m;
   }
+  in_flight_.fetch_sub(live.size(), std::memory_order_relaxed);
+  obs::Registry::instance().gauge("serve.inflight")
+      .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
   if (ok) {
     std::lock_guard lk(mu_);
     stats_.completed += live.size();

@@ -58,6 +58,10 @@ struct EngineStats {
   std::uint64_t batches = 0;
   std::uint64_t batched_points = 0;
   std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;  ///< predicts inside a solver pass right now —
+                              ///< queue_depth drops to 0 the moment a batch
+                              ///< is formed, so this is what "busy" means
+                              ///< during a micro-batched solve
 };
 
 class KrigingEngine {
@@ -77,13 +81,18 @@ class KrigingEngine {
   /// Enqueue one prediction. Never blocks: a full queue or an expired
   /// deadline resolves the future immediately. `deadline` of
   /// Clock::time_point::max() means no deadline. `request_id` is the wire
-  /// layer's trace id (0 mints one here), stamped on flight-recorder events,
-  /// spans and the outcome.
+  /// layer's request id (0 mints one here), stamped on flight-recorder
+  /// events, spans and the outcome. `trace_id`/`parent_span` are the
+  /// distributed trace context a router forwarded (0 = untraced): the
+  /// batch's flight events carry trace_id, and the replica-side span events
+  /// parent under parent_span.
   std::future<PredictOutcome> submit(std::shared_ptr<const LoadedModel> model,
                                      std::vector<geostat::Location> points,
                                      bool with_variance,
                                      Clock::time_point deadline = Clock::time_point::max(),
-                                     std::uint64_t request_id = 0);
+                                     std::uint64_t request_id = 0,
+                                     std::uint64_t trace_id = 0,
+                                     std::uint64_t parent_span = 0);
 
   /// Stop accepting, finish everything queued, join the dispatcher.
   /// Idempotent and safe to call from several threads at once (a signal
@@ -99,6 +108,8 @@ class KrigingEngine {
     std::vector<geostat::Location> points;
     bool with_variance = true;
     std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;    ///< distributed trace context, 0 = none
+    std::uint64_t parent_span = 0; ///< router-side span this hop nests under
     Clock::time_point deadline;
     Clock::time_point enqueued;
     std::promise<PredictOutcome> promise;
@@ -116,6 +127,7 @@ class KrigingEngine {
   bool started_ = false;
   std::thread dispatcher_;
   EngineStats stats_{};
+  std::atomic<std::size_t> in_flight_{0};  ///< live requests in process_batch
 };
 
 }  // namespace gsx::serve

@@ -131,7 +131,9 @@ void LineListener::metrics_loop() {
     const bool get_metrics = request.rfind("GET /metrics", 0) == 0;
     std::string response;
     if (get_root || get_metrics) {
-      const std::string body = obs::render_prometheus();
+      const std::string body = cfg_.metrics_renderer
+                                   ? cfg_.metrics_renderer()
+                                   : obs::render_prometheus();
       response = "HTTP/1.0 200 OK\r\nContent-Type: " +
                  std::string(obs::kPrometheusContentType) +
                  "\r\nContent-Length: " + std::to_string(body.size()) +

@@ -30,6 +30,11 @@ class LineListener {
     int metrics_port = -1;       ///< Prometheus HTTP scrape port on 127.0.0.1
                                  ///< (-1 = off, 0 = ephemeral)
     std::string log_tag = "serve";  ///< obs logging module tag
+    /// Exposition body served on the scrape port. Defaults to the local
+    /// registry (obs::render_prometheus); the fleet router overrides it
+    /// with the federated union so one scrape target covers the fleet.
+    /// Called from the metrics thread — must be thread-safe.
+    std::function<std::string()> metrics_renderer;
   };
 
   /// Handle one request line, return one response line (no trailing '\n').

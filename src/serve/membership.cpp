@@ -1,14 +1,33 @@
 #include "serve/membership.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/listener.hpp"
 #include "serve/wire.hpp"
 
 namespace gsx::serve {
+
+namespace {
+
+/// Fleet-unique heartbeat sequence numbers. gsx_obs pairs a replica's
+/// HeartbeatSend/Ack with the router's HeartbeatRecv by seq alone, so two
+/// announcers both counting from 1 (separate replicas, or several in-process
+/// replicas in a test fleet) would cross-pair — fold the pid into the high
+/// bits and share one process-wide counter.
+std::uint64_t next_heartbeat_seq() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto pid = static_cast<std::uint64_t>(::getpid() & 0xFFFF);
+  return (pid << 32) | (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+}  // namespace
 
 const char* replica_state_name(ReplicaState s) noexcept {
   switch (s) {
@@ -68,6 +87,7 @@ ReplicaInfo Membership::info_locked(const std::string& name, const Entry& e,
       std::chrono::duration<double>(now - e.last_heartbeat).count();
   r.heartbeats = e.heartbeats;
   r.queue_depth = e.queue_depth;
+  r.inflight = e.inflight;
   return r;
 }
 
@@ -108,7 +128,7 @@ bool Membership::join(const std::string& name, const std::string& host,
 }
 
 bool Membership::heartbeat(const std::string& name, double queue_depth,
-                           Clock::time_point now) {
+                           double inflight, Clock::time_point now) {
   std::lock_guard lk(mu_);
   const auto it = std::lower_bound(names_.begin(), names_.end(), name);
   if (it == names_.end() || *it != name) return false;
@@ -116,6 +136,7 @@ bool Membership::heartbeat(const std::string& name, double queue_depth,
   if (e.state != ReplicaState::Alive) return false;
   e.last_heartbeat = now;
   e.queue_depth = queue_depth;
+  e.inflight = inflight;
   ++e.heartbeats;
   return true;
 }
@@ -224,8 +245,8 @@ std::uint64_t Membership::rehash_events() const noexcept {
 
 // --- Announcer ---------------------------------------------------------------
 
-Announcer::Announcer(Config cfg, std::function<double()> queue_depth)
-    : cfg_(std::move(cfg)), queue_depth_(std::move(queue_depth)) {}
+Announcer::Announcer(Config cfg, std::function<ReplicaLoad()> load)
+    : cfg_(std::move(cfg)), load_(std::move(load)) {}
 
 Announcer::~Announcer() { stop(); }
 
@@ -257,17 +278,31 @@ void Announcer::loop() {
     if (client.connected()) {
       JsonValue::Object o;
       std::string response;
+      bool beat = false;
+      std::uint64_t seq = 0;
       if (!registered) {
         o["op"] = JsonValue("register");
         o["replica"] = JsonValue(cfg_.replica_name);
         o["host"] = JsonValue(cfg_.replica_host);
         o["port"] = JsonValue(static_cast<std::size_t>(cfg_.replica_port));
       } else {
+        const ReplicaLoad load = load_ ? load_() : ReplicaLoad{};
+        beat = true;
+        seq = next_heartbeat_seq();
         o["op"] = JsonValue("heartbeat");
         o["replica"] = JsonValue(cfg_.replica_name);
-        o["queue_depth"] = JsonValue(queue_depth_ ? queue_depth_() : 0.0);
+        o["queue_depth"] = JsonValue(load.queue_depth);
+        o["inflight"] = JsonValue(load.inflight);
+        o["seq"] = JsonValue(static_cast<std::size_t>(seq));
       }
+      // The send/ack bracket around the router's recv is the NTP-style
+      // clock-offset sample gsx_obs uses to align this replica's dump.
+      const double t0 = obs::now_seconds();
+      if (beat) GSX_FLIGHT(obs::EventKind::HeartbeatSend, 0, seq, 0, 0.0);
       if (client.request(JsonValue(std::move(o)).dump(), &response)) {
+        if (beat)
+          GSX_FLIGHT(obs::EventKind::HeartbeatAck, 0, seq, 0,
+                     obs::now_seconds() - t0);
         // An unknown-replica heartbeat answer means the router restarted:
         // fall back to register on the next beat.
         const JsonValue r = [&] {

@@ -43,6 +43,15 @@ struct ReplicaInfo {
   double heartbeat_age_seconds = 0.0;  ///< snapshot-relative
   std::uint64_t heartbeats = 0;        ///< register + heartbeat count
   double queue_depth = 0.0;            ///< last reported by the replica
+  double inflight = 0.0;               ///< predicts inside a solver pass —
+                                       ///< queue_depth alone under-reports
+                                       ///< load during micro-batched solves
+};
+
+/// What a replica reports about its own load on every heartbeat.
+struct ReplicaLoad {
+  double queue_depth = 0.0;  ///< engine admission-queue depth
+  double inflight = 0.0;     ///< predicts currently inside a solver pass
 };
 
 /// 64-bit mixing hash (splitmix64 over FNV-1a). Exposed so tests can assert
@@ -62,12 +71,17 @@ class Membership {
   bool join(const std::string& name, const std::string& host, std::uint16_t port,
             Clock::time_point now = Clock::now());
 
-  /// Refresh a replica's heartbeat + reported queue depth. Returns false for
-  /// an unknown name (the replica should re-register). A heartbeat does NOT
-  /// resurrect a Dead or Draining replica — only join() does, so a replica
-  /// that missed the stale window must re-announce itself.
+  /// Refresh a replica's heartbeat + reported load (queue depth and
+  /// in-flight predict count). Returns false for an unknown name (the
+  /// replica should re-register). A heartbeat does NOT resurrect a Dead or
+  /// Draining replica — only join() does, so a replica that missed the
+  /// stale window must re-announce itself.
   bool heartbeat(const std::string& name, double queue_depth,
-                 Clock::time_point now = Clock::now());
+                 double inflight = 0.0, Clock::time_point now = Clock::now());
+  bool heartbeat(const std::string& name, double queue_depth,
+                 Clock::time_point now) {
+    return heartbeat(name, queue_depth, 0.0, now);
+  }
 
   /// Mark Draining: keeps the replica in the table, removes it from the
   /// ring's routable set. Returns false for an unknown name.
@@ -108,6 +122,7 @@ class Membership {
     Clock::time_point last_heartbeat{};
     std::uint64_t heartbeats = 0;
     double queue_depth = 0.0;
+    double inflight = 0.0;
   };
   struct RingPoint {
     std::uint64_t hash = 0;
@@ -143,8 +158,11 @@ class Announcer {
     double heartbeat_seconds = 2.0;
   };
 
-  /// `queue_depth` is polled at each heartbeat (reported to the router).
-  Announcer(Config cfg, std::function<double()> queue_depth);
+  /// `load` is polled at each heartbeat (queue depth + in-flight predicts,
+  /// reported to the router). Each heartbeat carries a sequence number and
+  /// records HeartbeatSend/HeartbeatAck flight events — paired with the
+  /// router's HeartbeatRecv, they are the clock-offset datum for gsx_obs.
+  Announcer(Config cfg, std::function<ReplicaLoad()> load);
   ~Announcer();
 
   Announcer(const Announcer&) = delete;
@@ -164,7 +182,7 @@ class Announcer {
   void loop();
 
   const Config cfg_;
-  const std::function<double()> queue_depth_;
+  const std::function<ReplicaLoad()> load_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> delivered_{0};
   std::mutex mu_;

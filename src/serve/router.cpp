@@ -1,6 +1,13 @@
 #include "serve/router.hpp"
 
+#include <sys/stat.h>
+
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
@@ -21,24 +28,50 @@ const std::string& require_string(const JsonValue& req, const std::string& key) 
   return v->as_string();
 }
 
+/// Value of the first exposition sample whose series is exactly `series`
+/// (no label set), NaN when absent. Used to read a replica's predict count
+/// out of its scraped text for the fleet-rate rollup.
+double first_sample_value(const std::string& text, const std::string& series) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line = std::string_view(text).substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.size() > series.size() && line.rfind(series, 0) == 0 &&
+        line[series.size()] == ' ') {
+      return std::strtod(std::string(line.substr(series.size() + 1)).c_str(),
+                         nullptr);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
 }  // namespace
 
 Router::Router(RouterConfig cfg)
     : cfg_(cfg),
       membership_(cfg.stale_after_seconds, cfg.virtual_nodes),
       listener_(
-          LineListener::Config{"", cfg.tcp_port, cfg.metrics_port, "router"},
+          LineListener::Config{"", cfg.tcp_port, cfg.metrics_port, "router",
+                               [this] { return federated_prometheus(); }},
           [this](const std::string& line) { return handle_line(line); }) {
   // Pre-register the router metric schema (see Server's constructor for the
-  // rationale). Per-replica request counters are keyed by replica name and
-  // appear on first forward.
+  // rationale). Per-replica request counters and p999 gauges are keyed by
+  // replica name and appear on first forward / first fleet scrape.
   auto& reg = obs::Registry::instance();
   reg.counter("router.rehash_events");
   reg.counter("router.forwards");
   reg.counter("router.forward.failures");
   reg.counter("router.failover.loads");
+  reg.counter("router.slo.violations");
+  reg.counter("router.fleet.scrape.failures");
   reg.gauge("router.replicas.alive");
   reg.gauge("router.heartbeat.age.max_seconds");
+  reg.gauge("router.fleet.replicas.scraped");
+  reg.gauge("router.fleet.predict.rate");
+  reg.gauge("router.fleet.queue_depth.max");
+  reg.gauge("router.fleet.inflight");
   reg.histogram("router.forward.seconds", obs::Histogram::duration_bounds());
 }
 
@@ -68,6 +101,8 @@ std::string Router::handle_request(const JsonValue& req) {
   if (op == "stats") return do_stats();
   if (op == "health") return do_health();
   if (op == "metrics") return do_metrics();
+  if (op == "fleet_metrics") return do_fleet_metrics();
+  if (op == "flight_collect") return do_flight_collect(req);
   return wire_error("unknown op \"" + op + "\"");
 }
 
@@ -91,9 +126,18 @@ std::string Router::do_register(const JsonValue& req) {
 std::string Router::do_heartbeat(const JsonValue& req) {
   const std::string& name = require_string(req, "replica");
   double queue_depth = 0.0;
+  double inflight = 0.0;
+  std::uint64_t seq = 0;
   if (const JsonValue* q = req.find("queue_depth"))
     if (q->is_number()) queue_depth = q->as_number();
-  if (!membership_.heartbeat(name, queue_depth))
+  if (const JsonValue* f = req.find("inflight"))
+    if (f->is_number()) inflight = f->as_number();
+  if (const JsonValue* s = req.find("seq"))
+    if (s->is_number()) seq = static_cast<std::uint64_t>(s->as_number());
+  // The recv timestamp (router clock) between the replica's send/ack pair
+  // (replica clock) is the per-heartbeat clock-offset sample gsx_obs uses.
+  if (seq != 0) GSX_FLIGHT(obs::EventKind::HeartbeatRecv, 0, seq, 0, 0.0);
+  if (!membership_.heartbeat(name, queue_depth, inflight))
     return wire_error("unknown or non-alive replica \"" + name +
                       "\" — re-register");
   JsonValue::Object o;
@@ -227,17 +271,40 @@ std::string Router::do_predict(const JsonValue& req) {
     if (rid->is_string()) request_id = parse_request_id(rid->as_string());
   if (request_id == 0) request_id = mint_request_id();
 
-  const std::string line = [&] {
-    JsonValue::Object o = req.as_object();
-    o["request_id"] = JsonValue(request_id_string(request_id));
-    return JsonValue(std::move(o)).dump();
-  }();
+  // Same for the distributed trace id: a client may carry its own context;
+  // otherwise the router is the trace root. The scope stamps the id on every
+  // flight event this thread records below, and the forwarded trace_id /
+  // parent_span_id fields extend the trace into the replica's queue/assemble/
+  // solve spans — gsx_obs groups a merged timeline by exactly this id.
+  std::uint64_t trace_id = 0;
+  if (const JsonValue* tid = req.find("trace_id"))
+    if (tid->is_string()) trace_id = parse_trace_id(tid->as_string());
+  if (trace_id == 0) trace_id = mint_trace_id();
+  const obs::FlightTraceScope trace_scope(trace_id);
+  const double t_admit = obs::now_seconds();
+
+  JsonValue::Object base = req.as_object();  // copy, preserve client fields
+  base["request_id"] = JsonValue(request_id_string(request_id));
+  base["trace_id"] = JsonValue(trace_id_string(trace_id));
 
   auto& reg = obs::Registry::instance();
   std::string last_error = "no routable replica for model \"" + model + "\"";
   for (std::size_t attempt = 0; attempt < cfg_.max_forward_attempts; ++attempt) {
     const std::optional<ReplicaInfo> owner = membership_.owner(model);
     if (!owner) break;
+    if (attempt == 0) {
+      GSX_FLIGHT(obs::EventKind::SpanRouterQueue, request_id,
+                 obs::mint_span_id(), 0, obs::now_seconds() - t_admit);
+    }
+
+    // Each attempt is one span, and that span is the parent of everything
+    // the replica records for this hop (SpanReplica* carry it as b).
+    const std::uint64_t forward_span = obs::mint_span_id();
+    const std::string line = [&] {
+      JsonValue::Object o = base;
+      o["parent_span_id"] = JsonValue(span_id_string(forward_span));
+      return JsonValue(std::move(o)).dump();
+    }();
 
     const double t0 = obs::now_seconds();
     std::string response;
@@ -245,8 +312,13 @@ std::string Router::do_predict(const JsonValue& req) {
     const double seconds = obs::now_seconds() - t0;
     GSX_FLIGHT(obs::EventKind::RouterForward, request_id, fleet_hash(model),
                attempt, seconds);
+    GSX_FLIGHT(attempt == 0 ? obs::EventKind::SpanRouterForward
+                            : obs::EventKind::SpanRouterRetry,
+               request_id, forward_span, 0, seconds);
     reg.counter("router.forwards").add();
     reg.histogram("router.forward.seconds").observe(seconds);
+    if (seconds > cfg_.slo_forward_seconds)
+      reg.counter("router.slo.violations").add();
 
     if (!delivered) {
       // The dial/roundtrip failure IS the failure detector: kill the owner
@@ -280,9 +352,14 @@ std::string Router::do_predict(const JsonValue& req) {
     }
     JsonValue::Object o = parsed.as_object();
     o["replica"] = JsonValue(owner->name);
+    o["trace_id"] = JsonValue(trace_id_string(trace_id));
     return JsonValue(std::move(o)).dump();
   }
-  return wire_error(last_error);
+  JsonValue::Object err;
+  err["ok"] = JsonValue(false);
+  err["error"] = JsonValue(last_error);
+  err["trace_id"] = JsonValue(trace_id_string(trace_id));
+  return JsonValue(std::move(err)).dump();
 }
 
 std::string Router::do_stats() {
@@ -297,6 +374,7 @@ std::string Router::do_stats() {
     e["heartbeat_age_seconds"] = JsonValue(r.heartbeat_age_seconds);
     e["heartbeats"] = JsonValue(static_cast<std::size_t>(r.heartbeats));
     e["queue_depth"] = JsonValue(r.queue_depth);
+    e["inflight"] = JsonValue(r.inflight);
     e["requests"] =
         JsonValue(static_cast<std::size_t>(reg.counter("router.requests." + r.name).value()));
     arr.push_back(JsonValue(std::move(e)));
@@ -330,6 +408,137 @@ std::string Router::do_metrics() {
   o["ok"] = JsonValue(true);
   o["content_type"] = JsonValue(obs::kPrometheusContentType);
   o["prometheus"] = JsonValue(obs::render_prometheus());
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::federated_prometheus() {
+  // Serialized: the predict-rate rollup keeps scrape-to-scrape state shared
+  // between the fleet_metrics verb and the HTTP scrape port.
+  std::lock_guard lk(scrape_mu_);
+  auto& reg = obs::Registry::instance();
+  const std::string predict_family = obs::prometheus_name("serve.predict.seconds");
+
+  std::vector<std::string> parts;
+  double fleet_predicts = 0.0;
+  bool have_counts = false;
+  double max_queue = 0.0;
+  double inflight_total = 0.0;
+  std::size_t scraped = 0;
+  for (const ReplicaInfo& r : membership_.snapshot()) {
+    if (r.state == ReplicaState::Dead) continue;
+    if (r.state == ReplicaState::Alive) {
+      if (r.queue_depth > max_queue) max_queue = r.queue_depth;
+      inflight_total += r.inflight;
+    }
+    std::string response;
+    std::string text;
+    bool got = false;
+    if (forward(r, "{\"op\":\"metrics\"}", &response)) {
+      try {
+        const JsonValue parsed = JsonValue::parse(response);
+        const JsonValue* prom = parsed.find("prometheus");
+        if (prom != nullptr && prom->is_string()) {
+          text = prom->as_string();
+          got = true;
+        }
+      } catch (...) {
+      }
+    }
+    if (!got) {
+      reg.counter("router.fleet.scrape.failures").add();
+      continue;
+    }
+    ++scraped;
+    const double count = first_sample_value(text, predict_family + "_count");
+    if (!std::isnan(count)) {
+      fleet_predicts += count;
+      have_counts = true;
+    }
+    const double p999 =
+        obs::prometheus_histogram_quantile(text, predict_family, 0.999);
+    if (!std::isnan(p999))
+      reg.gauge("router.fleet.predict.p999." + r.name).set(p999);
+    parts.push_back(obs::prometheus_with_label(text, "replica", r.name));
+  }
+
+  // Rollups land in the router's own registry (before the local render below)
+  // so they ride the normal exposition path and keep stable names.
+  const double now = obs::now_seconds();
+  if (have_counts && scrape_prev_time_ > 0.0 && now > scrape_prev_time_ &&
+      fleet_predicts >= scrape_prev_predicts_) {
+    reg.gauge("router.fleet.predict.rate")
+        .set((fleet_predicts - scrape_prev_predicts_) / (now - scrape_prev_time_));
+  }
+  if (have_counts) {
+    scrape_prev_predicts_ = fleet_predicts;
+    scrape_prev_time_ = now;
+  }
+  reg.gauge("router.fleet.replicas.scraped").set(static_cast<double>(scraped));
+  reg.gauge("router.fleet.queue_depth.max").set(max_queue);
+  reg.gauge("router.fleet.inflight").set(inflight_total);
+
+  parts.insert(parts.begin(), obs::render_prometheus());
+  return obs::prometheus_merge(parts);
+}
+
+std::string Router::do_fleet_metrics() {
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["content_type"] = JsonValue(obs::kPrometheusContentType);
+  o["prometheus"] = JsonValue(federated_prometheus());
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Router::do_flight_collect(const JsonValue& req) {
+  const std::string& dir = require_string(req, "dir");
+  ::mkdir(dir.c_str(), 0755);  // best effort; the writes below report failure
+  JsonValue::Array files;
+  std::size_t failures = 0;
+  for (const ReplicaInfo& r : membership_.snapshot()) {
+    if (r.state == ReplicaState::Dead) continue;
+    std::string response;
+    std::string jsonl;
+    bool got = false;
+    if (forward(r, "{\"op\":\"flight\"}", &response)) {
+      try {
+        const JsonValue parsed = JsonValue::parse(response);
+        const JsonValue* j = parsed.find("jsonl");
+        if (j != nullptr && j->is_string()) {
+          jsonl = j->as_string();
+          got = true;
+        }
+      } catch (...) {
+      }
+    }
+    const std::string path = dir + "/flight-" + r.name + ".jsonl";
+    std::ofstream out;
+    if (got) out.open(path, std::ios::trunc);
+    if (!got || !out) {
+      ++failures;
+      obs::log_warn("router", "flight_collect: replica dump failed",
+                    {obs::lf("replica", r.name)});
+      continue;
+    }
+    out << jsonl;
+    files.push_back(JsonValue(path));
+  }
+  // The router's own recorder completes the picture: its forward spans and
+  // heartbeat recv events are the reference clock for the merge.
+  const std::string router_path = dir + "/flight-router.jsonl";
+  {
+    std::ofstream out(router_path, std::ios::trunc);
+    if (out) {
+      out << obs::FlightRecorder::instance().snapshot_jsonl();
+      files.push_back(JsonValue(router_path));
+    } else {
+      ++failures;
+    }
+  }
+  JsonValue::Object o;
+  o["ok"] = JsonValue(!files.empty());
+  o["dir"] = JsonValue(dir);
+  o["files"] = JsonValue(std::move(files));
+  o["failures"] = JsonValue(failures);
   return JsonValue(std::move(o)).dump();
 }
 

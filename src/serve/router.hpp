@@ -18,7 +18,15 @@
 //   local:
 //     {"op":"stats"}   — replica table, placements, forward counters
 //     {"op":"health"}  — alive replica count
-//     {"op":"metrics"} — Prometheus text (also served on --metrics-port)
+//     {"op":"metrics"} — router-local Prometheus text
+//     {"op":"fleet_metrics"}  — federated Prometheus text: every routable
+//                               replica scraped over the wire, samples
+//                               re-labeled replica="<name>", merged with the
+//                               router's own series plus fleet rollups (this
+//                               union is also what --metrics-port serves)
+//     {"op":"flight_collect","dir":"/tmp/pm"}  — dump every replica's flight
+//                               recorder (plus the router's own) into
+//                               <dir>/flight-<name>.jsonl for gsx_obs merge
 //     {"op":"drain"}   — no "replica": drain the router itself
 //
 // Placement is Membership's consistent-hash ring, so it depends only on the
@@ -53,6 +61,8 @@ struct RouterConfig {
   std::size_t virtual_nodes = 64;     ///< ring points per replica
   double sweep_seconds = 1.0;   ///< stale-heartbeat sweep cadence
   std::size_t max_forward_attempts = 3;  ///< owner + failover retries
+  double slo_forward_seconds = 1.0;  ///< forward latency SLO; slower forwards
+                                     ///< burn router.slo.violations
 };
 
 class Router {
@@ -91,6 +101,15 @@ class Router {
   std::string do_stats();
   std::string do_health();
   std::string do_metrics();
+  std::string do_fleet_metrics();
+  std::string do_flight_collect(const JsonValue& req);
+
+  /// The federated exposition: scrape every routable replica's metrics over
+  /// the wire, re-label with replica="<name>", merge with the router's own
+  /// registry, and refresh the fleet rollup gauges (aggregate predict rate,
+  /// max queue depth, total in-flight, per-replica p999). Serves both the
+  /// fleet_metrics verb and the HTTP scrape port.
+  std::string federated_prometheus();
 
   /// One hop: dial `replica`, send `line`, read one line. False on any I/O
   /// failure (the caller marks the replica dead and rehashes).
@@ -109,6 +128,12 @@ class Router {
 
   std::mutex models_mu_;
   std::map<std::string, std::string> models_;  ///< model -> load "path" ("" = store)
+
+  // Scrape-to-scrape state for the fleet predict-rate rollup; serializes
+  // concurrent scrapers (wire verb vs. HTTP scrape port).
+  std::mutex scrape_mu_;
+  double scrape_prev_predicts_ = 0.0;
+  double scrape_prev_time_ = 0.0;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> drain_started_{false};

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "geostat/kernel_registry.hpp"
 #include "obs/export_prom.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
@@ -32,6 +33,7 @@ JsonValue stats_to_json(const RegistryStats& r, const EngineStats& e) {
   eng["batches"] = JsonValue(static_cast<std::size_t>(e.batches));
   eng["batched_points"] = JsonValue(static_cast<std::size_t>(e.batched_points));
   eng["queue_depth"] = JsonValue(e.queue_depth);
+  eng["in_flight"] = JsonValue(e.in_flight);
 
   JsonValue::Object o;
   o["ok"] = JsonValue(true);
@@ -62,6 +64,7 @@ Server::Server(ServerConfig cfg)
   // traffic happens to exercise code paths.
   auto& reg = obs::Registry::instance();
   reg.gauge("serve.queue.depth");
+  reg.gauge("serve.inflight");
   reg.gauge("serve.cache.bytes");
   reg.gauge("serve.cache.models");
   reg.gauge("taskgraph.queue_depth");
@@ -100,6 +103,7 @@ std::string Server::handle_request(const JsonValue& req) {
   if (op == "health") return do_health();
   if (op == "metrics") return do_metrics();
   if (op == "drain") return do_drain();
+  if (op == "flight") return do_flight();
   return wire_error("unknown op \"" + op + "\"");
 }
 
@@ -174,20 +178,29 @@ std::string Server::do_predict(const JsonValue& req) {
 
   // The request id is minted here at the wire boundary — unless an upstream
   // router already minted one and forwarded it, in which case both hops'
-  // flight events and spans trace under the router's id.
+  // flight events and spans trace under the router's id. The distributed
+  // trace context (trace_id + parent_span_id) is only ever adopted, never
+  // minted: a replica reached directly has no router hop to nest under.
   std::uint64_t request_id = 0;
   if (const JsonValue* rid = req.find("request_id"))
     if (rid->is_string()) request_id = parse_request_id(rid->as_string());
   if (request_id == 0) request_id = mint_request_id();
+  std::uint64_t trace_id = 0;
+  if (const JsonValue* tid = req.find("trace_id"))
+    if (tid->is_string()) trace_id = parse_trace_id(tid->as_string());
+  std::uint64_t parent_span = 0;
+  if (const JsonValue* ps = req.find("parent_span_id"))
+    if (ps->is_string()) parent_span = parse_trace_id(ps->as_string());
   PredictOutcome out = engine_
                            .submit(std::move(model), std::move(points), with_variance,
-                                   deadline, request_id)
+                                   deadline, request_id, trace_id, parent_span)
                            .get();
   if (!out.ok) {
     JsonValue::Object o;
     o["ok"] = JsonValue(false);
     o["error"] = JsonValue(out.error);
     o["request_id"] = JsonValue(request_id_string(request_id));
+    if (trace_id != 0) o["trace_id"] = JsonValue(trace_id_string(trace_id));
     if (!out.flight_dump.empty()) o["flight_dump"] = JsonValue(out.flight_dump);
     return JsonValue(std::move(o)).dump();
   }
@@ -198,6 +211,7 @@ std::string Server::do_predict(const JsonValue& req) {
   JsonValue::Object o;
   o["ok"] = JsonValue(true);
   o["request_id"] = JsonValue(request_id_string(request_id));
+  if (trace_id != 0) o["trace_id"] = JsonValue(trace_id_string(trace_id));
   o["mean"] = JsonValue(std::move(mean));
   if (with_variance) {
     JsonValue::Array variance;
@@ -226,6 +240,19 @@ std::string Server::do_metrics() {
   o["ok"] = JsonValue(true);
   o["content_type"] = JsonValue(obs::kPrometheusContentType);
   o["prometheus"] = JsonValue(obs::render_prometheus());
+  return JsonValue(std::move(o)).dump();
+}
+
+std::string Server::do_flight() {
+  // On-demand flight dump over the wire: the router's flight_collect verb
+  // gathers one of these per replica and gsx_obs merges them. The JSONL
+  // already opens with the dump header (wall anchor, process, pid), so the
+  // response needs no extra alignment fields.
+  auto& fr = obs::FlightRecorder::instance();
+  JsonValue::Object o;
+  o["ok"] = JsonValue(true);
+  o["process"] = JsonValue(fr.process_name());
+  o["jsonl"] = JsonValue(fr.snapshot_jsonl());
   return JsonValue(std::move(o)).dump();
 }
 

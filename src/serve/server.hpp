@@ -13,6 +13,7 @@
 //   {"op":"stats"}
 //   {"op":"health"}
 //   {"op":"metrics"}
+//   {"op":"flight"}    // flight-recorder JSONL snapshot (fleet post-mortems)
 //   {"op":"drain"}
 //
 // Every response carries "ok"; failures add "error". handle_line() is the
@@ -110,6 +111,7 @@ class Server {
   std::string do_stats();
   std::string do_health();
   std::string do_metrics();
+  std::string do_flight();
   std::string do_drain();
 
   const ServerConfig cfg_;

@@ -1,5 +1,7 @@
 #include "serve/wire.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <charconv>
@@ -346,19 +348,63 @@ std::uint64_t parse_request_id(const std::string& s) noexcept {
   return id;
 }
 
+std::uint64_t mint_trace_id() noexcept {
+  // splitmix64 over (counter, pid, a per-process nonce from the address of a
+  // static — ASLR makes it differ across restarts). Collisions across a
+  // fleet would silently merge two requests' traces, so uniqueness beats
+  // prettiness here.
+  static std::atomic<std::uint64_t> counter{1};
+  static const std::uint64_t nonce =
+      reinterpret_cast<std::uintptr_t>(&counter) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32);
+  std::uint64_t h = nonce + counter.fetch_add(1, std::memory_order_relaxed) *
+                                0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h != 0 ? h : 1;  // 0 means "untraced" everywhere
+}
+
+std::string trace_id_string(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "t-%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string span_id_string(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "s-%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::uint64_t parse_trace_id(const std::string& s) noexcept {
+  std::string_view sv(s);
+  if (sv.rfind("t-", 0) == 0 || sv.rfind("s-", 0) == 0) sv.remove_prefix(2);
+  if (sv.empty() || sv.size() > 16) return 0;
+  std::uint64_t id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(sv.data(), sv.data() + sv.size(), id, 16);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) return 0;
+  return id;
+}
+
 // Verb tables. tools/check_docs.sh greps the initializer lists below, so
 // keep one string literal per verb (no computed entries).
 const std::vector<std::string>& server_verbs() {
   static const std::vector<std::string> kServerVerbs = {
       "load", "unload", "predict", "stats", "health", "metrics", "drain",
+      "flight",
   };
   return kServerVerbs;
 }
 
 const std::vector<std::string>& router_verbs() {
   static const std::vector<std::string> kRouterVerbs = {
-      "register", "heartbeat", "drain",  "load",    "unload",
-      "predict",  "stats",     "health", "metrics",
+      "register", "heartbeat", "drain",   "load",          "unload",
+      "predict",  "stats",     "health",  "metrics",       "fleet_metrics",
+      "flight_collect",
   };
   return kRouterVerbs;
 }

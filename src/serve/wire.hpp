@@ -77,6 +77,23 @@ std::string wire_error(const std::string& why);
 /// 0 when the spelling is unrecognized.
 [[nodiscard]] std::uint64_t parse_request_id(const std::string& s) noexcept;
 
+/// Mint a fleet-unique distributed trace id. Unlike request ids (monotone,
+/// per-process), a trace id must not collide across router restarts or
+/// between processes, so the pid and a startup-time nonce are mixed in.
+[[nodiscard]] std::uint64_t mint_trace_id() noexcept;
+
+/// Wire spelling of a trace id: "t-<16 hex digits>". This is the
+/// "trace_id" field on forwarded predicts and their responses.
+[[nodiscard]] std::string trace_id_string(std::uint64_t id);
+
+/// Wire spelling of a span id: "s-<16 hex digits>" (the "parent_span_id"
+/// field on a forwarded predict). Span ids are minted by obs::mint_span_id.
+[[nodiscard]] std::string span_id_string(std::uint64_t id);
+
+/// Parse "t-<hex>" / "s-<hex>" (or a bare hex string) back to the numeric
+/// id; 0 when unrecognized.
+[[nodiscard]] std::uint64_t parse_trace_id(const std::string& s) noexcept;
+
 /// The complete wire vocabulary, one table per daemon. The dispatchers in
 /// server.cpp / router.cpp validate against these, and tools/check_docs.sh
 /// extracts them to enforce that every verb is documented — add a verb here

@@ -14,11 +14,15 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/export_prom.hpp"
+#include "obs/metrics.hpp"
+#include "obs/flight_merge.hpp"
 #include "core/model.hpp"
 #include "geostat/field.hpp"
 #include "geostat/kernel_registry.hpp"
@@ -454,9 +458,12 @@ TEST(FleetE2E, DrainCompletesEveryInFlightPredict) {
   for (auto& t : clients) t.join();
 
   EXPECT_EQ(dropped.load(), 0u);
-  // The drained replica left the routable set and reports draining.
+  // The drained replica left the routable set. Usually it still reports
+  // draining here, but a client racing the drain may dial it after its
+  // listener closed, in which case the router's failover already marked it
+  // dead — either way it must no longer count as alive.
   for (const ReplicaInfo& r : fleet.router->membership().snapshot())
-    if (r.name == "r0") EXPECT_EQ(r.state, ReplicaState::Draining);
+    if (r.name == "r0") EXPECT_NE(r.state, ReplicaState::Alive);
   for (int m = 0; m < 6; ++m) {
     const auto o = fleet.router->membership().owner("model-" + std::to_string(m));
     ASSERT_TRUE(o);
@@ -495,7 +502,7 @@ TEST(FleetE2E, AnnouncerRegistersHeartbeatsAndSaysGoodbye) {
   acfg.replica_name = "hb-replica";
   acfg.replica_port = 19999;  // never dialed in this test
   acfg.heartbeat_seconds = 0.02;
-  Announcer announcer(acfg, [] { return 1.5; });
+  Announcer announcer(acfg, [] { return ReplicaLoad{1.5, 2.0}; });
   announcer.start();
 
   // register + a few heartbeats land.
@@ -513,6 +520,7 @@ TEST(FleetE2E, AnnouncerRegistersHeartbeatsAndSaysGoodbye) {
     EXPECT_EQ(r.port, 19999);
     EXPECT_GE(r.heartbeats, 3u);
     EXPECT_EQ(r.queue_depth, 1.5);
+    EXPECT_EQ(r.inflight, 2.0);
   }
   EXPECT_TRUE(seen);
 
@@ -600,6 +608,119 @@ TEST(FleetE2E, ConcurrentShutdownCallersDoNotDeadlock) {
   router_loop.join();
   server.reset();
   router.reset();
+}
+
+// --- fleet observability plane ----------------------------------------------
+
+// The whole plane in one pass: a predict through the router carries a
+// distributed trace id end to end; fleet_metrics federates every replica's
+// exposition under replica="<name>" labels with fleet rollups; a corrupted
+// factor fails a traced predict; flight_collect gathers every process's
+// dump; and the merge reconstructs one timeline where the failing trace id
+// spans the router's forward and the replica's solve.
+TEST(FleetE2E, ObservabilityPlaneTracesMetricsAndFlightCorrelation) {
+  // Recording is opt-in (the daemons flip it at startup); without it every
+  // counter stays 0 and the flight ring stays empty.
+  obs::set_enabled(true);
+  const Problem p = make_problem(96);
+  const std::string store = temp_dir("gsx_fleet_obs_store");
+  save_model_checkpoint(store + "/shared.ckpt", make_checkpoint(p));
+  // A zero on the factor diagonal: the first predict against it trips the
+  // non-finite sentinel (NumericalError arriving through data, not wire).
+  ModelCheckpoint bad = make_checkpoint(p);
+  bad.factor.at(0, 0).d64()(0, 0) = 0.0;
+  save_model_checkpoint(store + "/bad.ckpt", bad);
+
+  Fleet fleet(3, store);
+  ASSERT_TRUE(fleet.ask(R"({"op":"load","name":"m","path":"shared.ckpt"})")
+                  .find("ok")->as_bool());
+  ASSERT_TRUE(fleet.ask(R"({"op":"load","name":"doomed","path":"bad.ckpt"})")
+                  .find("ok")->as_bool());
+
+  // 1. The router mints a trace id and the predict response carries it.
+  const JsonValue ok = fleet.ask(predict_line("m", random_points(4, 41)));
+  ASSERT_TRUE(ok.find("ok")->as_bool()) << ok.dump();
+  const JsonValue* tid = ok.find("trace_id");
+  ASSERT_NE(tid, nullptr) << ok.dump();
+  EXPECT_EQ(tid->as_string().rfind("t-", 0), 0u);
+
+  // A client-supplied trace context is adopted, not replaced.
+  std::string traced = predict_line("m", random_points(3, 42));
+  traced.insert(traced.size() - 1, R"(,"trace_id":"t-00000000deadbeef")");
+  const JsonValue adopted = fleet.ask(traced);
+  ASSERT_TRUE(adopted.find("ok")->as_bool()) << adopted.dump();
+  EXPECT_EQ(adopted.find("trace_id")->as_string(), "t-00000000deadbeef");
+
+  // Heartbeat-reported load surfaces per replica in router stats.
+  const JsonValue stats = fleet.ask(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  for (const JsonValue& r : stats.find("replicas")->as_array())
+    ASSERT_NE(r.find("inflight"), nullptr) << r.dump();
+
+  // 2. Federated metrics: every replica's series re-labeled, plus rollups.
+  const JsonValue fm = fleet.ask(R"({"op":"fleet_metrics"})");
+  ASSERT_TRUE(fm.find("ok")->as_bool()) << fm.dump();
+  const std::string prom = fm.find("prometheus")->as_string();
+  for (const char* r : {"r0", "r1", "r2"})
+    EXPECT_NE(prom.find("replica=\"" + std::string(r) + "\""),
+              std::string::npos) << r;
+  EXPECT_NE(prom.find("gsx_serve_predict_seconds_bucket{replica="),
+            std::string::npos);
+  EXPECT_NE(prom.find("gsx_router_fleet_replicas_scraped 3"), std::string::npos);
+  EXPECT_NE(prom.find("gsx_router_fleet_queue_depth_max"), std::string::npos);
+  EXPECT_NE(prom.find("gsx_router_slo_violations"), std::string::npos);
+
+  // 3. The corrupted factor fails a traced predict.
+  const JsonValue doomed = fleet.ask(predict_line("doomed", random_points(2, 43)));
+  ASSERT_FALSE(doomed.find("ok")->as_bool()) << doomed.dump();
+  const JsonValue* bad_tid = doomed.find("trace_id");
+  ASSERT_NE(bad_tid, nullptr) << doomed.dump();
+  const std::uint64_t bad_trace = parse_trace_id(bad_tid->as_string());
+  ASSERT_NE(bad_trace, 0u);
+
+  // 4. flight_collect gathers one dump per process (3 replicas + router).
+  const std::string pm_dir = temp_dir("gsx_fleet_obs_pm");
+  const JsonValue collected =
+      fleet.ask(R"({"op":"flight_collect","dir":")" + pm_dir + R"("})");
+  ASSERT_TRUE(collected.find("ok")->as_bool()) << collected.dump();
+  const auto& files = collected.find("files")->as_array();
+  ASSERT_EQ(files.size(), 4u) << collected.dump();
+
+  // 5. The merged timeline tells the failure's story under one trace id.
+  std::vector<obs::FlightDump> dumps;
+  for (const JsonValue& f : files) {
+    std::ifstream in(f.as_string());
+    ASSERT_TRUE(in.good()) << f.as_string();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    dumps.push_back(obs::parse_flight_dump(buf.str()));
+    EXPECT_TRUE(dumps.back().has_header) << f.as_string();
+  }
+  const obs::MergeResult merged = obs::merge_flight_dumps(dumps);
+  ASSERT_EQ(merged.traces.count(bad_trace), 1u)
+      << "failing trace absent from the merged timeline";
+  bool router_forward = false, replica_solve = false;
+  std::uint64_t forward_span = 0, solve_parent = 0;
+  for (const std::size_t i : merged.traces.at(bad_trace)) {
+    const obs::MergedEvent& e = merged.timeline[i];
+    if (e.kind == "span_router_forward") {
+      router_forward = true;
+      forward_span = e.a;
+    }
+    if (e.kind == "span_replica_solve") {
+      replica_solve = true;
+      solve_parent = e.b;
+    }
+  }
+  EXPECT_TRUE(router_forward) << "trace lacks the router's forward span";
+  EXPECT_TRUE(replica_solve) << "trace lacks the replica's solve span";
+  // Parenthood across the hop: the replica's solve names the router's
+  // forward span as its parent.
+  EXPECT_EQ(solve_parent, forward_span);
+
+  obs::set_enabled(false);
+  std::filesystem::remove_all(store);
+  std::filesystem::remove_all(pm_dir);
 }
 
 }  // namespace

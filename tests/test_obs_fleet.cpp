@@ -1,0 +1,194 @@
+// Fleet-observability units: Prometheus federation helpers (re-labeling,
+// merging, text-level quantiles, name sanitization hazards) and the
+// cross-process flight-dump merge (clock offsets, ordering, dedupe, trace
+// grouping) behind the gsx_obs tool.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export_prom.hpp"
+#include "obs/flight_merge.hpp"
+
+namespace {
+
+using gsx::obs::FlightDump;
+using gsx::obs::merge_flight_dumps;
+using gsx::obs::MergeResult;
+using gsx::obs::parse_flight_dump;
+using gsx::obs::prometheus_histogram_quantile;
+using gsx::obs::prometheus_merge;
+using gsx::obs::prometheus_name;
+using gsx::obs::prometheus_with_label;
+
+// --- prometheus_name ---------------------------------------------------------
+
+TEST(PrometheusName, SanitizesDotsAndPrefixes) {
+  EXPECT_EQ(prometheus_name("serve.predict.seconds"), "gsx_serve_predict_seconds");
+  EXPECT_EQ(prometheus_name("router.replicas.alive"), "gsx_router_replicas_alive");
+}
+
+TEST(PrometheusName, DistinctMetricNamesCanCollideAfterSanitization) {
+  // '.' and '-' both map to '_': registry names must be chosen so sanitized
+  // forms stay distinct, because the exposition cannot tell these apart.
+  EXPECT_EQ(prometheus_name("serve.queue.depth"), prometheus_name("serve.queue-depth"));
+  EXPECT_EQ(prometheus_name("a.b"), prometheus_name("a-b"));
+  EXPECT_EQ(prometheus_name("a.b"), prometheus_name("a_b"));
+  // The per-replica series idiom ("router.requests.<name>") keeps its
+  // uniqueness only while replica names differ beyond punctuation.
+  EXPECT_EQ(prometheus_name("router.requests.r-0"),
+            prometheus_name("router.requests.r.0"));
+  // Sanity: genuinely different names do not collide.
+  EXPECT_NE(prometheus_name("serve.queue.depth"), prometheus_name("serve.queue"));
+}
+
+// --- prometheus_with_label ---------------------------------------------------
+
+TEST(PrometheusFederation, LabelsBareSeries) {
+  const std::string in = "# TYPE gsx_up gauge\ngsx_up 1\n";
+  EXPECT_EQ(prometheus_with_label(in, "replica", "r0"),
+            "# TYPE gsx_up gauge\ngsx_up{replica=\"r0\"} 1\n");
+}
+
+TEST(PrometheusFederation, LabelsSeriesWithExistingLabels) {
+  const std::string in = "gsx_h_bucket{le=\"0.5\"} 3\n";
+  EXPECT_EQ(prometheus_with_label(in, "replica", "r1"),
+            "gsx_h_bucket{replica=\"r1\",le=\"0.5\"} 3\n");
+}
+
+TEST(PrometheusFederation, MergeDeduplicatesTypeHeaders) {
+  const std::string a = "# TYPE gsx_up gauge\ngsx_up{replica=\"r0\"} 1\n";
+  const std::string b = "# TYPE gsx_up gauge\ngsx_up{replica=\"r1\"} 1\n";
+  const std::string merged = prometheus_merge({a, b});
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = merged.find("# TYPE gsx_up", pos)) !=
+                            std::string::npos;
+       ++pos)
+    ++count;
+  EXPECT_EQ(count, 1u);
+  EXPECT_NE(merged.find("replica=\"r0\""), std::string::npos);
+  EXPECT_NE(merged.find("replica=\"r1\""), std::string::npos);
+}
+
+// --- prometheus_histogram_quantile -------------------------------------------
+
+TEST(PrometheusFederation, QuantileFromBuckets) {
+  const std::string text =
+      "# TYPE gsx_h histogram\n"
+      "gsx_h_bucket{le=\"0.1\"} 10\n"
+      "gsx_h_bucket{le=\"0.5\"} 90\n"
+      "gsx_h_bucket{le=\"1\"} 100\n"
+      "gsx_h_bucket{le=\"+Inf\"} 100\n"
+      "gsx_h_sum 30\ngsx_h_count 100\n";
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.05), 0.1);
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.999), 1.0);
+}
+
+TEST(PrometheusFederation, P999FallsBackToLargestFiniteBoundOnOverflow) {
+  // All mass beyond the finite bounds: q=0.999 lands in the +Inf bucket,
+  // and the exposition carries no observed max — the largest finite bound
+  // is the best available estimate.
+  const std::string text =
+      "gsx_h_bucket{le=\"0.1\"} 0\n"
+      "gsx_h_bucket{le=\"1\"} 1\n"
+      "gsx_h_bucket{le=\"+Inf\"} 1000\n";
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.999), 1.0);
+}
+
+TEST(PrometheusFederation, QuantileAggregatesAcrossReplicaLabelSets) {
+  // A federated exposition has one bucket set per replica; the quantile
+  // must pool them, not pick one.
+  const std::string text =
+      "gsx_h_bucket{replica=\"r0\",le=\"0.1\"} 100\n"
+      "gsx_h_bucket{replica=\"r0\",le=\"+Inf\"} 100\n"
+      "gsx_h_bucket{replica=\"r1\",le=\"0.1\"} 0\n"
+      "gsx_h_bucket{replica=\"r1\",le=\"+Inf\"} 100\n";
+  // Pooled: 100 of 200 at <=0.1; the median sits in the first bucket but
+  // p0.9 overflows into +Inf and falls back to 0.1 (largest finite bound).
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.5), 0.1);
+  EXPECT_DOUBLE_EQ(prometheus_histogram_quantile(text, "gsx_h", 0.9), 0.1);
+}
+
+TEST(PrometheusFederation, QuantileNaNWhenFamilyAbsentOrEmpty) {
+  EXPECT_TRUE(std::isnan(prometheus_histogram_quantile("", "gsx_h", 0.5)));
+  const std::string zeros = "gsx_h_bucket{le=\"+Inf\"} 0\n";
+  EXPECT_TRUE(std::isnan(prometheus_histogram_quantile(zeros, "gsx_h", 0.5)));
+}
+
+// --- flight-dump parsing -----------------------------------------------------
+
+const char* kRouterDump =
+    "{\"t\":10.0,\"kind\":\"dump_header\",\"process\":\"router\",\"pid\":100,"
+    "\"wall_anchor\":1000.0,\"mono_anchor\":10.0}\n"
+    "{\"t\":10.5,\"kind\":\"heartbeat_recv\",\"thread\":0,\"request\":0,"
+    "\"trace\":0,\"a\":4242,\"b\":0,\"v\":0}\n"
+    "{\"t\":11.0,\"kind\":\"span_router_forward\",\"thread\":1,\"request\":7,"
+    "\"trace\":52,\"a\":17,\"b\":0,\"v\":0.05}\n";
+
+const char* kReplicaDump =
+    "{\"t\":100.0,\"kind\":\"dump_header\",\"process\":\"r0\",\"pid\":200,"
+    "\"wall_anchor\":990.0,\"mono_anchor\":100.0}\n"
+    "{\"t\":105.4,\"kind\":\"heartbeat_send\",\"thread\":0,\"request\":0,"
+    "\"trace\":0,\"a\":4242,\"b\":0,\"v\":0}\n"
+    "{\"t\":105.6,\"kind\":\"heartbeat_ack\",\"thread\":0,\"request\":0,"
+    "\"trace\":0,\"a\":4242,\"b\":0,\"v\":0.2}\n"
+    "{\"t\":106.1,\"kind\":\"span_replica_solve\",\"thread\":2,\"request\":7,"
+    "\"trace\":52,\"a\":33,\"b\":17,\"v\":0.02}\n";
+
+TEST(FlightMerge, ParsesHeaderAndConvertsToWallClock) {
+  const FlightDump d = parse_flight_dump(kRouterDump);
+  ASSERT_TRUE(d.has_header);
+  EXPECT_EQ(d.process, "router");
+  EXPECT_EQ(d.pid, 100u);
+  ASSERT_EQ(d.events.size(), 2u);  // header is not an event
+  EXPECT_DOUBLE_EQ(d.events[0].t_wall, 1000.5);
+  EXPECT_EQ(d.events[1].kind, "span_router_forward");
+  EXPECT_EQ(d.events[1].trace, 52u);
+  EXPECT_EQ(d.events[1].a, 17u);
+}
+
+TEST(FlightMerge, MissingHeaderKeepsMonotonicTime) {
+  const FlightDump d = parse_flight_dump(
+      "{\"t\":3.5,\"kind\":\"solve_begin\",\"thread\":0,\"request\":1,"
+      "\"trace\":0,\"a\":0,\"b\":0,\"v\":0}\n");
+  EXPECT_FALSE(d.has_header);
+  ASSERT_EQ(d.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.events[0].t_wall, 3.5);
+}
+
+TEST(FlightMerge, EstimatesClockOffsetFromHeartbeatPair) {
+  const MergeResult m = merge_flight_dumps(
+      {parse_flight_dump(kRouterDump), parse_flight_dump(kReplicaDump)});
+  // Replica wall midpoint of send/ack = 990 + 5.5 = 995.5; router saw the
+  // recv at 1000.5, so r0's clock needs +5 s to land on the router's.
+  ASSERT_EQ(m.clock_offsets.count("r0"), 1u);
+  EXPECT_NEAR(m.clock_offsets.at("r0"), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.clock_offsets.at("router"), 0.0);
+}
+
+TEST(FlightMerge, OrdersAcrossProcessesAndGroupsByTrace) {
+  const MergeResult m = merge_flight_dumps(
+      {parse_flight_dump(kRouterDump), parse_flight_dump(kReplicaDump)});
+  // After the +5 s correction the replica's solve (996.1 -> 1001.1) lands
+  // after the router's forward (1001.0): causal order restored.
+  ASSERT_EQ(m.traces.count(52u), 1u);
+  const std::vector<std::size_t>& idx = m.traces.at(52u);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(m.timeline[idx[0]].kind, "span_router_forward");
+  EXPECT_EQ(m.timeline[idx[1]].kind, "span_replica_solve");
+  EXPECT_LT(m.timeline[idx[0]].t_wall, m.timeline[idx[1]].t_wall);
+  // The replica solve span names the router's forward span as parent.
+  EXPECT_EQ(m.timeline[idx[1]].b, m.timeline[idx[0]].a);
+}
+
+TEST(FlightMerge, DeduplicatesIdenticalEventsFromSharedRecorders) {
+  // An in-process test fleet shares one recorder, so flight_collect returns
+  // near-identical snapshots per replica: the merge must not triple-count.
+  const FlightDump d = parse_flight_dump(kRouterDump);
+  const MergeResult m = merge_flight_dumps({d, d, d});
+  EXPECT_EQ(m.timeline.size(), 2u);
+}
+
+}  // namespace

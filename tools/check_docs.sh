@@ -9,7 +9,12 @@
 #      verb lists are extracted from the source, so adding a verb without
 #      documenting it fails this check;
 #   4. every CLI flag printed by gsx_serve's and gsx_router's usage() text
-#      is mentioned somewhere in README.md or docs/.
+#      is mentioned somewhere in README.md or docs/;
+#   5. every metric name registered in the serving planes (serve.* /
+#      router.* / taskgraph.* literals passed to counter()/gauge()/
+#      histogram() under src/) appears in docs/observability.md. Names
+#      built with a runtime suffix ("router.requests." + name) end in '.'
+#      in the source; the documented prefix is what is checked.
 # Run from anywhere: paths resolve against the repo root (this script's
 # parent directory). Exits non-zero listing every violation.
 set -u
@@ -114,6 +119,29 @@ check_flags() {
 }
 check_flags tools/gsx_serve.cpp
 check_flags tools/gsx_router.cpp
+
+# --- 5. observability docs cover every registered metric name ---------------
+# Extract the string literal of each instrument registration. Dynamic
+# families keep a trailing '.' ("router.requests.") — documenting the
+# prefix (e.g. "router.requests.<replica>") satisfies the check.
+obs_doc="$root/docs/observability.md"
+if [ ! -e "$obs_doc" ]; then
+  echo "MISSING DOC: docs/observability.md"
+  status=1
+else
+  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph)\.[A-Za-z0-9_.]+"' \
+              "$root/src" | sed -e 's/.*("//' -e 's/"$//' | sort -u)
+  if [ -z "$metrics" ]; then
+    echo "EXTRACT FAILED: no registered metric names found under src/"
+    status=1
+  fi
+  for m in $metrics; do
+    if ! grep -qF "$m" "$obs_doc"; then
+      echo "MISSING METRIC: \"$m\" is not documented in docs/observability.md"
+      status=1
+    fi
+  done
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"

@@ -1,0 +1,150 @@
+// gsx_obs: offline observability toolkit.
+//
+// `merge` folds per-process flight-recorder dumps (the files written by the
+// router's flight_collect verb, or any snapshot_jsonl output) into one
+// causally-ordered fleet timeline. Each dump's header carries a wall-clock /
+// monotonic-clock anchor pair; heartbeat send/ack/recv events supply an
+// NTP-style per-replica clock-offset estimate on top of that, so events from
+// different machines' clocks land in one order a human can read. See
+// docs/observability.md ("Fleet observability") for a worked post-mortem.
+//
+//   gsx_obs merge pm/flight-router.jsonl pm/flight-r0.jsonl pm/flight-r1.jsonl
+//   gsx_obs merge --trace t-00c0ffee12345678 pm/*.jsonl   # one request's story
+//   gsx_obs merge --offsets pm/*.jsonl                    # clock offsets only
+//   gsx_obs merge --traces pm/*.jsonl                     # trace id inventory
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_merge.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s merge [options] FILE...\n"
+               "\n"
+               "Merge flight-recorder JSONL dumps into one fleet timeline.\n"
+               "\n"
+               "  --trace ID     only events of one trace (\"t-<16 hex>\" or hex)\n"
+               "  --offsets      print per-process clock offsets and exit\n"
+               "  --traces       print the trace-id inventory and exit\n",
+               argv0);
+}
+
+std::uint64_t parse_hex_id(const std::string& s) {
+  std::size_t begin = 0;
+  if (s.size() > 2 && (s[0] == 't' || s[0] == 's') && s[1] == '-') begin = 2;
+  return std::strtoull(s.c_str() + begin, nullptr, 16);
+}
+
+void print_event(const gsx::obs::MergedEvent& e) {
+  std::printf("%17.6f  %-10s %-22s", e.t_wall, e.process.c_str(), e.kind.c_str());
+  if (e.request != 0) std::printf(" req=r-%" PRIu64, e.request);
+  if (e.trace != 0) std::printf(" trace=t-%016" PRIx64, e.trace);
+  if (e.a != 0) std::printf(" a=%" PRIx64, e.a);
+  if (e.b != 0) std::printf(" b=%" PRIx64, e.b);
+  if (e.v != 0.0) std::printf(" v=%g", e.v);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "merge") != 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::uint64_t trace_filter = 0;
+  bool offsets_only = false;
+  bool traces_only = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --trace needs a value\n", argv[0]);
+        return 2;
+      }
+      trace_filter = parse_hex_id(argv[++i]);
+      if (trace_filter == 0) {
+        std::fprintf(stderr, "%s: unparseable trace id\n", argv[0]);
+        return 2;
+      }
+    } else if (arg == "--offsets") {
+      offsets_only = true;
+    } else if (arg == "--traces") {
+      traces_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<gsx::obs::FlightDump> dumps;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0], path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    gsx::obs::FlightDump dump = gsx::obs::parse_flight_dump(buf.str());
+    if (!dump.has_header)
+      std::fprintf(stderr, "%s: warning: %s has no dump header; its events "
+                   "stay on the raw monotonic clock\n", argv[0], path.c_str());
+    dumps.push_back(std::move(dump));
+  }
+
+  const gsx::obs::MergeResult merged = gsx::obs::merge_flight_dumps(dumps);
+
+  for (const auto& [process, offset] : merged.clock_offsets)
+    std::printf("offset %-10s %+f s\n", process.c_str(), offset);
+  if (offsets_only) return 0;
+
+  if (traces_only) {
+    for (const auto& [trace, indices] : merged.traces)
+      std::printf("trace t-%016" PRIx64 "  %zu events\n", trace, indices.size());
+    return 0;
+  }
+
+  std::size_t printed = 0;
+  if (trace_filter != 0) {
+    const auto it = merged.traces.find(trace_filter);
+    if (it == merged.traces.end()) {
+      std::fprintf(stderr, "%s: no events for trace t-%016" PRIx64 "\n",
+                   argv[0], trace_filter);
+      return 1;
+    }
+    for (const std::size_t i : it->second) {
+      print_event(merged.timeline[i]);
+      ++printed;
+    }
+  } else {
+    for (const gsx::obs::MergedEvent& e : merged.timeline) {
+      print_event(e);
+      ++printed;
+    }
+  }
+  std::fprintf(stderr, "%zu dumps, %zu events, %zu traces\n", dumps.size(),
+               printed, merged.traces.size());
+  return 0;
+}

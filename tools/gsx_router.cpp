@@ -45,6 +45,8 @@ void usage(const char* argv0) {
                "                       (default 10000)\n"
                "  --virtual-nodes N    consistent-hash ring points per replica\n"
                "                       (default 64)\n"
+               "  --slo-forward-ms N   forward latency SLO; slower forwards burn\n"
+               "                       router.slo.violations (default 1000)\n"
                "  --flight-dump PATH   flight-recorder dump file (default\n"
                "                       gsx-flight.jsonl in the working directory)\n",
                argv0);
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
       cfg.stale_after_seconds = std::stod(value()) / 1000.0;
     } else if (arg == "--virtual-nodes") {
       cfg.virtual_nodes = std::stoul(value());
+    } else if (arg == "--slo-forward-ms") {
+      cfg.slo_forward_seconds = std::stod(value()) / 1000.0;
     } else if (arg == "--flight-dump") {
       gsx::obs::FlightRecorder::instance().set_dump_path(value());
     } else if (arg == "--help" || arg == "-h") {
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   }
 
   gsx::obs::set_enabled(true);
+  gsx::obs::FlightRecorder::instance().set_process_name("router");
   gsx::obs::FlightRecorder::instance().install_fatal_handlers(STDERR_FILENO);
 
   gsx::serve::Router router(cfg);

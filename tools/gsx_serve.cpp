@@ -132,8 +132,11 @@ int main(int argc, char** argv) {
   }
 
   // The daemon's metrics are always on (the scrape endpoint is only useful
-  // live), and a crash should leave a flight-recorder dump behind.
+  // live), and a crash should leave a flight-recorder dump behind. The
+  // replica name stamps flight-dump headers so gsx_obs can tell fleet
+  // members apart in a merged timeline.
   gsx::obs::set_enabled(true);
+  gsx::obs::FlightRecorder::instance().set_process_name(replica_name);
   gsx::obs::FlightRecorder::instance().install_fatal_handlers(STDERR_FILENO);
 
   gsx::serve::Server server(cfg);
@@ -170,8 +173,11 @@ int main(int argc, char** argv) {
       acfg.replica_name = replica_name;
       acfg.replica_port = port;
       acfg.heartbeat_seconds = heartbeat_seconds;
-      announcer = std::make_unique<gsx::serve::Announcer>(
-          acfg, [&server] { return server.engine().stats().queue_depth; });
+      announcer = std::make_unique<gsx::serve::Announcer>(acfg, [&server] {
+        const auto stats = server.engine().stats();
+        return gsx::serve::ReplicaLoad{static_cast<double>(stats.queue_depth),
+                                       static_cast<double>(stats.in_flight)};
+      });
       announcer->start();
       std::printf("gsx_serve: announcing as %s to %s\n", replica_name.c_str(),
                   announce.c_str());
