@@ -1,0 +1,100 @@
+// Distributed tile Cholesky: factorization time and bytes-on-wire vs process
+// count and precision policy (ranks as in-process threads, same code path as
+// gsx_dist workers minus fork/exec). The interesting column is bytes_sent:
+// MP ships FP32/FP16 panels and TLR ships U/V factors, so the paper's
+// memory-footprint win shows up directly as wire-byte reduction vs all-FP64.
+//
+//   bench_dist_cholesky [--n N] [--tile T] [--json FILE]
+//
+// JSON records (gsx-bench-v1): "dist/<policy>/p<K>" carries seconds;
+// "wire-bytes/<policy>/p<K>" carries total bytes on the wire in `size`.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_utils.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/dist_cholesky.hpp"
+
+namespace {
+
+using namespace gsx;
+
+struct RunOutcome {
+  double seconds = 0.0;         // rank-max factorization time
+  std::uint64_t wire_bytes = 0; // total bytes shipped between ranks
+};
+
+RunOutcome run_once(const dist::DistProblemConfig& prob, int nprocs,
+                    dist::DistPolicy policy) {
+  dist::Coordinator coord(nprocs);
+  const std::uint16_t port = coord.start();
+  std::vector<std::thread> threads;
+  std::vector<dist::DistResult> results(static_cast<std::size_t>(nprocs));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r)
+    threads.emplace_back([&, r] {
+      try {
+        dist::DistRunConfig cfg;
+        cfg.rank = r;
+        cfg.nprocs = nprocs;
+        cfg.coord_port = port;
+        cfg.workers = 2;
+        cfg.policy.policy = policy;
+        results[static_cast<std::size_t>(r)] = dist::run_dist_rank(prob, cfg);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  coord.stop();
+  RunOutcome out;
+  for (const dist::DistResult& res : results) {
+    out.seconds = std::max(out.seconds, res.factor_seconds);
+    out.wire_bytes += res.stats.bytes_sent;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dist::DistProblemConfig prob;
+  prob.n = 512;
+  prob.tile_size = 64;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n") prob.n = std::stoul(argv[i + 1]);
+    if (arg == "--tile") prob.tile_size = std::stoul(argv[i + 1]);
+  }
+
+  const std::vector<int> proc_counts = {1, 2, 4};
+  const std::vector<dist::DistPolicy> policies = {
+      dist::DistPolicy::Dense, dist::DistPolicy::MixedPrecision,
+      dist::DistPolicy::Tlr};
+
+  std::vector<bench::BenchRecord> records;
+  std::printf("distributed Cholesky, n=%zu tile=%zu\n", prob.n, prob.tile_size);
+  std::printf("%-8s %6s %12s %14s\n", "policy", "procs", "seconds", "wire bytes");
+  for (const dist::DistPolicy policy : policies) {
+    for (const int p : proc_counts) {
+      const RunOutcome out = run_once(prob, p, policy);
+      const std::string tag =
+          std::string(dist::dist_policy_name(policy)) + "/p" + std::to_string(p);
+      std::printf("%-8s %6d %12.4f %14llu\n", dist::dist_policy_name(policy), p,
+                  out.seconds, static_cast<unsigned long long>(out.wire_bytes));
+      records.push_back({"dist/" + tag, prob.n, out.seconds, 0.0});
+      records.push_back({"wire-bytes/" + tag,
+                         static_cast<std::size_t>(out.wire_bytes), out.seconds,
+                         0.0});
+    }
+  }
+
+  const std::string json = bench::json_out_path(argc, argv);
+  if (!json.empty()) bench::write_bench_json(json, records);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "dist/tile_pool.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "tile/tile_codec.hpp"
+
+namespace gsx::dist {
+
+namespace {
+
+std::uint64_t tile_tag(std::size_t i, std::size_t j) {
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+
+}  // namespace
+
+PooledTileStore::PooledTileStore(std::size_t max_bytes, std::string spill_dir)
+    : max_bytes_(max_bytes), spill_dir_(std::move(spill_dir)) {
+  GSX_REQUIRE(!spill_dir_.empty(), "PooledTileStore: spill_dir required");
+}
+
+PooledTileStore::~PooledTileStore() {
+  // Best-effort cleanup of spill files for tiles still on disk.
+  for (const auto& [key, e] : entries_)
+    if (!e.resident) std::remove(spill_path(key.first, key.second).c_str());
+}
+
+std::string PooledTileStore::spill_path(std::size_t i, std::size_t j) const {
+  return spill_dir_ + "/t" + std::to_string(i) + "_" + std::to_string(j) + ".bin";
+}
+
+void PooledTileStore::put(std::size_t i, std::size_t j, tile::Tile t) {
+  const std::size_t bytes = t.bytes();
+  std::lock_guard lk(mu_);
+  evict_until_fits_locked(bytes);
+  Entry& e = entries_[{i, j}];
+  if (e.resident) resident_bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+  e.t = std::move(t);
+  e.resident = true;
+  e.bytes = bytes;
+  e.last_use = ++tick_;
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  obs::Registry::instance().gauge("dist.pool.resident_bytes")
+      .set(static_cast<double>(resident_bytes_.load(std::memory_order_relaxed)));
+}
+
+void PooledTileStore::evict_until_fits_locked(std::size_t incoming_bytes) {
+  while (resident_bytes_.load(std::memory_order_relaxed) + incoming_bytes >
+         max_bytes_) {
+    // Coldest unpinned resident tile.
+    auto victim = entries_.end();
+    std::uint64_t coldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& e = it->second;
+      if (e.resident && e.pins == 0 && e.last_use < coldest) {
+        coldest = e.last_use;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      // Everything resident is pinned: overshoot rather than deadlock the
+      // worker pool. This is the signal that max_bytes is below the
+      // concurrent working set (docs/distributed.md, OOC tuning).
+      stats_.overcommit.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("dist.pool.overcommit").add(1);
+      return;
+    }
+    Entry& e = victim->second;
+    const auto [i, j] = victim->first;
+    std::vector<std::uint8_t> buf;
+    buf.reserve(tile::kTileFrameHeader + tile::encoded_tile_bytes(e.t));
+    tile::encode_tile_framed(e.t, buf);
+    {
+      std::ofstream out(spill_path(i, j), std::ios::binary | std::ios::trunc);
+      GSX_REQUIRE(out.good(), "tile pool: cannot open spill file for write");
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+      GSX_REQUIRE(out.good(), "tile pool: spill write failed (disk full?)");
+    }
+    GSX_FLIGHT(obs::EventKind::SpillOut, 0, tile_tag(i, j), e.bytes,
+               static_cast<double>(static_cast<int>(e.t.precision())));
+    stats_.spill_out.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("dist.pool.spill_out").add(1);
+    e.t = tile::Tile();  // drop the payload
+    e.resident = false;
+    resident_bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+  }
+}
+
+void PooledTileStore::fault_in_locked(std::size_t i, std::size_t j, Entry& e) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::ifstream in(spill_path(i, j), std::ios::binary | std::ios::ate);
+    GSX_REQUIRE(in.good(), "tile pool: missing spill file on fault-in");
+    const std::streamsize n = in.tellg();
+    in.seekg(0);
+    buf.resize(static_cast<std::size_t>(n));
+    in.read(reinterpret_cast<char*>(buf.data()), n);
+    GSX_REQUIRE(in.good(), "tile pool: spill read failed");
+  }
+  std::size_t off = 0;
+  // decode_tile_framed CRC-checks every byte: silent disk corruption turns
+  // into a loud InvalidArgument instead of a wrong factorization.
+  e.t = tile::decode_tile_framed(buf, off);
+  e.bytes = e.t.bytes();
+  e.resident = true;
+  resident_bytes_.fetch_add(e.bytes, std::memory_order_relaxed);
+  std::remove(spill_path(i, j).c_str());
+  GSX_FLIGHT(obs::EventKind::SpillIn, 0, tile_tag(i, j), e.bytes,
+             static_cast<double>(static_cast<int>(e.t.precision())));
+  stats_.spill_in.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("dist.pool.spill_in").add(1);
+}
+
+tile::Tile& PooledTileStore::pin(std::size_t i, std::size_t j) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find({i, j});
+  GSX_REQUIRE(it != entries_.end(), "tile pool: pin of unknown tile");
+  Entry& e = it->second;
+  if (!e.resident) {
+    fault_in_locked(i, j, e);
+    ++e.pins;  // pin before rebalancing so the faulted tile is not a victim
+    evict_until_fits_locked(0);
+  } else {
+    ++e.pins;
+  }
+  e.last_use = ++tick_;
+  obs::Registry::instance().gauge("dist.pool.resident_bytes")
+      .set(static_cast<double>(resident_bytes_.load(std::memory_order_relaxed)));
+  return e.t;
+}
+
+void PooledTileStore::unpin(std::size_t i, std::size_t j) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find({i, j});
+  GSX_REQUIRE(it != entries_.end() && it->second.pins > 0,
+              "tile pool: unpin without matching pin");
+  --it->second.pins;
+}
+
+tile::Tile PooledTileStore::take(std::size_t i, std::size_t j) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find({i, j});
+  GSX_REQUIRE(it != entries_.end(), "tile pool: take of unknown tile");
+  Entry& e = it->second;
+  GSX_REQUIRE(e.pins == 0, "tile pool: take of pinned tile");
+  if (!e.resident) fault_in_locked(i, j, e);
+  resident_bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+  tile::Tile out = std::move(e.t);
+  entries_.erase(it);
+  return out;
+}
+
+}  // namespace gsx::dist

@@ -1,0 +1,132 @@
+// Out-of-core tile residency: a byte-bounded pool behind the same ownership
+// abstraction the factorization uses for in-memory tiles.
+//
+// The paper's extreme-scale runs hold the tile matrix out of core when the
+// per-node footprint exceeds memory; here the same idea is a TileStore
+// interface with two implementations:
+//   - DirectTileStore: thin view over a SymTileMatrix (everything resident);
+//   - PooledTileStore: keeps at most `max_bytes` of unpinned tile payload in
+//     memory, spilling the least-recently-used cold tiles to CRC-framed
+//     files and reloading (with verification) on next pin.
+// Kernels pin the tiles they touch for the duration of one task body, so a
+// pinned tile is never evicted mid-kernel; if every resident tile is pinned
+// the pool overshoots its bound rather than deadlocking (counted in
+// PoolStats.overcommit — the tuning signal that max_bytes is too small for
+// the tile working set; see docs/distributed.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "tile/sym_tile_matrix.hpp"
+#include "tile/tile.hpp"
+
+namespace gsx::dist {
+
+/// Residency counters. Kept unconditionally (like WireStats) so tests and
+/// the gsx_dist summary see spill activity with telemetry off.
+struct PoolStats {
+  std::atomic<std::uint64_t> spill_out{0};   ///< tiles written to disk
+  std::atomic<std::uint64_t> spill_in{0};    ///< tiles read back (CRC-checked)
+  std::atomic<std::uint64_t> overcommit{0};  ///< pins that overshot max_bytes
+};
+
+/// Access interface the factorization kernels use for owned tiles. pin()
+/// returns a reference valid until the matching unpin(); implementations
+/// guarantee the tile stays in memory in between.
+class TileStore {
+ public:
+  virtual ~TileStore() = default;
+  virtual tile::Tile& pin(std::size_t i, std::size_t j) = 0;
+  virtual void unpin(std::size_t i, std::size_t j) = 0;
+};
+
+/// Everything resident: pin/unpin are bookkeeping-free passthroughs to the
+/// backing SymTileMatrix.
+class DirectTileStore final : public TileStore {
+ public:
+  explicit DirectTileStore(tile::SymTileMatrix& m) : m_(m) {}
+  tile::Tile& pin(std::size_t i, std::size_t j) override { return m_.at(i, j); }
+  void unpin(std::size_t, std::size_t) override {}
+
+ private:
+  tile::SymTileMatrix& m_;
+};
+
+/// Byte-bounded pool over the locally-owned tiles of one rank. Tiles enter
+/// via put() (generation/receive time); pin() faults spilled tiles back in.
+/// Thread-safe: the task graph pins from multiple workers concurrently.
+class PooledTileStore final : public TileStore {
+ public:
+  /// `max_bytes` bounds the *unpinned + pinned resident* payload total;
+  /// `spill_dir` must exist and be writable.
+  PooledTileStore(std::size_t max_bytes, std::string spill_dir);
+  ~PooledTileStore() override;
+
+  /// Insert/replace a tile (it starts resident and unpinned; may trigger
+  /// eviction of colder tiles).
+  void put(std::size_t i, std::size_t j, tile::Tile t);
+
+  tile::Tile& pin(std::size_t i, std::size_t j) override;
+  void unpin(std::size_t i, std::size_t j) override;
+
+  /// Move every tile out (faulting in spilled ones) — the end-of-run gather.
+  tile::Tile take(std::size_t i, std::size_t j);
+
+  [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    tile::Tile t;
+    bool resident = false;
+    int pins = 0;
+    std::uint64_t last_use = 0;
+    std::size_t bytes = 0;  ///< payload bytes while resident
+  };
+
+  std::string spill_path(std::size_t i, std::size_t j) const;
+  void evict_until_fits_locked(std::size_t incoming_bytes);
+  void fault_in_locked(std::size_t i, std::size_t j, Entry& e);
+
+  const std::size_t max_bytes_;
+  const std::string spill_dir_;
+  PoolStats stats_;
+  std::atomic<std::size_t> resident_bytes_{0};
+
+  std::mutex mu_;
+  std::map<std::pair<std::size_t, std::size_t>, Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+/// RAII pin for one kernel operand.
+class TileLease {
+ public:
+  TileLease(TileStore& store, std::size_t i, std::size_t j)
+      : store_(store), i_(i), j_(j), t_(&store.pin(i, j)) {}
+  TileLease(TileLease&& o) noexcept
+      : store_(o.store_), i_(o.i_), j_(o.j_), t_(o.t_) {
+    o.t_ = nullptr;
+  }
+  ~TileLease() {
+    if (t_ != nullptr) store_.unpin(i_, j_);
+  }
+  TileLease(const TileLease&) = delete;
+  TileLease& operator=(const TileLease&) = delete;
+  TileLease& operator=(TileLease&&) = delete;
+
+  [[nodiscard]] tile::Tile& get() const noexcept { return *t_; }
+
+ private:
+  TileStore& store_;
+  std::size_t i_, j_;
+  tile::Tile* t_;
+};
+
+}  // namespace gsx::dist

@@ -1,0 +1,308 @@
+#include "dist/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/listener.hpp"
+#include "tile/tile_codec.hpp"
+
+namespace gsx::dist {
+
+namespace {
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t read_le(std::span<const std::uint8_t> in, std::size_t offset,
+                      std::size_t nbytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nbytes; ++i)
+    v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+/// read() exactly `n` bytes, tolerating short reads and EINTR.
+/// Returns false on EOF or error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+    } else if (r == 0) {
+      return false;  // peer closed
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int dial_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+void encode_wire_message(std::uint16_t kind, std::uint16_t src,
+                         std::uint64_t tag, const tile::Tile& t,
+                         std::vector<std::uint8_t>& out) {
+  append_u32(out, kWireMagic);
+  append_u16(out, kind);
+  append_u16(out, src);
+  append_u64(out, tag);
+  tile::encode_tile_framed(t, out);
+}
+
+WireMessage decode_wire_message(std::span<const std::uint8_t> in,
+                                std::size_t& offset) {
+  GSX_REQUIRE(offset + kWireHeader <= in.size(),
+              "dist wire: truncated message header");
+  const auto magic = static_cast<std::uint32_t>(read_le(in, offset, 4));
+  GSX_REQUIRE(magic == kWireMagic, "dist wire: bad message magic");
+  WireMessage msg;
+  msg.kind = static_cast<std::uint16_t>(read_le(in, offset + 4, 2));
+  msg.src = static_cast<std::uint16_t>(read_le(in, offset + 6, 2));
+  msg.tag = read_le(in, offset + 8, 8);
+  offset += kWireHeader;
+  msg.tile = tile::decode_tile_framed(in, offset);
+  return msg;
+}
+
+TileTransport::TileTransport(int rank) : rank_(rank) {}
+
+TileTransport::~TileTransport() { shutdown(); }
+
+std::uint16_t TileTransport::listen() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GSX_REQUIRE(fd >= 0, "dist transport: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral: the coordinator spreads the bound port
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    GSX_REQUIRE(false, "dist transport: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return ntohs(addr.sin_port);
+}
+
+void TileTransport::accept_loop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lk(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    reader_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TileTransport::reader_loop(int fd) {
+  // Frame reassembly: wire header, then the codec frame header (which caps
+  // the record length), then the record — each read_exact'd off the stream.
+  std::vector<std::uint8_t> buf;
+  for (;;) {
+    buf.resize(kWireHeader + tile::kTileFrameHeader);
+    if (!read_exact(fd, buf.data(), buf.size())) return;
+    const std::uint64_t record_len =
+        read_le(buf, kWireHeader + 8, 8);  // codec frame: magic, crc, u64 len
+    // An implausible length means the stream is garbage (or not our
+    // protocol); treat exactly like a CRC failure below.
+    constexpr std::uint64_t kMaxRecord = std::uint64_t{1} << 34;  // 16 GiB
+    if (record_len > kMaxRecord) {
+      stats_.recv_corrupt.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("dist.recv_corrupt").add(1);
+      obs::log(obs::LogLevel::Warn, "dist",
+               "corrupt tile frame (implausible length), closing connection");
+      return;
+    }
+    buf.resize(kWireHeader + tile::kTileFrameHeader + record_len);
+    if (!read_exact(fd, buf.data() + kWireHeader + tile::kTileFrameHeader,
+                    record_len))
+      return;
+    WireMessage msg;
+    try {
+      std::size_t off = 0;
+      msg = decode_wire_message(buf, off);
+    } catch (const std::exception& e) {
+      stats_.recv_corrupt.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("dist.recv_corrupt").add(1);
+      obs::log(obs::LogLevel::Warn, "dist",
+               std::string("corrupt tile frame, closing connection: ") + e.what());
+      return;  // no resync on a byte stream — drop the connection
+    }
+    const std::uint64_t payload = msg.tile.bytes();
+    stats_.tiles_recv.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_recv.fetch_add(buf.size(), std::memory_order_relaxed);
+    auto& reg = obs::Registry::instance();
+    reg.counter("dist.tiles_recv").add(1);
+    reg.counter("dist.bytes_recv").add(buf.size());
+    GSX_FLIGHT(obs::EventKind::TileRecv, 0, msg.tag, payload,
+               static_cast<double>(static_cast<int>(msg.tile.precision())));
+    deliver(std::move(msg));
+  }
+}
+
+void TileTransport::deliver(WireMessage msg) {
+  Delivery fn;
+  {
+    std::lock_guard lk(mail_mu_);
+    auto it = delivery_.find(msg.kind);
+    if (it == delivery_.end()) {
+      mailbox_[{msg.kind, msg.tag}].push_back(std::move(msg.tile));
+      mail_cv_.notify_all();
+      return;
+    }
+    fn = it->second;
+  }
+  // Callback outside the mailbox lock: it typically stages the tile and
+  // notifies the task graph, which takes the scheduler mutex.
+  fn(msg.src, msg.tag, std::move(msg.tile));
+}
+
+void TileTransport::set_peers(std::map<int, std::uint16_t> rank_to_port) {
+  std::lock_guard lk(send_mu_);
+  peers_ = std::move(rank_to_port);
+}
+
+void TileTransport::set_delivery(std::uint16_t kind, Delivery fn) {
+  std::lock_guard lk(mail_mu_);
+  delivery_[kind] = std::move(fn);
+}
+
+void TileTransport::send_tile(int dest_rank, std::uint16_t kind,
+                              std::uint64_t tag, const tile::Tile& t) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kWireHeader + tile::kTileFrameHeader + tile::encoded_tile_bytes(t));
+  encode_wire_message(kind, static_cast<std::uint16_t>(rank_), tag, t, buf);
+
+  // One connection per destination, dialed lazily. The lock serializes
+  // writes to a destination so frames never interleave.
+  std::lock_guard lk(send_mu_);
+  auto it = send_fds_.find(dest_rank);
+  if (it == send_fds_.end()) {
+    const auto peer = peers_.find(dest_rank);
+    GSX_REQUIRE(peer != peers_.end(), "dist transport: unknown destination rank");
+    const int fd = dial_loopback(peer->second);
+    GSX_REQUIRE(fd >= 0, "dist transport: failed to connect to peer");
+    it = send_fds_.emplace(dest_rank, fd).first;
+  }
+  GSX_REQUIRE(serve::write_all(it->second,
+                               reinterpret_cast<const char*>(buf.data()),
+                               buf.size()),
+              "dist transport: short write to peer (peer died?)");
+  stats_.tiles_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(buf.size(), std::memory_order_relaxed);
+  auto& reg = obs::Registry::instance();
+  reg.counter("dist.tiles_sent").add(1);
+  reg.counter("dist.bytes_sent").add(buf.size());
+  GSX_FLIGHT(obs::EventKind::TileSend, 0, tag, t.bytes(),
+             static_cast<double>(static_cast<int>(t.precision())));
+}
+
+tile::Tile TileTransport::recv_tile(std::uint16_t kind, std::uint64_t tag) {
+  std::unique_lock lk(mail_mu_);
+  const auto key = std::make_pair(kind, tag);
+  mail_cv_.wait(lk, [&] {
+    auto it = mailbox_.find(key);
+    return (it != mailbox_.end() && !it->second.empty()) ||
+           stopping_.load(std::memory_order_acquire);
+  });
+  auto it = mailbox_.find(key);
+  GSX_REQUIRE(it != mailbox_.end() && !it->second.empty(),
+              "dist transport: shut down while waiting for a tile");
+  tile::Tile t = std::move(it->second.back());
+  it->second.pop_back();
+  return t;
+}
+
+void TileTransport::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lk(conn_mu_);
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Join outside conn_mu_: reader threads take it only at registration, but
+  // keep the order simple and deadlock-free anyway.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lk(conn_mu_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& th : readers)
+    if (th.joinable()) th.join();
+  {
+    std::lock_guard lk(conn_mu_);
+    for (int fd : reader_fds_) ::close(fd);
+    reader_fds_.clear();
+  }
+  {
+    std::lock_guard lk(send_mu_);
+    for (auto& [rank, fd] : send_fds_) ::close(fd);
+    send_fds_.clear();
+  }
+  mail_cv_.notify_all();
+}
+
+}  // namespace gsx::dist

@@ -1,0 +1,149 @@
+// Tile data plane for the distributed backend: point-to-point exchange of
+// precision-aware tile payloads between worker processes over loopback TCP.
+//
+// The control plane (rank rendezvous, barriers, allreduce, shutdown) rides
+// the serve NDJSON protocol (src/dist/coordinator); this file is the bulk
+// channel. One message = a fixed wire header (magic, kind, source rank, tag)
+// followed by a framed tile record from tile_codec — so an FP16 tile costs 2
+// bytes/element on the wire and a TLR tile ships only its U/V factors, which
+// is how the paper's mixed-precision memory win becomes a bandwidth win.
+//
+// Delivery has two modes per message kind:
+//   - a registered callback (set_delivery), invoked on the receiver thread —
+//     the factorization path uses this to stage the tile and notify() the
+//     matching external task in the TaskGraph;
+//   - a blocking mailbox (recv_tile), used by the rank-0 factor gather.
+//
+// Every received frame is CRC-verified by the codec; a corrupt or malformed
+// frame increments dist.recv_corrupt and closes that connection rather than
+// guessing at resynchronization.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "tile/tile.hpp"
+
+namespace gsx::dist {
+
+/// Message kinds multiplexed on one socket pair.
+inline constexpr std::uint16_t kMsgPanel = 1;   ///< factorization operand tile
+inline constexpr std::uint16_t kMsgGather = 2;  ///< final factor collection
+
+/// "GSXW" little-endian: distinguishes the tile wire from a stray NDJSON
+/// client dialing the wrong port.
+inline constexpr std::uint32_t kWireMagic = 0x57585347u;
+/// Wire header bytes: u32 magic, u16 kind, u16 src rank, u64 tag.
+inline constexpr std::size_t kWireHeader = 16;
+
+/// One decoded data-plane message. `tag` identifies the tile: the dist
+/// backend packs (i << 32) | j.
+struct WireMessage {
+  std::uint16_t kind = 0;
+  std::uint16_t src = 0;
+  std::uint64_t tag = 0;
+  tile::Tile tile;
+};
+
+/// Append one complete wire message (header + framed tile) to `out`.
+void encode_wire_message(std::uint16_t kind, std::uint16_t src,
+                         std::uint64_t tag, const tile::Tile& t,
+                         std::vector<std::uint8_t>& out);
+
+/// Parse one wire message at `offset`, advancing past it. Throws
+/// InvalidArgument on bad magic, truncation or CRC mismatch — any flipped
+/// byte in header or payload is rejected, never silently accepted.
+WireMessage decode_wire_message(std::span<const std::uint8_t> in,
+                                std::size_t& offset);
+
+/// Live transfer counters, kept unconditionally (independent of the obs
+/// registry gate) so benchmarks can report bytes-on-wire with telemetry off.
+struct WireStats {
+  std::atomic<std::uint64_t> tiles_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> tiles_recv{0};
+  std::atomic<std::uint64_t> bytes_recv{0};
+  std::atomic<std::uint64_t> recv_corrupt{0};
+};
+
+/// Point-to-point tile exchange endpoint for one rank. Lifecycle:
+///   listen() -> exchange ports via the coordinator -> set_peers() ->
+///   send_tile()/recv_tile()/delivery callbacks -> shutdown().
+/// send_tile is thread-safe (per-destination serialization); recv_tile may
+/// be called from any thread.
+class TileTransport {
+ public:
+  explicit TileTransport(int rank);
+  ~TileTransport();
+
+  TileTransport(const TileTransport&) = delete;
+  TileTransport& operator=(const TileTransport&) = delete;
+
+  /// Bind an ephemeral loopback port and start accepting peer connections.
+  /// Returns the bound port (advertised through the coordinator).
+  std::uint16_t listen();
+
+  /// Install the rank -> data port map (from the coordinator's peer
+  /// exchange). Connections are dialed lazily on first send to each rank.
+  void set_peers(std::map<int, std::uint16_t> rank_to_port);
+
+  /// Receiver-thread callback for one message kind; replaces the mailbox for
+  /// that kind. Must be installed before traffic of that kind arrives and be
+  /// thread-safe. The factorization path stages the tile and notifies the
+  /// task graph from here.
+  using Delivery = std::function<void(int src, std::uint64_t tag, tile::Tile t)>;
+  void set_delivery(std::uint16_t kind, Delivery fn);
+
+  /// Encode and ship one tile. Throws on connection failure or short write
+  /// (the distributed run is not salvageable once a peer is unreachable —
+  /// see docs/distributed.md runbook).
+  void send_tile(int dest_rank, std::uint16_t kind, std::uint64_t tag,
+                 const tile::Tile& t);
+
+  /// Block until a message of (kind, tag) arrives in the mailbox (kinds
+  /// without a delivery callback). Throws if the transport shuts down while
+  /// waiting.
+  tile::Tile recv_tile(std::uint16_t kind, std::uint64_t tag);
+
+  [[nodiscard]] const WireStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  /// Stop accepting, close every connection, join receiver threads, wake
+  /// mailbox waiters. Idempotent.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void reader_loop(int fd);
+  void deliver(WireMessage msg);
+
+  const int rank_;
+  WireStats stats_;
+
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;  ///< guards reader_threads_/reader_fds_
+  std::vector<std::thread> reader_threads_;
+  std::vector<int> reader_fds_;
+
+  std::mutex send_mu_;  ///< guards peers_/send_fds_; held across one write
+  std::map<int, std::uint16_t> peers_;
+  std::map<int, int> send_fds_;
+
+  std::mutex mail_mu_;
+  std::condition_variable mail_cv_;
+  std::map<std::pair<std::uint16_t, std::uint64_t>, std::vector<tile::Tile>>
+      mailbox_;
+  std::map<std::uint16_t, Delivery> delivery_;  ///< set before traffic
+};
+
+}  // namespace gsx::dist

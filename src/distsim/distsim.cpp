@@ -9,13 +9,6 @@
 
 namespace gsx::distsim {
 
-ProcessGrid ProcessGrid::near_square(std::size_t nodes) {
-  GSX_REQUIRE(nodes >= 1, "ProcessGrid: need at least one node");
-  std::size_t p = static_cast<std::size_t>(std::sqrt(static_cast<double>(nodes)));
-  while (p > 1 && nodes % p != 0) --p;
-  return ProcessGrid{p, nodes / p};
-}
-
 TileStructure::TileStructure(std::size_t nt, std::size_t tile_size)
     : nt_(nt), ts_(tile_size), tiles_(nt * (nt + 1) / 2) {
   GSX_REQUIRE(nt >= 1 && tile_size >= 1, "TileStructure: empty structure");

@@ -16,25 +16,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "dist/placement.hpp"
 #include "perfmodel/kernel_model.hpp"
 #include "tile/sym_tile_matrix.hpp"
 
 namespace gsx::distsim {
 
-/// 2D block-cyclic process grid: tile (i, j) lives on node
-/// (i mod p) * q + (j mod q).
-struct ProcessGrid {
-  std::size_t p = 1;
-  std::size_t q = 1;
-
-  [[nodiscard]] std::size_t nodes() const noexcept { return p * q; }
-  [[nodiscard]] std::size_t owner(std::size_t i, std::size_t j) const noexcept {
-    return (i % p) * q + (j % q);
-  }
-
-  /// Near-square grid for a node count (the usual choice).
-  static ProcessGrid near_square(std::size_t nodes);
-};
+/// 2D block-cyclic process grid, shared verbatim with the real multi-process
+/// backend (src/dist): a simulated placement and a real run of the same
+/// problem put every tile on the same rank.
+using ProcessGrid = dist::ProcessGrid;
 
 /// Compute capability of one node.
 struct NodeModel {

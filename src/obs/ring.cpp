@@ -28,6 +28,10 @@ std::string_view event_kind_name(EventKind k) noexcept {
     case EventKind::HeartbeatSend: return "heartbeat_send";
     case EventKind::HeartbeatAck: return "heartbeat_ack";
     case EventKind::HeartbeatRecv: return "heartbeat_recv";
+    case EventKind::TileSend: return "tile_send";
+    case EventKind::TileRecv: return "tile_recv";
+    case EventKind::SpillOut: return "spill_out";
+    case EventKind::SpillIn: return "spill_in";
   }
   return "unknown";
 }

@@ -56,6 +56,14 @@ enum class EventKind : std::uint16_t {
   HeartbeatSend = 70,  ///< replica: request written to the router
   HeartbeatAck = 71,   ///< replica: response read back, v = round trip seconds
   HeartbeatRecv = 72,  ///< router: heartbeat handled
+  // Distributed tile exchange and out-of-core spill (src/dist). All four
+  // carry a = (tile_i << 32) | tile_j, b = payload bytes on the wire/disk,
+  // v = the tile's storage Precision code — so a merged fleet timeline shows
+  // which tile moved, how many bytes it cost and at which precision.
+  TileSend = 80,  ///< worker: tile frame written to a peer
+  TileRecv = 81,  ///< worker: tile frame received and CRC-verified
+  SpillOut = 82,  ///< out-of-core pool: cold tile written to disk
+  SpillIn = 83,   ///< out-of-core pool: spilled tile read back (CRC-checked)
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;

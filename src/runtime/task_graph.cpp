@@ -19,11 +19,25 @@ namespace gsx::rt {
 std::size_t TaskGraph::submit(std::string name, const std::vector<Dep>& deps,
                               std::function<void()> body, int priority) {
   GSX_REQUIRE(body != nullptr, "submit: task body must be callable");
+  return submit_impl(std::move(name), deps, std::move(body), priority,
+                     /*external=*/false);
+}
+
+std::size_t TaskGraph::submit_external(std::string name,
+                                       const std::vector<Dep>& deps) {
+  return submit_impl(std::move(name), deps, nullptr, /*priority=*/0,
+                     /*external=*/true);
+}
+
+std::size_t TaskGraph::submit_impl(std::string name, const std::vector<Dep>& deps,
+                                   std::function<void()> body, int priority,
+                                   bool external) {
   const std::size_t id = tasks_.size();
   Task t;
   t.name = std::move(name);
   t.body = std::move(body);
   t.priority = priority;
+  t.external = external;
   tasks_.push_back(std::move(t));
   last_edge_target_.push_back(-1);
 
@@ -89,42 +103,52 @@ struct ReadyCompare {
 
 }  // namespace
 
-void TaskGraph::run(std::size_t num_workers) {
-  GSX_REQUIRE(num_workers >= 1, "run: need at least one worker");
-  stats_.num_tasks = tasks_.size();
-  exec_order_.clear();
-  trace_.clear();
-  if (tasks_.empty()) return;
-
-  // Remaining-predecessor counters; seeded from the static DAG.
-  std::vector<std::size_t> remaining(tasks_.size());
-  std::vector<int> priorities(tasks_.size());
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    remaining[i] = tasks_[i].num_predecessors;
-    priorities[i] = tasks_[i].priority;
-  }
+// Live scheduler state for one run(). Hoisted out of run()'s stack frame so
+// notify() — called from threads the graph does not own, e.g. the transport
+// receiver — can complete external tasks and wake workers through the same
+// mutex/cv discipline the worker pool uses. All methods require ctx->mtx held.
+struct TaskGraph::RunCtx {
+  TaskGraph& g;
+  std::size_t num_workers;
 
   std::mutex mtx;
   std::condition_variable cv;
+  std::vector<std::size_t> remaining;
+  std::vector<int> priorities;
+  std::vector<char> notified;       // external: notify() seen
+  std::vector<char> done_external;  // external: counted into `completed`
   std::deque<std::size_t> fifo;
-  std::priority_queue<std::size_t, std::vector<std::size_t>, ReadyCompare> prio(
-      ReadyCompare{&priorities});
+  std::priority_queue<std::size_t, std::vector<std::size_t>, ReadyCompare> prio;
   // WorkStealing: one deque per worker; owner works LIFO on the back, idle
   // workers steal FIFO from the front of the fullest deque.
-  std::vector<std::deque<std::size_t>> deques(num_workers);
+  std::vector<std::deque<std::size_t>> deques;
   std::size_t ready_count = 0;
   std::size_t steal_count = 0;
   std::size_t completed = 0;
   std::exception_ptr first_error;
   std::atomic<bool> aborting{false};
+  obs::Gauge& queue_depth_gauge;
 
-  // The registry lookup takes a mutex; this path runs once per task, so
-  // resolve the gauge once (references stay valid across Registry::reset()).
-  static obs::Gauge& queue_depth_gauge =
-      obs::Registry::instance().gauge("taskgraph.queue_depth");
+  RunCtx(TaskGraph& graph, std::size_t workers, obs::Gauge& gauge)
+      : g(graph),
+        num_workers(workers),
+        remaining(graph.tasks_.size()),
+        priorities(graph.tasks_.size()),
+        notified(graph.tasks_.size(), 0),
+        done_external(graph.tasks_.size(), 0),
+        prio(ReadyCompare{&priorities}),
+        deques(workers),
+        queue_depth_gauge(gauge) {
+    for (std::size_t i = 0; i < graph.tasks_.size(); ++i) {
+      remaining[i] = graph.tasks_[i].num_predecessors;
+      priorities[i] = graph.tasks_[i].priority;
+    }
+  }
 
-  auto push_ready = [&](std::size_t id, std::size_t worker_hint) {
-    switch (policy_) {
+  bool have_ready() const { return ready_count > 0; }
+
+  void push_ready(std::size_t id, std::size_t worker_hint) {
+    switch (g.policy_) {
       case SchedPolicy::Priority: prio.push(id); break;
       case SchedPolicy::Lifo: fifo.push_front(id); break;
       case SchedPolicy::Fifo: fifo.push_back(id); break;
@@ -135,11 +159,11 @@ void TaskGraph::run(std::size_t num_workers) {
     ++ready_count;
     queue_depth_gauge.set(static_cast<double>(ready_count));
     GSX_FLIGHT(obs::EventKind::TaskReady, 0, id, ready_count, 0.0);
-  };
-  auto have_ready = [&] { return ready_count > 0; };
-  auto pop_ready = [&](std::size_t worker) {
+  }
+
+  std::size_t pop_ready(std::size_t worker) {
     std::size_t id = 0;
-    switch (policy_) {
+    switch (g.policy_) {
       case SchedPolicy::Priority:
         id = prio.top();
         prio.pop();
@@ -174,44 +198,145 @@ void TaskGraph::run(std::size_t num_workers) {
     --ready_count;
     queue_depth_gauge.set(static_cast<double>(ready_count));
     return id;
-  };
-
-  {
-    std::lock_guard lk(mtx);
-    for (std::size_t i = 0; i < tasks_.size(); ++i)
-      if (remaining[i] == 0) push_ready(i, i);
   }
+
+  // Release `id`'s successors after it completed: non-external successors
+  // whose counter hits zero become ready; external successors complete in
+  // place if already notified (their "execution" is the notification).
+  // Returns the number of tasks pushed ready (== cv.notify_one budget).
+  std::size_t propagate(std::size_t id, std::size_t worker_hint) {
+    std::size_t newly = 0;
+    for (std::size_t s : g.tasks_[id].successors) {
+      GSX_REQUIRE(remaining[s] > 0, "runtime: dependency counter underflow");
+      if (--remaining[s] == 0) {
+        if (g.tasks_[s].external) {
+          if (notified[s]) newly += complete_external(s, worker_hint);
+        } else {
+          push_ready(s, worker_hint);
+          ++newly;
+        }
+      }
+    }
+    return newly;
+  }
+
+  // Complete one external task (preds done AND notified) and cascade through
+  // any external-only chains hanging off it. Recursion depth is bounded by
+  // the longest external chain in the DAG (one, for the dist backend's
+  // recv tasks).
+  std::size_t complete_external(std::size_t id, std::size_t worker_hint) {
+    if (done_external[id]) return 0;
+    done_external[id] = 1;
+    ++completed;
+    g.exec_order_.push_back(id);
+    GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, /*worker=*/num_workers, 0.0);
+    return propagate(id, worker_hint);
+  }
+
+  // notify() body once the context is published. Takes the lock itself.
+  void handle_notify(std::size_t id) {
+    std::size_t newly = 0;
+    bool quiesced = false;
+    {
+      std::lock_guard lk(mtx);
+      if (notified[id]) return;  // idempotent
+      notified[id] = 1;
+      if (remaining[id] == 0) newly = complete_external(id, 0);
+      quiesced = completed == g.tasks_.size();
+    }
+    if (quiesced) {
+      cv.notify_all();
+    } else {
+      for (std::size_t i = 0; i < newly; ++i) cv.notify_one();
+    }
+  }
+};
+
+void TaskGraph::notify(std::size_t task_id) {
+  GSX_REQUIRE(task_id < tasks_.size() && tasks_[task_id].external,
+              "notify: not an external task id");
+  RunCtx* ctx = run_ctx_.load(std::memory_order_acquire);
+  if (ctx == nullptr) {
+    std::lock_guard lk(prenotify_mtx_);
+    // Re-check under the same lock run() takes when publishing the context
+    // and folding prenotifications, so this notification is seen exactly once.
+    ctx = run_ctx_.load(std::memory_order_acquire);
+    if (ctx == nullptr) {
+      prenotified_.push_back(task_id);
+      return;
+    }
+  }
+  ctx->handle_notify(task_id);
+}
+
+void TaskGraph::run(std::size_t num_workers) {
+  GSX_REQUIRE(num_workers >= 1, "run: need at least one worker");
+  stats_.num_tasks = tasks_.size();
+  exec_order_.clear();
+  trace_.clear();
+  if (tasks_.empty()) return;
+
+  // The registry lookup takes a mutex; this path runs once per task, so
+  // resolve the gauge once (references stay valid across Registry::reset()).
+  static obs::Gauge& queue_depth_gauge =
+      obs::Registry::instance().gauge("taskgraph.queue_depth");
+
+  RunCtx ctx(*this, num_workers, queue_depth_gauge);
+
+  // Seed tasks with no predecessors. Externals never enter the ready queues:
+  // a zero-predecessor external simply waits for its notify().
+  {
+    std::lock_guard lk(ctx.mtx);
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      if (ctx.remaining[i] == 0 && !tasks_[i].external) ctx.push_ready(i, i);
+  }
+
+  // Publish the context, then replay notifications that arrived before run().
+  // Both under prenotify_mtx_ so a concurrent notify() either parks in
+  // prenotified_ (and is replayed here) or sees the context (and goes through
+  // handle_notify directly) — never both, never neither.
+  std::vector<std::size_t> pre;
+  {
+    std::lock_guard lk(prenotify_mtx_);
+    run_ctx_.store(&ctx, std::memory_order_release);
+    pre = std::move(prenotified_);
+    prenotified_.clear();
+  }
+  for (std::size_t id : pre) ctx.handle_notify(id);
 
   Timer wall;
   auto worker_loop = [&](std::size_t worker_id) {
     for (;;) {
       std::size_t id;
       {
-        std::unique_lock lk(mtx);
-        cv.wait(lk, [&] {
-          return have_ready() || completed == tasks_.size() || aborting.load();
+        std::unique_lock lk(ctx.mtx);
+        ctx.cv.wait(lk, [&] {
+          return ctx.have_ready() || ctx.completed == tasks_.size() ||
+                 ctx.aborting.load();
         });
-        if (completed == tasks_.size() || (aborting.load() && !have_ready())) return;
-        if (!have_ready()) continue;
-        id = pop_ready(worker_id);
+        if (ctx.completed == tasks_.size() ||
+            (ctx.aborting.load() && !ctx.have_ready()))
+          return;
+        if (!ctx.have_ready()) continue;
+        id = ctx.pop_ready(worker_id);
         exec_order_.push_back(id);
       }
 
       Task& t = tasks_[id];
       GSX_FLIGHT(obs::EventKind::TaskRun, 0, id, worker_id, 0.0);
       const double t0 = wall.seconds();
-      if (!aborting.load(std::memory_order_acquire)) {
+      if (!ctx.aborting.load(std::memory_order_acquire)) {
         try {
           t.body();
         } catch (...) {
           {
-            std::lock_guard lk(mtx);
-            if (!first_error) first_error = std::current_exception();
-            aborting.store(true, std::memory_order_release);
+            std::lock_guard lk(ctx.mtx);
+            if (!ctx.first_error) ctx.first_error = std::current_exception();
+            ctx.aborting.store(true, std::memory_order_release);
           }
           // Everyone must observe the abort, including sleepers with no
           // ready work: this is one of the two broadcast points.
-          cv.notify_all();
+          ctx.cv.notify_all();
         }
       }
       const double t1 = wall.seconds();
@@ -227,18 +352,12 @@ void TaskGraph::run(std::size_t num_workers) {
       std::size_t newly_ready = 0;
       bool quiesced = false;
       {
-        std::lock_guard lk(mtx);
+        std::lock_guard lk(ctx.mtx);
         if (tracing_)
           trace_.push_back(TraceEvent{t.name, worker_id, t0, t1, std::move(args)});
-        ++completed;
-        quiesced = completed == tasks_.size();
-        for (std::size_t s : t.successors) {
-          GSX_REQUIRE(remaining[s] > 0, "runtime: dependency counter underflow");
-          if (--remaining[s] == 0) {
-            push_ready(s, worker_id);
-            ++newly_ready;
-          }
-        }
+        ++ctx.completed;
+        newly_ready = ctx.propagate(id, worker_id);
+        quiesced = ctx.completed == tasks_.size();
       }
       // Wake one sleeper per newly-ready task — a broadcast here stampedes
       // every idle worker onto one mutex per completed task. Notifies that
@@ -246,9 +365,9 @@ void TaskGraph::run(std::size_t num_workers) {
       // before sleeping. Broadcast only at quiesce (and at abort, above),
       // where *all* waiters must observe the terminal state.
       if (quiesced) {
-        cv.notify_all();
+        ctx.cv.notify_all();
       } else {
-        for (std::size_t i = 0; i < newly_ready; ++i) cv.notify_one();
+        for (std::size_t i = 0; i < newly_ready; ++i) ctx.cv.notify_one();
       }
     }
   };
@@ -263,8 +382,15 @@ void TaskGraph::run(std::size_t num_workers) {
     // jthread joins on destruction (CP.25): scope end is the barrier.
   }
 
+  // Unpublish before ctx leaves scope. Late notifications (e.g. a transport
+  // message after an abort tore the run down) park harmlessly in prenotified_.
+  {
+    std::lock_guard lk(prenotify_mtx_);
+    run_ctx_.store(nullptr, std::memory_order_release);
+  }
+
   stats_.makespan_seconds = wall.seconds();
-  stats_.steals = steal_count;
+  stats_.steals = ctx.steal_count;
   stats_.total_task_seconds = 0.0;
   for (const Task& t : tasks_) stats_.total_task_seconds += t.duration_seconds;
   compute_critical_path();
@@ -277,8 +403,8 @@ void TaskGraph::run(std::size_t num_workers) {
              (stats_.makespan_seconds * static_cast<double>(num_workers)));
   }
 
-  if (first_error) std::rethrow_exception(first_error);
-  GSX_REQUIRE(completed == tasks_.size(), "runtime: DAG did not quiesce (cycle?)");
+  if (ctx.first_error) std::rethrow_exception(ctx.first_error);
+  GSX_REQUIRE(ctx.completed == tasks_.size(), "runtime: DAG did not quiesce (cycle?)");
 }
 
 void TaskGraph::compute_critical_path() {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -115,6 +116,20 @@ class TaskGraph {
   std::size_t submit(std::string name, const std::vector<Dep>& deps,
                      std::function<void()> body, int priority = 0);
 
+  /// Add an externally-completed task: it has no body and is never handed to
+  /// a worker thread. It completes when BOTH (a) its declared predecessors
+  /// have finished and (b) notify() has been called for it — in either
+  /// order. The distributed backend submits one per remote operand tile
+  /// (declaring Write on the staging datum); the transport receiver thread
+  /// notifies it when the tile arrives, which releases every local consumer
+  /// without parking a worker in a blocking recv.
+  std::size_t submit_external(std::string name, const std::vector<Dep>& deps);
+
+  /// Mark an external task's out-of-band condition satisfied. Thread-safe;
+  /// callable from any thread before or during run(). Calling it for a
+  /// non-external task throws. Idempotent per task.
+  void notify(std::size_t task_id);
+
   /// Execute the whole DAG on `num_workers` threads; blocks until complete.
   /// Rethrows the first task exception after quiescing the pool.
   void run(std::size_t num_workers);
@@ -137,6 +152,7 @@ class TaskGraph {
     std::string name;
     std::function<void()> body;
     int priority = 0;
+    bool external = false;  ///< completed via notify(), not a worker
     std::vector<std::size_t> successors;
     std::size_t num_predecessors = 0;
     double duration_seconds = 0.0;
@@ -148,8 +164,19 @@ class TaskGraph {
     std::vector<std::size_t> readers_since_write;
   };
 
+  struct RunCtx;  // live scheduler state, defined in task_graph.cpp
+
+  std::size_t submit_impl(std::string name, const std::vector<Dep>& deps,
+                          std::function<void()> body, int priority, bool external);
   void add_edge(std::size_t from, std::size_t to);
   void compute_critical_path();
+
+  // Published while run() is active so notify() can reach the scheduler;
+  // notifications arriving outside run() are parked in prenotified_ and
+  // folded in when run() starts.
+  std::atomic<RunCtx*> run_ctx_{nullptr};
+  std::mutex prenotify_mtx_;
+  std::vector<std::size_t> prenotified_;
 
   std::vector<Task> tasks_;
   std::unordered_map<std::uintptr_t, DatumState> data_;

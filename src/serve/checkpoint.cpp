@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "obs/log.hpp"
+#include "tile/tile_codec.hpp"
 
 namespace gsx::serve {
 
@@ -229,18 +230,9 @@ bool has_section(const std::vector<Section>& sections, std::uint32_t tag) {
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  // One CRC32 for the whole system: checkpoints, the dist tile wire and
+  // out-of-core spill files all share the tile codec's implementation.
+  return tile::crc32(data, n);
 }
 
 void save_model_checkpoint(const std::string& path, const ModelCheckpoint& ckpt) {
@@ -271,7 +263,7 @@ void save_model_checkpoint(const std::string& path, const ModelCheckpoint& ckpt)
   put<std::uint64_t>(fact, ckpt.factor.tile_size());
   for (std::size_t j = 0; j < ckpt.factor.nt(); ++j)
     for (std::size_t i = j; i < ckpt.factor.nt(); ++i)
-      ckpt.factor.at(i, j).serialize(fact);
+      tile::encode_tile(ckpt.factor.at(i, j), fact);
 
   write_file(path, sections);
   obs::log_info("serve", "model checkpoint saved",
@@ -323,7 +315,7 @@ ModelCheckpoint load_model_checkpoint(const std::string& path) {
     ckpt.factor = tile::SymTileMatrix(n, ts);
     for (std::size_t j = 0; j < ckpt.factor.nt(); ++j)
       for (std::size_t i = j; i < ckpt.factor.nt(); ++i) {
-        tile::Tile t = tile::Tile::deserialize(in, off);
+        tile::Tile t = tile::decode_tile(in, off);
         GSX_REQUIRE(t.rows() == ckpt.factor.tile_dim(i) &&
                         t.cols() == ckpt.factor.tile_dim(j),
                     "checkpoint: tile extents disagree with factor layout");

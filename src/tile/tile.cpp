@@ -1,5 +1,7 @@
 #include "tile/tile.hpp"
 
+#include "tile/tile_codec.hpp"
+
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -269,111 +271,14 @@ std::size_t Tile::nonfinite_count() const {
   return count_nonfinite(lr.u) + count_nonfinite(lr.v);
 }
 
-namespace {
-
-static_assert(std::endian::native == std::endian::little,
-              "tile serialization assumes a little-endian host");
-
-void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  const auto base = out.size();
-  out.resize(base + sizeof(v));
-  std::memcpy(out.data() + base, &v, sizeof(v));
-}
-
-std::uint64_t read_u64(std::span<const std::uint8_t> in, std::size_t& offset) {
-  GSX_REQUIRE(offset + sizeof(std::uint64_t) <= in.size(),
-              "Tile::deserialize: truncated record");
-  std::uint64_t v = 0;
-  std::memcpy(&v, in.data() + offset, sizeof(v));
-  offset += sizeof(v);
-  return v;
-}
-
-template <typename T>
-void append_matrix(std::vector<std::uint8_t>& out, const la::Matrix<T>& m) {
-  const std::size_t nbytes = m.size() * sizeof(T);
-  const auto base = out.size();
-  out.resize(base + nbytes);
-  if (nbytes > 0) std::memcpy(out.data() + base, m.data(), nbytes);
-}
-
-template <typename T>
-la::Matrix<T> read_matrix(std::span<const std::uint8_t> in, std::size_t& offset,
-                          std::size_t rows, std::size_t cols) {
-  la::Matrix<T> m(rows, cols);
-  const std::size_t nbytes = m.size() * sizeof(T);
-  GSX_REQUIRE(offset + nbytes <= in.size(), "Tile::deserialize: truncated payload");
-  if (nbytes > 0) std::memcpy(m.data(), in.data() + offset, nbytes);
-  offset += nbytes;
-  return m;
-}
-
-}  // namespace
-
 void Tile::serialize(std::vector<std::uint8_t>& out) const {
   GSX_REQUIRE(!std::holds_alternative<std::monostate>(payload_),
               "Tile::serialize: empty tile");
-  out.push_back(static_cast<std::uint8_t>(format_));
-  out.push_back(static_cast<std::uint8_t>(precision_));
-  out.push_back(0);  // reserved
-  out.push_back(0);  // reserved
-  append_u64(out, rows_);
-  append_u64(out, cols_);
-  append_u64(out, rank());
-  if (format_ == TileFormat::Dense) {
-    switch (precision_) {
-      case Precision::FP64: append_matrix(out, std::get<la::Matrix<double>>(payload_)); break;
-      case Precision::FP32: append_matrix(out, std::get<la::Matrix<float>>(payload_)); break;
-      case Precision::FP16: append_matrix(out, std::get<la::Matrix<half>>(payload_)); break;
-      case Precision::BF16: append_matrix(out, std::get<la::Matrix<bfloat16>>(payload_)); break;
-    }
-    return;
-  }
-  if (precision_ == Precision::FP64) {
-    const auto& lr = std::get<LowRankStorage<double>>(payload_);
-    append_matrix(out, lr.u);
-    append_matrix(out, lr.v);
-  } else {
-    const auto& lr = std::get<LowRankStorage<float>>(payload_);
-    append_matrix(out, lr.u);
-    append_matrix(out, lr.v);
-  }
+  encode_tile(*this, out);
 }
 
 Tile Tile::deserialize(std::span<const std::uint8_t> in, std::size_t& offset) {
-  GSX_REQUIRE(offset + 4 <= in.size(), "Tile::deserialize: truncated header");
-  const auto format = static_cast<TileFormat>(in[offset]);
-  const auto precision = static_cast<Precision>(in[offset + 1]);
-  GSX_REQUIRE(in[offset] <= static_cast<std::uint8_t>(TileFormat::LowRank) &&
-                  in[offset + 1] < kNumPrecisions,
-              "Tile::deserialize: unknown format/precision tag");
-  offset += 4;
-  const std::uint64_t rows = read_u64(in, offset);
-  const std::uint64_t cols = read_u64(in, offset);
-  const std::uint64_t rank = read_u64(in, offset);
-  // Reject absurd extents before sizing buffers from untrusted input.
-  constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
-  GSX_REQUIRE(rows > 0 && cols > 0 && rows < kMaxDim && cols < kMaxDim &&
-                  rank <= std::min(rows, cols),
-              "Tile::deserialize: implausible tile extents");
-  if (format == TileFormat::Dense) {
-    switch (precision) {
-      case Precision::FP64: return dense64(read_matrix<double>(in, offset, rows, cols));
-      case Precision::FP32: return dense32(read_matrix<float>(in, offset, rows, cols));
-      case Precision::FP16: return dense16(read_matrix<half>(in, offset, rows, cols));
-      case Precision::BF16: return dense_bf16(read_matrix<bfloat16>(in, offset, rows, cols));
-    }
-  }
-  GSX_REQUIRE(precision == Precision::FP64 || precision == Precision::FP32,
-              "Tile::deserialize: low-rank tiles are FP64/FP32 only");
-  if (precision == Precision::FP64) {
-    la::Matrix<double> u = read_matrix<double>(in, offset, rows, rank);
-    la::Matrix<double> v = read_matrix<double>(in, offset, cols, rank);
-    return lowrank64(std::move(u), std::move(v));
-  }
-  la::Matrix<float> u = read_matrix<float>(in, offset, rows, rank);
-  la::Matrix<float> v = read_matrix<float>(in, offset, cols, rank);
-  return lowrank32(std::move(u), std::move(v));
+  return decode_tile(in, offset);
 }
 
 char Tile::decision_code() const noexcept {

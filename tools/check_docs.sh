@@ -4,15 +4,17 @@
 #      to an existing file or directory;
 #   2. every module directory under src/ appears in the README module map;
 #   3. every wire verb the server speaks (kServerVerbs in
-#      src/serve/wire.cpp) has an "op" example in docs/serving.md, and
-#      every router verb (kRouterVerbs) has one in docs/fleet.md — the
-#      verb lists are extracted from the source, so adding a verb without
-#      documenting it fails this check;
-#   4. every CLI flag printed by gsx_serve's and gsx_router's usage() text
-#      is mentioned somewhere in README.md or docs/;
-#   5. every metric name registered in the serving planes (serve.* /
-#      router.* / taskgraph.* literals passed to counter()/gauge()/
-#      histogram() under src/) appears in docs/observability.md. Names
+#      src/serve/wire.cpp) has an "op" example in docs/serving.md, every
+#      router verb (kRouterVerbs) has one in docs/fleet.md, and every
+#      coordinator verb (kDistVerbs in src/dist/coordinator.cpp) has one
+#      in docs/distributed.md — the verb lists are extracted from the
+#      source, so adding a verb without documenting it fails this check;
+#   4. every CLI flag printed by gsx_serve's, gsx_router's and gsx_dist's
+#      usage() text is mentioned somewhere in README.md or docs/;
+#   5. every metric name registered in the serving and distributed planes
+#      (serve.* / router.* / taskgraph.* / dist.* literals passed to
+#      counter()/gauge()/histogram() under src/) appears in
+#      docs/observability.md. Names
 #      built with a runtime suffix ("router.requests." + name) end in '.'
 #      in the source; the documented prefix is what is checked.
 # Run from anywhere: paths resolve against the repo root (this script's
@@ -58,36 +60,37 @@ for mod in "$root"/src/*/; do
 done
 
 # --- 3. docs cover every wire verb -----------------------------------------
-# The verb tables in src/serve/wire.cpp keep one string literal per verb so
-# they can be extracted here: take the initializer list of the named table.
-wire="$root/src/serve/wire.cpp"
+# Each verb table keeps one string literal per verb so it can be extracted
+# here: take the initializer list of the named table in the named source.
 extract_verbs() {
-  # $1 = table name (kServerVerbs / kRouterVerbs)
-  sed -n "/$1 = {/,/};/p" "$wire" | grep -o '"[a-z_]*"' | tr -d '"'
+  # $1 = table name (kServerVerbs / kRouterVerbs / kDistVerbs),
+  # $2 = source path (repo-relative)
+  sed -n "/$1 = {/,/};/p" "$root/$2" | grep -o '"[a-z_]*"' | tr -d '"'
 }
 check_verbs() {
-  # $1 = table name, $2 = doc path (repo-relative)
-  doc="$root/$2"
+  # $1 = table name, $2 = source path, $3 = doc path (repo-relative)
+  doc="$root/$3"
   if [ ! -e "$doc" ]; then
-    echo "MISSING DOC: $2"
+    echo "MISSING DOC: $3"
     status=1
     return
   fi
-  verbs=$(extract_verbs "$1")
+  verbs=$(extract_verbs "$1" "$2")
   if [ -z "$verbs" ]; then
-    echo "EXTRACT FAILED: no verbs found for $1 in src/serve/wire.cpp"
+    echo "EXTRACT FAILED: no verbs found for $1 in $2"
     status=1
     return
   fi
   for verb in $verbs; do
     if ! grep -q "\"op\":\"$verb\"" "$doc"; then
-      echo "MISSING VERB: $2 has no example for op \"$verb\" ($1)"
+      echo "MISSING VERB: $3 has no example for op \"$verb\" ($1)"
       status=1
     fi
   done
 }
-check_verbs kServerVerbs docs/serving.md
-check_verbs kRouterVerbs docs/fleet.md
+check_verbs kServerVerbs src/serve/wire.cpp docs/serving.md
+check_verbs kRouterVerbs src/serve/wire.cpp docs/fleet.md
+check_verbs kDistVerbs src/dist/coordinator.cpp docs/distributed.md
 
 # --- 4. docs cover every daemon CLI flag -----------------------------------
 # Flags are taken from each tool's usage() text (the lines between
@@ -119,6 +122,7 @@ check_flags() {
 }
 check_flags tools/gsx_serve.cpp
 check_flags tools/gsx_router.cpp
+check_flags tools/gsx_dist.cpp
 
 # --- 5. observability docs cover every registered metric name ---------------
 # Extract the string literal of each instrument registration. Dynamic
@@ -129,7 +133,7 @@ if [ ! -e "$obs_doc" ]; then
   echo "MISSING DOC: docs/observability.md"
   status=1
 else
-  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph)\.[A-Za-z0-9_.]+"' \
+  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph|dist)\.[A-Za-z0-9_.]+"' \
               "$root/src" | sed -e 's/.*("//' -e 's/"$//' | sort -u)
   if [ -z "$metrics" ]; then
     echo "EXTRACT FAILED: no registered metric names found under src/"
