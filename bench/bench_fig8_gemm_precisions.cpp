@@ -13,6 +13,7 @@
 
 #include "bench_utils.hpp"
 #include "common/rng.hpp"
+#include "la/autotune.hpp"
 #include "la/blas.hpp"
 #include "la/convert.hpp"
 #include "la/gemm_kernel.hpp"
@@ -30,6 +31,8 @@ la::Matrix<T> random_mat(std::size_t n, Rng& rng) {
     for (std::size_t i = 0; i < n; ++i) {
       if constexpr (std::is_same_v<T, half>) {
         m(i, j) = half(rng.normal());
+      } else if constexpr (std::is_same_v<T, bfloat16>) {
+        m(i, j) = bfloat16(static_cast<float>(rng.normal()));
       } else {
         m(i, j) = static_cast<T>(rng.normal());
       }
@@ -97,6 +100,149 @@ void BM_hgemm_fp16_store(benchmark::State& state) {
       2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
+void BM_sbgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const auto a = random_mat<bfloat16>(n, rng);
+  const auto b = random_mat<bfloat16>(n, rng);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::sbgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(), 1.0f,
+               c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_bgemm_bf16_store(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto a = random_mat<bfloat16>(n, rng);
+  const auto b = random_mat<bfloat16>(n, rng);
+  la::Matrix<bfloat16> c(n, n);
+  for (auto _ : state) {
+    la::bgemm(la::Trans::NoTrans, la::Trans::Trans, -1.0f, a.cview(), b.cview(), 1.0f,
+              c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+// ------------------------------------------------------------- batched ops
+// The trailing-update micro-batch shape of the tile Cholesky: `kBatch`
+// same-size GEMMs sharing one B operand, issued as a single batched call
+// (the packed op(B) panel is re-used across the whole batch).
+
+constexpr std::size_t kBatch = 16;
+
+void BM_dgemm_batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto b = random_mat<double>(n, rng);
+  std::vector<la::Matrix<double>> as, cs;
+  std::vector<la::GemmBatchItem<double>> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    as.push_back(random_mat<double>(n, rng));
+    cs.push_back(random_mat<double>(n, rng));
+  }
+  for (std::size_t i = 0; i < kBatch; ++i)
+    items[i] = {as[i].cview(), b.cview(), cs[i].view()};
+  for (auto _ : state) {
+    la::gemm_batch<double>(la::Trans::NoTrans, la::Trans::Trans, -1.0, items.data(),
+                           kBatch, 1.0);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * kBatch * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_sgemm_batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto b = random_mat<float>(n, rng);
+  std::vector<la::Matrix<float>> as, cs;
+  std::vector<la::GemmBatchItem<float>> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    as.push_back(random_mat<float>(n, rng));
+    cs.push_back(random_mat<float>(n, rng));
+  }
+  for (std::size_t i = 0; i < kBatch; ++i)
+    items[i] = {as[i].cview(), b.cview(), cs[i].view()};
+  for (auto _ : state) {
+    la::gemm_batch<float>(la::Trans::NoTrans, la::Trans::Trans, -1.0f, items.data(),
+                          kBatch, 1.0f);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * kBatch * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_shgemm_batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto b = random_mat<half>(n, rng);
+  std::vector<la::Matrix<half>> as;
+  std::vector<la::Matrix<float>> cs;
+  std::vector<la::GemmBatchItem<half, float>> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    as.push_back(random_mat<half>(n, rng));
+    cs.push_back(random_mat<float>(n, rng));
+  }
+  for (std::size_t i = 0; i < kBatch; ++i)
+    items[i] = {as[i].cview(), b.cview(), cs[i].view()};
+  for (auto _ : state) {
+    la::shgemm_batch(la::Trans::NoTrans, la::Trans::Trans, -1.0f, items.data(), kBatch,
+                     1.0f);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * kBatch * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_hgemm_batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto b = random_mat<half>(n, rng);
+  std::vector<la::Matrix<half>> as, cs;
+  std::vector<la::Gemm16BatchItem<half>> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    as.push_back(random_mat<half>(n, rng));
+    cs.push_back(random_mat<half>(n, rng));
+  }
+  for (std::size_t i = 0; i < kBatch; ++i)
+    items[i] = {as[i].cview(), b.cview(), cs[i].view()};
+  for (auto _ : state) {
+    la::hgemm_batch(la::Trans::NoTrans, la::Trans::Trans, -1.0f, items.data(), kBatch,
+                    1.0f);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * kBatch * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_bgemm_batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto b = random_mat<bfloat16>(n, rng);
+  std::vector<la::Matrix<bfloat16>> as, cs;
+  std::vector<la::Gemm16BatchItem<bfloat16>> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    as.push_back(random_mat<bfloat16>(n, rng));
+    cs.push_back(random_mat<bfloat16>(n, rng));
+  }
+  for (std::size_t i = 0; i < kBatch; ++i)
+    items[i] = {as[i].cview(), b.cview(), cs[i].view()};
+  for (auto _ : state) {
+    la::bgemm_batch(la::Trans::NoTrans, la::Trans::Trans, -1.0f, items.data(), kBatch,
+                    1.0f);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * kBatch * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+
 void BM_dgemm_ref(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -132,6 +278,13 @@ BENCHMARK(BM_dgemm) GSX_FIG8_SIZES;
 BENCHMARK(BM_sgemm) GSX_FIG8_SIZES;
 BENCHMARK(BM_shgemm) GSX_FIG8_SIZES;
 BENCHMARK(BM_hgemm_fp16_store) GSX_FIG8_SIZES;
+BENCHMARK(BM_sbgemm) GSX_FIG8_SIZES;
+BENCHMARK(BM_bgemm_bf16_store) GSX_FIG8_SIZES;
+BENCHMARK(BM_dgemm_batched) GSX_FIG8_SIZES;
+BENCHMARK(BM_sgemm_batched) GSX_FIG8_SIZES;
+BENCHMARK(BM_shgemm_batched) GSX_FIG8_SIZES;
+BENCHMARK(BM_hgemm_batched) GSX_FIG8_SIZES;
+BENCHMARK(BM_bgemm_batched) GSX_FIG8_SIZES;
 BENCHMARK(BM_dgemm_ref) GSX_FIG8_SIZES;
 BENCHMARK(BM_sgemm_ref) GSX_FIG8_SIZES;
 
@@ -185,6 +338,68 @@ void append_pct_of_ref(std::vector<bench::BenchRecord>& records) {
   records.insert(records.end(), derived.begin(), derived.end());
 }
 
+/// Derived records: batched throughput as a percent of the looped per-op
+/// call at the same size — the small-tile batching win.
+void append_batch_speedup(std::vector<bench::BenchRecord>& records) {
+  const std::pair<const char*, const char*> pairs[] = {
+      {"BM_dgemm_batched/", "BM_dgemm/"},
+      {"BM_sgemm_batched/", "BM_sgemm/"},
+      {"BM_shgemm_batched/", "BM_shgemm/"},
+      {"BM_hgemm_batched/", "BM_hgemm_fp16_store/"},
+      {"BM_bgemm_batched/", "BM_bgemm_bf16_store/"}};
+  std::vector<bench::BenchRecord> derived;
+  for (const auto& [batched_prefix, loop_prefix] : pairs) {
+    for (const auto& batched : records) {
+      if (batched.name.rfind(batched_prefix, 0) != 0 ||
+          batched.name.find("speedup") != std::string::npos)
+        continue;
+      for (const auto& loop : records) {
+        if (loop.name.find("pct_of") != std::string::npos) continue;
+        if (loop.name.rfind(loop_prefix, 0) == 0 && loop.size == batched.size &&
+            loop.gflops > 0.0) {
+          bench::BenchRecord rec;
+          rec.name = std::string(batched_prefix) + "speedup_x100";
+          rec.size = batched.size;
+          rec.gflops = 100.0 * batched.gflops / loop.gflops;
+          derived.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+  records.insert(records.end(), derived.begin(), derived.end());
+}
+
+/// Derived records: throughput as a percent of the ISA's theoretical peak at
+/// the measured clock (the achieved-vs-peak framing gsx_tune reports).
+void append_pct_of_peak(std::vector<bench::BenchRecord>& records) {
+  const double ghz = gsx::la::measure_clock_ghz();
+  const std::pair<const char*, gsx::Precision> prefixes[] = {
+      {"BM_dgemm/", gsx::Precision::FP64},
+      {"BM_dgemm_batched/", gsx::Precision::FP64},
+      {"BM_sgemm/", gsx::Precision::FP32},
+      {"BM_sgemm_batched/", gsx::Precision::FP32},
+      {"BM_shgemm/", gsx::Precision::FP16},
+      {"BM_shgemm_batched/", gsx::Precision::FP16},
+      {"BM_sbgemm/", gsx::Precision::BF16}};
+  std::vector<bench::BenchRecord> derived;
+  for (const auto& [prefix, precision] : prefixes) {
+    const double peak = gsx::la::gemm_peak_gflops(precision, ghz);
+    if (peak <= 0.0) continue;
+    for (const auto& r : records) {
+      if (r.name.rfind(prefix, 0) != 0 || r.gflops <= 0.0) continue;
+      if (r.name.find("pct_of") != std::string::npos ||
+          r.name.find("speedup") != std::string::npos)
+        continue;
+      bench::BenchRecord rec;
+      rec.name = std::string(prefix) + "pct_of_peak";
+      rec.size = r.size;
+      rec.gflops = 100.0 * r.gflops / peak;
+      derived.push_back(std::move(rec));
+    }
+  }
+  records.insert(records.end(), derived.begin(), derived.end());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +410,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json.empty()) {
     append_pct_of_ref(reporter.records);
+    append_batch_speedup(reporter.records);
+    append_pct_of_peak(reporter.records);
     bench::write_bench_json(json, reporter.records);
   }
   benchmark::Shutdown();

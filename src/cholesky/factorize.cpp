@@ -3,6 +3,7 @@
 #include <atomic>
 #include <string>
 
+#include "cholesky/tile_batch.hpp"
 #include "cholesky/tile_kernels.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -27,11 +28,15 @@ DatumId tid(const SymTileMatrix& a, std::size_t i, std::size_t j) {
   return DatumId::from_pointer(&a.at(i, j));
 }
 
-/// Submit the Algorithm-1 DAG; `gemm_body` abstracts over the dense and
-/// mixed dense/LR GEMM kernels.
-template <typename TrsmFn, typename SyrkFn, typename GemmFn>
+/// Submit the Algorithm-1 DAG. `gemm_batch_fn(k, n, ms)` applies the
+/// trailing updates A(m,n) -= A(m,k) A(n,k)^T for every m in `ms`; the DAG
+/// submits one task per <= kGemmBatchMax chunk of a panel column so all
+/// GEMMs sharing the packed A(n,k) operand execute as one batched kernel
+/// call (per-tile dependencies and results are unchanged — each output tile
+/// is still read-modify-written exactly once per k, in k order).
+template <typename TrsmFn, typename SyrkFn, typename GemmBatchFn>
 FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmFn&& trsm_fn,
-                              SyrkFn&& syrk_fn, GemmFn&& gemm_fn) {
+                              SyrkFn&& syrk_fn, GemmBatchFn&& gemm_batch_fn) {
   const std::size_t nt = a.nt();
   rt::TaskGraph graph;
   graph.set_policy(opts.sched);
@@ -73,13 +78,26 @@ FactorReport run_cholesky_dag(SymTileMatrix& a, const FactorOptions& opts, TrsmF
       graph.submit("syrk(" + std::to_string(m) + "," + std::to_string(k) + ")",
                    {{tid(a, m, k), Access::Read}, {tid(a, m, m), Access::ReadWrite}},
                    [&a, &syrk_fn, m, k] { syrk_fn(a.at(m, k), a.at(m, m)); }, base);
-      for (std::size_t n = k + 1; n < m; ++n) {
-        graph.submit("gemm(" + std::to_string(m) + "," + std::to_string(n) + "," +
-                         std::to_string(k) + ")",
-                     {{tid(a, m, k), Access::Read},
-                      {tid(a, n, k), Access::Read},
-                      {tid(a, m, n), Access::ReadWrite}},
-                     [&a, &gemm_fn, m, n, k] { gemm_fn(a.at(m, k), a.at(n, k), a.at(m, n)); },
+    }
+    for (std::size_t n = k + 1; n < nt; ++n) {
+      for (std::size_t m0 = n + 1; m0 < nt; m0 += kGemmBatchMax) {
+        const std::size_t m1 = std::min(nt, m0 + kGemmBatchMax);
+        std::vector<rt::Dep> deps;
+        deps.reserve(2 * (m1 - m0) + 1);
+        deps.push_back({tid(a, n, k), Access::Read});
+        std::vector<std::size_t> ms;
+        ms.reserve(m1 - m0);
+        for (std::size_t m = m0; m < m1; ++m) {
+          ms.push_back(m);
+          deps.push_back({tid(a, m, k), Access::Read});
+          deps.push_back({tid(a, m, n), Access::ReadWrite});
+        }
+        graph.submit("gemm(" + std::to_string(m0) +
+                         (m1 - m0 > 1 ? ".." + std::to_string(m1 - 1) : std::string{}) +
+                         "," + std::to_string(n) + "," + std::to_string(k) + ")",
+                     deps, [&a, &gemm_batch_fn, ms = std::move(ms), n, k] {
+                       gemm_batch_fn(k, n, ms);
+                     },
                      base);
       }
     }
@@ -149,7 +167,9 @@ FactorReport tile_cholesky_dense(SymTileMatrix& a, const FactorOptions& opts) {
   return run_cholesky_dag(
       a, opts, [](const Tile& l, Tile& b) { trsm_tile(l, b); },
       [](const Tile& p, Tile& d) { syrk_tile(p, d); },
-      [](const Tile& x, const Tile& y, Tile& c) { gemm_tile(x, y, c); });
+      [&a](std::size_t k, std::size_t n, const std::vector<std::size_t>& ms) {
+        gemm_tile_batch(a, k, n, ms, /*tlr_mode=*/false, 0.0);
+      });
 }
 
 FactorReport tile_cholesky_tlr(SymTileMatrix& a, double abs_tol, const FactorOptions& opts) {
@@ -167,8 +187,9 @@ FactorReport tile_cholesky_tlr(SymTileMatrix& a, double abs_tol, const FactorOpt
         else
           syrk_tile(p, d);
       },
-      [abs_tol, rounding = opts.rounding](const Tile& x, const Tile& y, Tile& c) {
-        gemm_mixed_tile(x, y, c, abs_tol, rounding);
+      [&a, abs_tol, rounding = opts.rounding](std::size_t k, std::size_t n,
+                                              const std::vector<std::size_t>& ms) {
+        gemm_tile_batch(a, k, n, ms, /*tlr_mode=*/true, abs_tol, rounding);
       });
 }
 

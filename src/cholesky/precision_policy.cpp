@@ -10,11 +10,13 @@
 namespace gsx::cholesky {
 
 Precision band_precision(std::size_t i, std::size_t j, const BandConfig& cfg,
-                         bool allow_fp16) noexcept {
+                         bool allow_fp16, bool allow_bf16) noexcept {
   const std::size_t dist = (i >= j) ? i - j : j - i;
   if (dist < cfg.fp64_band) return Precision::FP64;
-  if (dist < cfg.fp32_band || !allow_fp16) return Precision::FP32;
-  return Precision::FP16;
+  if (dist < cfg.fp32_band) return Precision::FP32;
+  if (allow_fp16) return Precision::FP16;
+  if (allow_bf16) return Precision::BF16;
+  return Precision::FP32;
 }
 
 Precision frobenius_precision(double tile_norm, double global_norm, std::size_t nt,
@@ -84,7 +86,7 @@ PolicyStats apply_precision_policy(tile::SymTileMatrix& a, const PrecisionPolicy
             p = Precision::FP64;
             break;
           case PrecisionRule::Band:
-            p = band_precision(i, j, policy.band, policy.allow_fp16);
+            p = band_precision(i, j, policy.band, policy.allow_fp16, policy.allow_bf16);
             break;
           case PrecisionRule::AdaptiveFrobenius:
             p = frobenius_precision(t.frobenius(), global_norm, nt, policy.eps_target,

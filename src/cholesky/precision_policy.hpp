@@ -45,14 +45,18 @@ struct PrecisionPolicy {
   /// Permit FP16 storage (the paper disables FP16 when the accumulation
   /// hardware is missing; we always accumulate in FP32).
   bool allow_fp16 = true;
-  /// Permit BF16 storage where FP16's subnormal floor disqualifies a tile
-  /// (the paper's BF16/TF32 outlook, Section VII-A). Adaptive rule only.
+  /// Permit BF16 storage (the paper's BF16/TF32 outlook, Section VII-A).
+  /// Band rule: BF16 is the 16-bit tier when FP16 is disallowed. Adaptive
+  /// rule: BF16 catches tiles FP16 loses to *underflow* rather than
+  /// roundoff.
   bool allow_bf16 = false;
 };
 
-/// Decide the storage precision of tile (i, j) under the band rule.
+/// Decide the storage precision of tile (i, j) under the band rule. Beyond
+/// `fp32_band` the tile takes the narrowest permitted 16-bit format (FP16
+/// preferred over BF16 for its smaller roundoff), else stays FP32.
 [[nodiscard]] Precision band_precision(std::size_t i, std::size_t j, const BandConfig& cfg,
-                                       bool allow_fp16) noexcept;
+                                       bool allow_fp16, bool allow_bf16 = false) noexcept;
 
 /// Decide the storage precision of one tile under the Frobenius rule.
 /// `tile_norm` is ||A_ij||_F, `global_norm` is ||A||_F, `nt` the tile count

@@ -1,6 +1,7 @@
 #include "cholesky/tile_solve.hpp"
 
 #include <cmath>
+#include <deque>
 #include <functional>
 
 #include "runtime/task_graph.hpp"
@@ -143,6 +144,32 @@ void apply_offdiag_multi(const Tile& t, Span2D<const double> bk, Span2D<double> 
   }
 }
 
+/// Forward-solve panel update: B_i -= A_ik * B_k for every i in the group,
+/// all sharing the solved block row B_k. Dense tiles of equal row count go
+/// through one gemm_batch call (the packed B_k panel is re-used across the
+/// group); low-rank or ragged tiles fall back to apply_offdiag_multi. Every
+/// B_i is written exactly once, so the result is bit-identical to looping.
+void apply_offdiag_multi_batch(const SymTileMatrix& l, std::size_t k,
+                               Span2D<const double> bk, Span2D<double> cols) {
+  const std::size_t nt = l.nt();
+  std::deque<F64Operand> ops;
+  std::vector<la::GemmBatchItem<double>> items;
+  for (std::size_t i = k + 1; i < nt; ++i) {
+    auto bi = cols.sub(l.tile_offset(i), 0, l.tile_dim(i), cols.cols());
+    const Tile& t = l.at(i, k);
+    if (t.format() == TileFormat::LowRank ||
+        (!items.empty() && bi.rows() != items.front().c.rows())) {
+      apply_offdiag_multi(t, bk, bi);
+      continue;
+    }
+    ops.emplace_back(t);
+    items.push_back({ops.back().view(), bk, bi});
+  }
+  if (items.empty()) return;
+  la::gemm_batch<double>(la::Trans::NoTrans, la::Trans::NoTrans, -1.0, items.data(),
+                         items.size(), 1.0);
+}
+
 /// B_k -= A_ik^T * B_i.
 void apply_offdiag_trans_multi(const Tile& t, Span2D<const double> bi, Span2D<double> bk) {
   if (t.format() == TileFormat::LowRank) {
@@ -196,10 +223,7 @@ void tile_forward_solve_multi(const SymTileMatrix& l, Span2D<double> b,
       auto bk = cols.sub(l.tile_offset(k), 0, l.tile_dim(k), cols.cols());
       la::trsm<double>(la::Side::Left, la::Uplo::Lower, la::Trans::NoTrans,
                        la::Diag::NonUnit, 1.0, lkk.view(), bk);
-      for (std::size_t i = k + 1; i < nt; ++i) {
-        auto bi = cols.sub(l.tile_offset(i), 0, l.tile_dim(i), cols.cols());
-        apply_offdiag_multi(l.at(i, k), bk, bi);
-      }
+      apply_offdiag_multi_batch(l, k, bk, cols);
     }
   });
 }

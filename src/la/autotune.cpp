@@ -1,0 +1,521 @@
+#include "la/autotune.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/bfloat16.hpp"
+#include "common/half.hpp"
+#include "la/matrix.hpp"
+
+namespace gsx::la {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader for the gsx-tune-v1 document: objects, strings
+// and numbers only (that is the whole schema). The serving plane has its own
+// JSON machinery, but la sits below serve in the layering, so the profile
+// format gets a self-contained ~100-line reader instead of a dependency
+// inversion.
+
+struct JsonValue {
+  enum class Kind { Number, String, Object } kind = Kind::Number;
+  double num = 0.0;
+  std::string str;
+  std::map<std::string, JsonValue> obj;
+};
+
+struct JsonReader {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& m) {
+    if (err.empty()) err = m;
+    return false;
+  }
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool string(std::string* out) {
+    ws();
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return fail("bad escape");
+        char e = *p++;
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;
+    return true;
+  }
+  bool value(JsonValue* out) {
+    ws();
+    if (p >= end) return fail("unexpected end of document");
+    if (*p == '"') {
+      out->kind = JsonValue::Kind::String;
+      return string(&out->str);
+    }
+    if (*p == '{') {
+      ++p;
+      out->kind = JsonValue::Kind::Object;
+      out->obj.clear();
+      ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!string(&key)) return false;
+        ws();
+        if (p >= end || *p != ':') return fail("expected ':'");
+        ++p;
+        JsonValue v;
+        if (!value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // Number (strict: must start a valid strtod parse).
+    char* stop = nullptr;
+    const double v = std::strtod(p, &stop);
+    if (stop == p || stop > end) return fail("expected value");
+    out->kind = JsonValue::Kind::Number;
+    out->num = v;
+    p = stop;
+    return true;
+  }
+  bool document(JsonValue* out) {
+    if (!value(out)) return false;
+    ws();
+    if (p != end) return fail("trailing characters after document");
+    if (out->kind != JsonValue::Kind::Object) return fail("document is not an object");
+    return true;
+  }
+};
+
+bool precision_from_name(const std::string& s, Precision* out) {
+  for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+    const Precision p = static_cast<Precision>(i);
+    if (s == precision_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool get_number(const JsonValue& obj, const char* key, double* out) {
+  const auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second.kind != JsonValue::Kind::Number) return false;
+  *out = it->second.num;
+  return true;
+}
+
+bool get_positive_size(const JsonValue& obj, const char* key, std::size_t* out) {
+  double v = 0.0;
+  if (!get_number(obj, key, &v)) return false;
+  if (!(v > 0.0) || v != std::floor(v) || v > 1e9) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate timing: the trailing-update op shape (C -= A * B^T) through the
+// packed path, best-of-reps, inner iteration count sized for a measurable
+// sample. Operand buffers are shared across candidates per precision.
+
+template <typename TS, typename TAcc>
+struct BenchSet {
+  Matrix<TS> a, b;
+  Matrix<TAcc> c;
+  BenchSet(std::size_t n) : a(n, n), b(n, n), c(n, n) {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        a(i, j) = TS(0.001 * static_cast<double>(i + j + 1));
+        b(i, j) = TS(0.0005 * static_cast<double>(i + 2 * j + 1));
+        c(i, j) = TAcc(0);
+      }
+  }
+  double time_once() {
+    const auto t0 = Clock::now();
+    detail::gemm_packed(Trans::NoTrans, Trans::Trans, TAcc(-1), a.cview(), b.cview(),
+                        c.view());
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  void reset_c() {
+    for (std::size_t j = 0; j < c.cols(); ++j)
+      for (std::size_t i = 0; i < c.rows(); ++i) c(i, j) = TAcc(0);
+  }
+};
+
+template <typename TS, typename TAcc>
+double measure_gflops(BenchSet<TS, TAcc>& set, std::size_t n, int reps) {
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  set.reset_c();
+  const double pilot = std::max(set.time_once(), 1e-7);  // warmup + pilot
+  const int iters = std::max(1, static_cast<int>(0.002 / pilot));
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+      detail::gemm_packed(Trans::NoTrans, Trans::Trans, TAcc(-1), set.a.cview(),
+                          set.b.cview(), set.c.view());
+    const double t = std::chrono::duration<double>(Clock::now() - t0).count() / iters;
+    best = std::min(best, t);
+    set.reset_c();  // keep C magnitudes bounded across candidates
+  }
+  return flops / best * 1e-9;
+}
+
+/// Time `cfg` for precision `p` at each size; returns per-size GFlop/s.
+template <typename TS, typename TAcc>
+std::vector<double> time_config(Precision p, const KernelConfig& cfg,
+                                std::vector<BenchSet<TS, TAcc>>& sets,
+                                const std::vector<std::size_t>& sizes, int reps) {
+  std::vector<double> out;
+  if (!set_gemm_kernel_config(p, cfg)) return out;
+  for (std::size_t s = 0; s < sizes.size(); ++s)
+    out.push_back(measure_gflops(sets[s], sizes[s], reps));
+  return out;
+}
+
+template <typename TS, typename TAcc>
+void tune_precision(Precision p, const TuneOptions& opts,
+                    const std::vector<std::size_t>& sizes, double ghz,
+                    TuneProfile* prof, TuneReport* report) {
+  const KernelConfig def = gemm_default_config(p);
+
+  // Candidate grid: every compiled shape x a small blocking grid (quick mode
+  // keeps the default blocking). Deduplicate blockings by their effective
+  // value at the largest benchmarked size so kc >= n twins aren't re-timed.
+  std::vector<GemmShape> shapes = gemm_kernel_shapes(p);
+  std::vector<GemmBlocking> blockings{def.blk};
+  if (!opts.quick) {
+    const std::size_t nmax = sizes.back();
+    auto effective = [&](const GemmBlocking& b) {
+      return std::make_tuple(std::min(b.mc, nmax), std::min(b.kc, nmax),
+                             std::min(b.nc, nmax));
+    };
+    for (std::size_t mc : {std::size_t{64}, std::size_t{128}, std::size_t{256}})
+      for (std::size_t kc : {std::size_t{128}, std::size_t{256}, std::size_t{512}})
+        for (std::size_t nc : {std::size_t{2048}, std::size_t{4096}}) {
+          const GemmBlocking b{mc, kc, nc};
+          bool dup = false;
+          for (const auto& have : blockings)
+            if (effective(have) == effective(b)) dup = true;
+          if (!dup) blockings.push_back(b);
+        }
+  }
+
+  std::vector<BenchSet<TS, TAcc>> sets;
+  sets.reserve(sizes.size());
+  for (std::size_t n : sizes) sets.emplace_back(n);
+
+  const std::vector<double> def_rates = time_config(p, def, sets, sizes, opts.reps);
+
+  KernelConfig best = def;
+  double best_score = 1.0;
+  double best_large = def_rates.empty() ? 0.0 : def_rates.back();
+  int tried = 1;
+  for (const GemmShape& sh : shapes) {
+    for (const GemmBlocking& blk : blockings) {
+      KernelConfig cand;
+      cand.blk = blk;
+      cand.mr = sh.mr;
+      cand.nr = sh.nr;
+      if (cand.blk.mc == def.blk.mc && cand.blk.kc == def.blk.kc &&
+          cand.blk.nc == def.blk.nc && cand.mr == def.mr && cand.nr == def.nr)
+        continue;  // the default was already timed
+      const std::vector<double> rates = time_config(p, cand, sets, sizes, opts.reps);
+      if (rates.size() != sizes.size()) continue;
+      ++tried;
+      double score = 1.0;
+      for (std::size_t s = 0; s < rates.size(); ++s)
+        score *= rates[s] / std::max(def_rates[s], 1e-9);
+      score = std::pow(score, 1.0 / static_cast<double>(rates.size()));
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+        best_large = rates.back();
+      }
+    }
+  }
+
+  set_gemm_kernel_config(p, best);
+  const std::size_t i = static_cast<std::size_t>(p);
+  prof->has[i] = true;
+  prof->config[i] = best;
+  prof->gflops[i] = best_large;
+
+  if (report) {
+    TunePrecisionReport row;
+    row.precision = p;
+    row.def = def;
+    row.best = best;
+    row.def_gflops = def_rates.empty() ? 0.0 : def_rates.back();
+    row.best_gflops = best_large;
+    row.peak_gflops = gemm_peak_gflops(p, ghz);
+    row.candidates = tried;
+    report->rows.push_back(row);
+  }
+}
+
+}  // namespace
+
+double measure_clock_ghz() {
+  // Prefer the kernel's view of the clock; "cpu MHz" tracks the current
+  // frequency on physical hosts and the nominal one on VMs.
+  if (std::ifstream f{"/proc/cpuinfo"}; f) {
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.rfind("cpu MHz", 0) == 0) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos) {
+          const double mhz = std::atof(line.c_str() + colon + 1);
+          if (mhz > 100.0) return mhz / 1000.0;
+        }
+      }
+    }
+  }
+  // Fallback: a dependent xorshift chain is 6 one-cycle ops per iteration
+  // that no compiler can reassociate. Coarse (~±10%), and labeled as an
+  // estimate wherever it surfaces.
+  volatile std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::uint64_t x = seed;
+  const std::size_t iters = 50'000'000;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  const double t = std::chrono::duration<double>(Clock::now() - t0).count();
+  seed = x;  // keep the chain observable
+  return 6.0 * static_cast<double>(iters) / t / 1e9;
+}
+
+TuneProfile autotune(const TuneOptions& opts, TuneReport* report) {
+  TuneProfile prof;
+  prof.isa = gemm_kernel_isa();
+  prof.ghz = measure_clock_ghz();
+  if (report) {
+    report->isa = prof.isa;
+    report->ghz = prof.ghz;
+    report->rows.clear();
+  }
+
+  std::vector<std::size_t> sizes;
+  if (opts.quick)
+    sizes = {opts.size};
+  else
+    sizes = {64, 128, std::max<std::size_t>(opts.size, 256)};
+
+  if (opts.precisions[static_cast<std::size_t>(Precision::FP64)])
+    tune_precision<double, double>(Precision::FP64, opts, sizes, prof.ghz, &prof, report);
+  if (opts.precisions[static_cast<std::size_t>(Precision::FP32)])
+    tune_precision<float, float>(Precision::FP32, opts, sizes, prof.ghz, &prof, report);
+  if (opts.precisions[static_cast<std::size_t>(Precision::FP16)])
+    tune_precision<half, float>(Precision::FP16, opts, sizes, prof.ghz, &prof, report);
+  if (opts.precisions[static_cast<std::size_t>(Precision::BF16)])
+    tune_precision<bfloat16, float>(Precision::BF16, opts, sizes, prof.ghz, &prof, report);
+  return prof;
+}
+
+bool apply_profile(const TuneProfile& p, std::string* err) {
+  if (p.isa != gemm_kernel_isa()) {
+    if (err)
+      *err = "profile tuned for isa '" + p.isa + "' but dispatch selected '" +
+             gemm_kernel_isa() + "'";
+    return false;
+  }
+  bool any = false;
+  for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+    if (!p.has[i]) continue;
+    if (set_gemm_kernel_config(static_cast<Precision>(i), p.config[i])) {
+      any = true;
+    } else if (err) {
+      *err = std::string("profile entry for ") +
+             std::string(precision_name(static_cast<Precision>(i))) +
+             " names an unknown shape or zero blocking";
+    }
+  }
+  if (!any && err && err->empty()) *err = "profile has no applicable entries";
+  return any;
+}
+
+std::string profile_to_json(const TuneProfile& p) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"" << kTuneProfileSchema << "\",\n";
+  os << "  \"isa\": \"" << p.isa << "\",\n";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.6g", p.ghz);
+  os << "  \"ghz\": " << num << ",\n";
+  os << "  \"configs\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+    if (!p.has[i]) continue;
+    const KernelConfig& c = p.config[i];
+    if (!first) os << ",";
+    first = false;
+    std::snprintf(num, sizeof(num), "%.10g", p.gflops[i]);
+    os << "\n    \"" << precision_name(static_cast<Precision>(i)) << "\": {\"mc\": "
+       << c.blk.mc << ", \"kc\": " << c.blk.kc << ", \"nc\": " << c.blk.nc
+       << ", \"mr\": " << c.mr << ", \"nr\": " << c.nr << ", \"gflops\": " << num << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+bool profile_from_json(const std::string& text, TuneProfile* out, std::string* err) {
+  const auto set_err = [&](const std::string& m) {
+    if (err) *err = m;
+    return false;
+  };
+  JsonValue doc;
+  JsonReader r{text.data(), text.data() + text.size(), {}};
+  if (!r.document(&doc)) return set_err("profile parse error: " + r.err);
+
+  const auto schema = doc.obj.find("schema");
+  if (schema == doc.obj.end() || schema->second.kind != JsonValue::Kind::String)
+    return set_err("profile missing \"schema\"");
+  if (schema->second.str != kTuneProfileSchema)
+    return set_err("unsupported profile schema \"" + schema->second.str + "\" (want " +
+                   kTuneProfileSchema + ")");
+
+  const auto isa = doc.obj.find("isa");
+  if (isa == doc.obj.end() || isa->second.kind != JsonValue::Kind::String ||
+      isa->second.str.empty())
+    return set_err("profile missing \"isa\"");
+
+  TuneProfile prof;
+  prof.isa = isa->second.str;
+  get_number(doc, "ghz", &prof.ghz);
+
+  const auto configs = doc.obj.find("configs");
+  if (configs == doc.obj.end() || configs->second.kind != JsonValue::Kind::Object)
+    return set_err("profile missing \"configs\" object");
+  for (const auto& [name, val] : configs->second.obj) {
+    Precision p;
+    if (!precision_from_name(name, &p))
+      return set_err("profile configs: unknown precision \"" + name + "\"");
+    if (val.kind != JsonValue::Kind::Object)
+      return set_err("profile configs." + name + " is not an object");
+    KernelConfig cfg;
+    if (!get_positive_size(val, "mc", &cfg.blk.mc) ||
+        !get_positive_size(val, "kc", &cfg.blk.kc) ||
+        !get_positive_size(val, "nc", &cfg.blk.nc))
+      return set_err("profile configs." + name + ": mc/kc/nc must be positive integers");
+    double mr = 0.0, nr = 0.0;
+    if (!get_number(val, "mr", &mr) || !get_number(val, "nr", &nr) || mr < 0 || nr < 0 ||
+        mr != std::floor(mr) || nr != std::floor(nr))
+      return set_err("profile configs." + name + ": mr/nr must be non-negative integers");
+    cfg.mr = static_cast<int>(mr);
+    cfg.nr = static_cast<int>(nr);
+    const std::size_t i = static_cast<std::size_t>(p);
+    prof.has[i] = true;
+    prof.config[i] = cfg;
+    get_number(val, "gflops", &prof.gflops[i]);
+  }
+  *out = std::move(prof);
+  return true;
+}
+
+bool save_profile(const TuneProfile& p, const std::string& path, std::string* err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) {
+      if (err) *err = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    f << profile_to_json(p);
+    if (!f.flush()) {
+      if (err) *err = "short write to " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err) *err = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_profile(const std::string& path, TuneProfile* out, std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return profile_from_json(ss.str(), out, err);
+}
+
+namespace detail {
+
+std::optional<TuneProfile> startup_tune_profile() {
+  const char* env = std::getenv(kTuneProfileEnv);
+  if (env && *env == '\0') return std::nullopt;  // explicitly disabled
+  const std::string path = env ? env : kTuneProfileDefaultPath;
+  if (!env) {
+    // Default path is opt-in by presence; don't warn when it's absent.
+    std::ifstream probe(path);
+    if (!probe) return std::nullopt;
+  }
+  TuneProfile prof;
+  std::string err;
+  if (!load_profile(path, &prof, &err)) {
+    std::fprintf(stderr, "gsx: ignoring tuning profile %s: %s\n", path.c_str(),
+                 err.c_str());
+    return std::nullopt;
+  }
+  if (prof.isa != gemm_kernel_isa()) {
+    std::fprintf(stderr,
+                 "gsx: ignoring tuning profile %s: tuned for isa '%s', dispatch selected "
+                 "'%s'\n",
+                 path.c_str(), prof.isa.c_str(), gemm_kernel_isa());
+    return std::nullopt;
+  }
+  return prof;
+}
+
+}  // namespace detail
+
+}  // namespace gsx::la

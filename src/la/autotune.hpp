@@ -1,0 +1,107 @@
+// Kernel autotuner: searches cache blocking (MC/KC/NC) and micro-kernel
+// shape per precision on the local machine, persists the result as a
+// versioned JSON tuning profile, and reports achieved-vs-peak per
+// ISA/precision.
+//
+// The search space is exactly what the runtime can execute: the compiled
+// shape table in gemm_kernel.cpp plus a small grid of blockings. The
+// hand-picked defaults are always in the candidate set, so a tuned profile
+// can only tie or beat them. Profiles are bound to the ISA the search ran
+// under; loading a profile tuned for another ISA (or a corrupt file) warns
+// and falls back to the compiled defaults.
+//
+// Startup resolution (see gemm_kernel.cpp): compiled defaults, then the
+// profile named by GSX_TUNE_PROFILE (or ./gsx-tune.json if present), then
+// GSX_GEMM_MC/KC/NC env overrides. tools/gsx_tune drives the search.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/precision.hpp"
+#include "la/gemm_kernel.hpp"
+
+namespace gsx::la {
+
+/// Schema tag of the persisted profile format.
+inline constexpr const char* kTuneProfileSchema = "gsx-tune-v1";
+/// Env var naming the profile to load at startup.
+inline constexpr const char* kTuneProfileEnv = "GSX_TUNE_PROFILE";
+/// Default profile path probed when the env var is unset (relative to CWD).
+inline constexpr const char* kTuneProfileDefaultPath = "gsx-tune.json";
+
+/// A persisted tuning result: per-precision kernel configuration plus the
+/// measured throughput that chose it, bound to the dispatched ISA.
+struct TuneProfile {
+  std::string isa;                      // "avx512" / "avx2" / "portable"
+  double ghz = 0.0;                     // clock estimate the peaks used
+  bool has[kNumPrecisions] = {};        // which precisions the profile covers
+  KernelConfig config[kNumPrecisions];  // indexed by Precision
+  double gflops[kNumPrecisions] = {};   // measured rate of the chosen config
+};
+
+struct TuneOptions {
+  /// Bounded search: compiled-default blocking only (shapes still searched),
+  /// one benchmark size, fewer timing reps. Seconds instead of minutes.
+  bool quick = false;
+  /// Benchmark operand order (m = n = k = size), trailing-update op shape.
+  std::size_t size = 256;
+  /// Best-of timing repetitions per candidate.
+  int reps = 5;
+  /// Which precisions to tune (all by default; BF16 is first-class).
+  bool precisions[kNumPrecisions] = {true, true, true, true};
+};
+
+/// Per-precision outcome of a search, for achieved-vs-peak reporting.
+struct TunePrecisionReport {
+  Precision precision = Precision::FP64;
+  KernelConfig def;            // compiled default on this ISA
+  KernelConfig best;           // chosen config
+  double def_gflops = 0.0;     // default measured on this machine
+  double best_gflops = 0.0;    // chosen config measured
+  double peak_gflops = 0.0;    // theoretical ISA peak at the measured clock
+  int candidates = 0;          // configurations timed
+};
+
+struct TuneReport {
+  std::string isa;
+  double ghz = 0.0;
+  std::vector<TunePrecisionReport> rows;
+};
+
+/// Run the search. Installs the winning config per precision (the process
+/// keeps running with the tuned kernels) and returns the profile. The
+/// default config is always a candidate, so best >= default up to timing
+/// noise. `report`, when non-null, receives the per-precision detail.
+TuneProfile autotune(const TuneOptions& opts, TuneReport* report = nullptr);
+
+/// Install a profile's configs process-wide. Fails (returns false, nothing
+/// applied, reason in *err) if the profile's ISA differs from the dispatched
+/// ISA or no entry can be applied.
+bool apply_profile(const TuneProfile& p, std::string* err = nullptr);
+
+/// Serialize to / parse from the gsx-tune-v1 JSON document.
+[[nodiscard]] std::string profile_to_json(const TuneProfile& p);
+bool profile_from_json(const std::string& text, TuneProfile* out, std::string* err);
+
+/// File round-trip helpers (atomic-enough write: temp file + rename).
+bool save_profile(const TuneProfile& p, const std::string& path, std::string* err);
+bool load_profile(const std::string& path, TuneProfile* out, std::string* err);
+
+/// Sustained-clock estimate in GHz: /proc/cpuinfo when available, otherwise
+/// a timed dependent-op chain. An estimate (~±10%) — peaks derived from it
+/// are labeled as such in reports.
+[[nodiscard]] double measure_clock_ghz();
+
+namespace detail {
+
+/// Startup hook used by gemm_kernel.cpp's lazy config init: parse the
+/// profile named by GSX_TUNE_PROFILE (or ./gsx-tune.json if present). A
+/// parse failure or ISA mismatch warns once on stderr and returns nullopt,
+/// which keeps the compiled defaults.
+std::optional<TuneProfile> startup_tune_profile();
+
+}  // namespace detail
+
+}  // namespace gsx::la

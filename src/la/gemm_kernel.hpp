@@ -12,12 +12,21 @@
 // The 16-bit entry points widen FP16/BF16 operands to FP32 *during packing*
 // (one pass, no full-matrix scratch copies) and accumulate in FP32 — the
 // SHGEMM semantics the paper borrowed from BLIS for Fugaku's missing kernel.
+//
+// Every kernel runs under a per-precision KernelConfig (cache blocking plus
+// micro-kernel shape) resolved once at startup: compiled defaults, then a
+// gsx-tune-v1 profile (GSX_TUNE_PROFILE or ./gsx-tune.json, written by
+// tools/gsx_tune — see la/autotune.hpp), then GSX_GEMM_MC/KC/NC env
+// overrides. The batch entry points run many same-shape ops through one
+// blocked sweep, re-using the packed op(B) panel across ops that share B.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/bfloat16.hpp"
 #include "common/half.hpp"
+#include "common/precision.hpp"
 #include "common/span2d.hpp"
 #include "la/blas_types.hpp"
 
@@ -32,15 +41,72 @@ struct GemmBlocking {
   std::size_t nc = 0;
 };
 
-/// Active blocking for a scalar of `scalar_bytes` (8 = FP64 table, else the
-/// FP32 table, which 16-bit inputs also use since they compute in FP32).
-/// Defaults are overridable once at startup via GSX_GEMM_MC / GSX_GEMM_KC /
-/// GSX_GEMM_NC (see docs/tuning.md).
+/// A register-tile (micro-kernel) shape. Only shapes compiled for the
+/// active ISA can be selected; see gemm_kernel_shapes().
+struct GemmShape {
+  int mr = 0;
+  int nr = 0;
+};
+
+/// Per-precision kernel configuration: cache blocking plus micro-kernel
+/// shape. mr == nr == 0 selects the compiled default shape for the ISA.
+struct KernelConfig {
+  GemmBlocking blk;
+  int mr = 0;
+  int nr = 0;
+};
+
+/// Active blocking for a scalar of `scalar_bytes` (8 = FP64 config, else
+/// FP32). Kept for callers that predate per-precision configs; equivalent to
+/// gemm_kernel_config(FP64/FP32).blk.
 [[nodiscard]] GemmBlocking gemm_blocking(std::size_t scalar_bytes) noexcept;
+
+/// Active configuration for `p` after startup resolution (compiled defaults,
+/// then tuning profile, then GSX_GEMM_MC/KC/NC env overrides).
+[[nodiscard]] KernelConfig gemm_kernel_config(Precision p) noexcept;
+
+/// Compiled default configuration for `p` on the active ISA (no profile, no
+/// env overrides). The baseline gsx_tune compares candidates against.
+[[nodiscard]] KernelConfig gemm_default_config(Precision p) noexcept;
+
+/// Install `cfg` as the active configuration for `p`. Returns false (config
+/// unchanged) if cfg names a shape not compiled for this scalar type or a
+/// zero blocking field. Not synchronized against concurrent GEMMs: call at
+/// startup or from a tuning loop that owns all kernel threads.
+bool set_gemm_kernel_config(Precision p, const KernelConfig& cfg) noexcept;
+
+/// Micro-kernel shapes compiled for precision `p` (same list on every ISA;
+/// the per-ISA default is first). These are the shapes gsx_tune searches.
+[[nodiscard]] std::vector<GemmShape> gemm_kernel_shapes(Precision p);
 
 /// Name of the micro-kernel variant runtime dispatch selected for this
 /// process: "avx512", "avx2" or "portable" (overridable via GSX_GEMM_ISA).
 [[nodiscard]] const char* gemm_kernel_isa() noexcept;
+
+/// What runtime dispatch selected, for achieved-vs-peak reporting: the ISA
+/// name, its vector width, and the assumed FMA issue width (ports x 2 flops
+/// per lane per cycle gives the theoretical per-core peak).
+struct GemmDispatchInfo {
+  const char* isa = "portable";
+  int vector_bits = 128;
+  int fma_ports = 2;
+};
+[[nodiscard]] GemmDispatchInfo gemm_dispatch_info() noexcept;
+
+/// Theoretical per-core peak for precision `p` on the dispatched ISA at
+/// `ghz` (16-bit storage computes in FP32 and uses FP32 lanes):
+/// lanes * 2 (fused multiply-add) * fma_ports * ghz, in GFlop/s.
+[[nodiscard]] double gemm_peak_gflops(Precision p, double ghz) noexcept;
+
+/// One op of a same-shape GEMM batch: C += alpha * op(A) * op(B) with the
+/// operands stored as TS and accumulation carried in TAcc (equal for
+/// FP64/FP32; TAcc = float for 16-bit storage types).
+template <typename TS, typename TAcc = TS>
+struct GemmBatchItem {
+  Span2D<const TS> a;
+  Span2D<const TS> b;
+  Span2D<TAcc> c;
+};
 
 namespace detail {
 
@@ -58,6 +124,21 @@ void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const half> a,
                  Span2D<const half> b, Span2D<float> c);
 void gemm_packed(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
                  Span2D<const bfloat16> b, Span2D<float> c);
+
+/// Batched form: every item has the same (m, n, k) and transposes, and beta
+/// is already applied. One blocked sweep over all items; the packed op(B)
+/// panel is re-used (not re-packed) across consecutive items that share the
+/// same B operand, which is what amortizes packing for the TLR trailing
+/// updates (shared panel tile) and kriging micro-batches (shared RHS block).
+/// Results are bit-identical to looping gemm_packed over the items.
+void gemm_batch_packed(Trans ta, Trans tb, double alpha,
+                       const GemmBatchItem<double>* items, std::size_t count);
+void gemm_batch_packed(Trans ta, Trans tb, float alpha,
+                       const GemmBatchItem<float>* items, std::size_t count);
+void gemm_batch_packed(Trans ta, Trans tb, float alpha,
+                       const GemmBatchItem<half, float>* items, std::size_t count);
+void gemm_batch_packed(Trans ta, Trans tb, float alpha,
+                       const GemmBatchItem<bfloat16, float>* items, std::size_t count);
 
 /// Below this many multiply-adds the packing overhead outweighs the
 /// micro-kernel win and la::gemm stays on the reference loops.

@@ -31,4 +31,41 @@ void sbgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
 void bgemm(Trans ta, Trans tb, float alpha, Span2D<const bfloat16> a,
            Span2D<const bfloat16> b, float beta, Span2D<bfloat16> c);
 
+// ---------------------------------------------------------------------------
+// Batched 16-bit entry points. Same batching contract as la::gemm_batch
+// (uniform shapes, one blocked sweep, packed op(B) re-used across items that
+// share B, obs batch histograms); results are bit-identical to looping the
+// per-op calls for all non-NaN data. These are the hot shape of the adaptive
+// Cholesky: most TLR trailing updates land on FP16/BF16 tiles.
+
+/// Batched SHGEMM: items[i].c(fp32) = alpha * op(a) * op(b) + beta * c.
+void shgemm_batch(Trans ta, Trans tb, float alpha,
+                  const GemmBatchItem<half, float>* items, std::size_t count,
+                  float beta);
+
+/// Batched SBGEMM (BF16 storage, FP32 C).
+void sbgemm_batch(Trans ta, Trans tb, float alpha,
+                  const GemmBatchItem<bfloat16, float>* items, std::size_t count,
+                  float beta);
+
+/// One op of a 16-bit-store GEMM batch: C is stored in the 16-bit type and
+/// round-trips through one shared FP32 scratch inside the batch call.
+template <typename T16>
+struct Gemm16BatchItem {
+  Span2D<const T16> a;
+  Span2D<const T16> b;
+  Span2D<T16> c;
+};
+
+/// Batched HGEMM: FP32 accumulation, FP16 store. Unlike looped hgemm, the
+/// C widen/narrow passes run vectorized (F16C where available) over one
+/// scratch allocation for the whole batch — this conversion glue is most of
+/// a small per-op hgemm's runtime.
+void hgemm_batch(Trans ta, Trans tb, float alpha, const Gemm16BatchItem<half>* items,
+                 std::size_t count, float beta);
+
+/// Batched BGEMM: FP32 accumulation, BF16 store.
+void bgemm_batch(Trans ta, Trans tb, float alpha,
+                 const Gemm16BatchItem<bfloat16>* items, std::size_t count, float beta);
+
 }  // namespace gsx::la

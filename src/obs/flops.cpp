@@ -1,6 +1,7 @@
 #include "obs/flops.hpp"
 
 #include <atomic>
+#include <string>
 
 namespace gsx::obs {
 
@@ -46,6 +47,16 @@ void add_conversion(Precision from, Precision to, std::uint64_t elems) noexcept 
   const auto ti = static_cast<std::size_t>(to);
   l.conv_count[fi][ti].fetch_add(1, std::memory_order_relaxed);
   l.conv_elems[fi][ti].fetch_add(elems, std::memory_order_relaxed);
+}
+
+void record_batch(KernelOp op, Precision p, std::size_t count) noexcept {
+  if (!enabled()) return;
+  std::string suffix{kernel_op_name(op)};
+  suffix += '.';
+  suffix += precision_name(p);
+  Registry::instance()
+      .histogram("la.batch." + suffix, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+      .observe(static_cast<double>(count));
 }
 
 FlopSnapshot flop_snapshot() noexcept {

@@ -110,6 +110,13 @@ void add_flops(KernelOp op, Precision p, std::uint64_t flops) noexcept;
 /// Record one precision-conversion pass over `elems` elements.
 void add_conversion(Precision from, Precision to, std::uint64_t elems) noexcept;
 
+/// Record one batched BLAS submission of `count` same-shape ops executed as
+/// `op` at precision `p`. Feeds the "la.batch.<op>.<precision>" histogram
+/// (bounds 1..128, powers of two), which is how a factorization run shows
+/// whether its trailing updates actually coalesced into batches or degraded
+/// to per-op launches. Name lookup only happens when obs is enabled.
+void record_batch(KernelOp op, Precision p, std::size_t count) noexcept;
+
 /// Accumulate wall seconds spent inside an instrumented kernel body at
 /// (op, p). Pairs with add_flops on the same cell to yield achieved GFLOP/s.
 void add_kernel_seconds(KernelOp op, Precision p, double seconds) noexcept;

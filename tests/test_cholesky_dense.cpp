@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cholesky/factorize.hpp"
+#include "cholesky/tile_batch.hpp"
 #include "cholesky/tile_solve.hpp"
 #include "la/lapack.hpp"
 #include "test_utils.hpp"
@@ -50,10 +51,13 @@ TEST_P(DenseCholesky, Fp64MatchesLapackReference) {
   ASSERT_EQ(rep.info, 0);
   EXPECT_LT(rel_frobenius_diff(reconstruct_lower(a), expect), 1e-12);
 
-  // Task count: nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + gemms.
+  // Task count: nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + one gemm
+  // task per <= kGemmBatchMax chunk of each (k, n) panel column.
   const std::size_t nt = a.nt();
-  const std::size_t expected_tasks =
-      nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 + nt * (nt - 1) * (nt - 2) / 6;
+  std::size_t expected_tasks = nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2;
+  for (std::size_t k = 0; k < nt; ++k)
+    for (std::size_t n = k + 1; n < nt; ++n)
+      expected_tasks += (nt - n - 1 + kGemmBatchMax - 1) / kGemmBatchMax;
   EXPECT_EQ(rep.graph.num_tasks, expected_tasks);
 }
 

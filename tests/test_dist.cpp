@@ -15,7 +15,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <string>
@@ -209,9 +211,24 @@ TEST(Transport, CorruptFrameCountedAndConnectionDropped) {
 
 // -------------------------------------------------------------- tile pool
 
+/// Per-test scratch directory under the system temp root (NOT the CWD: these
+/// tests used to litter `pool_*.<pid>/` into the source tree when run from a
+/// source checkout), removed recursively when the test process exits.
 std::string fresh_dir(const std::string& name) {
-  const std::string dir = name + "." + std::to_string(::getpid());
-  ::mkdir(dir.c_str(), 0755);
+  static std::vector<std::filesystem::path>& made = *new std::vector<std::filesystem::path>;
+  static const int cleanup = std::atexit([] {
+    for (const auto& p : made) {
+      std::error_code ec;
+      std::filesystem::remove_all(p, ec);
+    }
+  });
+  (void)cleanup;
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      ("gsx_" + name + ".XXXXXX"))
+                         .string();
+  const char* dir = ::mkdtemp(tmpl.data());
+  GSX_REQUIRE(dir != nullptr, "fresh_dir: mkdtemp failed");
+  made.emplace_back(dir);
   return dir;
 }
 

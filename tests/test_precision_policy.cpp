@@ -32,6 +32,32 @@ TEST(BandRule, Fp16DisabledFallsBackToFp32) {
   EXPECT_EQ(band_precision(9, 0, cfg, false), Precision::FP32);
 }
 
+TEST(BandRule, Bf16IsThe16BitTierWhenFp16Disallowed) {
+  const BandConfig cfg{1, 2};
+  // FP16 preferred (smaller roundoff) when both 16-bit formats are allowed.
+  EXPECT_EQ(band_precision(9, 0, cfg, true, true), Precision::FP16);
+  EXPECT_EQ(band_precision(9, 0, cfg, false, true), Precision::BF16);
+  // Inside the FP32 band the 16-bit flags are irrelevant.
+  EXPECT_EQ(band_precision(1, 0, cfg, false, true), Precision::FP32);
+  // Neither 16-bit format allowed: stay FP32.
+  EXPECT_EQ(band_precision(9, 0, cfg, false, false), Precision::FP32);
+}
+
+TEST(BandRule, PolicyAppliesBf16Band) {
+  tile::SymTileMatrix a(64, 16);
+  a.generate([](std::size_t i, std::size_t j) { return i == j ? 4.0 : 0.25; }, 1);
+  PrecisionPolicy policy;
+  policy.rule = PrecisionRule::Band;
+  policy.band = {1, 2};
+  policy.allow_fp16 = false;
+  policy.allow_bf16 = true;
+  const PolicyStats stats = apply_precision_policy(a, policy);
+  EXPECT_EQ(stats.fp16_tiles, 0u);
+  EXPECT_GT(stats.bf16_tiles, 0u);
+  EXPECT_EQ(a.at(3, 0).precision(), Precision::BF16);
+  EXPECT_EQ(a.at(1, 0).precision(), Precision::FP32);
+}
+
 TEST(FrobeniusRule, ThresholdsOrdered) {
   // A tile must need a *smaller* norm to qualify for FP16 than for FP32.
   const double global = 100.0;

@@ -11,12 +11,15 @@
 #      source, so adding a verb without documenting it fails this check;
 #   4. every CLI flag printed by gsx_serve's, gsx_router's and gsx_dist's
 #      usage() text is mentioned somewhere in README.md or docs/;
-#   5. every metric name registered in the serving and distributed planes
-#      (serve.* / router.* / taskgraph.* / dist.* literals passed to
-#      counter()/gauge()/histogram() under src/) appears in
-#      docs/observability.md. Names
+#   5. every metric name registered in the serving, distributed and
+#      linear-algebra planes (serve.* / router.* / taskgraph.* / dist.* /
+#      la.* literals passed to counter()/gauge()/histogram() under src/)
+#      appears in docs/observability.md. Names
 #      built with a runtime suffix ("router.requests." + name) end in '.'
-#      in the source; the documented prefix is what is checked.
+#      in the source; the documented prefix is what is checked;
+#   6. every GSX_* environment variable the code reads (quoted literals
+#      under src/ and tools/) is documented in README.md or docs/ — an
+#      env knob nobody can discover is a bug.
 # Run from anywhere: paths resolve against the repo root (this script's
 # parent directory). Exits non-zero listing every violation.
 set -u
@@ -123,6 +126,7 @@ check_flags() {
 check_flags tools/gsx_serve.cpp
 check_flags tools/gsx_router.cpp
 check_flags tools/gsx_dist.cpp
+check_flags tools/gsx_tune.cpp
 
 # --- 5. observability docs cover every registered metric name ---------------
 # Extract the string literal of each instrument registration. Dynamic
@@ -133,7 +137,7 @@ if [ ! -e "$obs_doc" ]; then
   echo "MISSING DOC: docs/observability.md"
   status=1
 else
-  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph|dist)\.[A-Za-z0-9_.]+"' \
+  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph|dist|la)\.[A-Za-z0-9_.]+"' \
               "$root/src" | sed -e 's/.*("//' -e 's/"$//' | sort -u)
   if [ -z "$metrics" ]; then
     echo "EXTRACT FAILED: no registered metric names found under src/"
@@ -146,6 +150,30 @@ else
     fi
   done
 fi
+
+# --- 6. docs cover every GSX_* environment variable -------------------------
+# Any quoted "GSX_..." literal in the source is an env knob the code reads
+# (getenv and friends); each one must be discoverable in README.md or docs/.
+envs=$(grep -rhoE '"GSX_[A-Z0-9_]+"' "$root/src" "$root/tools" 2>/dev/null \
+         | tr -d '"' | sort -u)
+if [ -z "$envs" ]; then
+  echo "EXTRACT FAILED: no GSX_* environment literals found under src/ or tools/"
+  status=1
+fi
+for e in $envs; do
+  found=0
+  for doc in $docs; do
+    [ -e "$doc" ] || continue
+    if grep -q "$e" "$doc"; then
+      found=1
+      break
+    fi
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "MISSING ENV VAR: $e is not documented in README.md or docs/"
+    status=1
+  fi
+done
 
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"

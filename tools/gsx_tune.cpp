@@ -1,0 +1,146 @@
+// gsx_tune: GEMM kernel autotuner.
+//
+// Searches the cache blocking (MC/KC/NC) and micro-kernel shape per
+// precision on the local machine, reports achieved-vs-peak per
+// ISA/precision, and writes a gsx-tune-v1 JSON profile that every gsx
+// process loads at startup (GSX_TUNE_PROFILE, or ./gsx-tune.json in the
+// working directory). The compiled defaults are always in the candidate
+// set, so a tuned profile can only tie or beat them. See docs/tuning.md.
+//
+//   gsx_tune --out gsx-tune.json            # full search, write profile
+//   gsx_tune --quick --check --out p.json   # bounded smoke search + verify
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "la/autotune.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "\n"
+               "Tune the packed GEMM kernels for this machine and report\n"
+               "achieved vs. theoretical peak per precision.\n"
+               "\n"
+               "  --quick        bounded search: compiled-default blocking only,\n"
+               "                 one benchmark size, fewer reps (seconds, not minutes)\n"
+               "  --size N       largest benchmark size (default 256; the full\n"
+               "                 search also scores 64 and 128)\n"
+               "  --reps N       best-of timing repetitions per candidate (default 5)\n"
+               "  --out PATH     write the gsx-tune-v1 profile to PATH\n"
+               "  --check        after tuning, re-load the written profile and fail\n"
+               "                 unless it parses, applies, and ties-or-beats the\n"
+               "                 compiled defaults (requires --out)\n",
+               argv0);
+}
+
+void print_config(const gsx::la::KernelConfig& c) {
+  std::printf("mc=%-4zu kc=%-4zu nc=%-5zu %2dx%-2d", c.blk.mc, c.blk.kc, c.blk.nc, c.mr,
+              c.nr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gsx::la::TuneOptions opts;
+  std::string out;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gsx_tune: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--quick") == 0) {
+      opts.quick = true;
+      if (opts.reps == 5) opts.reps = 3;
+    } else if (std::strcmp(arg, "--size") == 0) {
+      opts.size = static_cast<std::size_t>(std::atol(next()));
+      if (opts.size < 32 || opts.size > 4096) {
+        std::fprintf(stderr, "gsx_tune: --size must be in [32, 4096]\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--reps") == 0) {
+      opts.reps = std::atoi(next());
+      if (opts.reps < 1) opts.reps = 1;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out = next();
+    } else if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "gsx_tune: unknown argument '%s'\n", arg);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (check && out.empty()) {
+    std::fprintf(stderr, "gsx_tune: --check requires --out\n");
+    return 2;
+  }
+
+  gsx::la::TuneReport rep;
+  const gsx::la::TuneProfile prof = gsx::la::autotune(opts, &rep);
+
+  std::printf("gsx_tune: isa=%s clock~%.2f GHz (estimate)%s\n", rep.isa.c_str(), rep.ghz,
+              opts.quick ? " [quick]" : "");
+  std::printf(
+      "precision  %-26s %-26s %9s %9s %8s %6s %5s\n", "default", "best", "GF/s(def)",
+      "GF/s(best)", "peak", "%peak", "cand");
+  for (const auto& row : rep.rows) {
+    std::printf("%-10s ", std::string(gsx::precision_name(row.precision)).c_str());
+    print_config(row.def);
+    std::printf(" ");
+    print_config(row.best);
+    const double pct =
+        row.peak_gflops > 0.0 ? 100.0 * row.best_gflops / row.peak_gflops : 0.0;
+    std::printf(" %9.1f %9.1f %8.1f %5.1f%% %5d\n", row.def_gflops, row.best_gflops,
+                row.peak_gflops, pct, row.candidates);
+  }
+
+  if (!out.empty()) {
+    std::string err;
+    if (!gsx::la::save_profile(prof, out, &err)) {
+      std::fprintf(stderr, "gsx_tune: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("gsx_tune: wrote %s\n", out.c_str());
+  }
+
+  if (check) {
+    // The smoke contract: the file we just wrote must parse, apply on this
+    // machine, and the chosen configs must tie-or-beat the defaults (5%
+    // timing-noise allowance; the default is always a candidate, so a real
+    // regression means the harness itself is broken).
+    gsx::la::TuneProfile reloaded;
+    std::string err;
+    if (!gsx::la::load_profile(out, &reloaded, &err)) {
+      std::fprintf(stderr, "gsx_tune: check failed: %s\n", err.c_str());
+      return 1;
+    }
+    if (!gsx::la::apply_profile(reloaded, &err)) {
+      std::fprintf(stderr, "gsx_tune: check failed: %s\n", err.c_str());
+      return 1;
+    }
+    for (const auto& row : rep.rows) {
+      if (row.best_gflops < 0.95 * row.def_gflops) {
+        std::fprintf(stderr,
+                     "gsx_tune: check failed: %s best %.1f GF/s < 0.95 x default %.1f\n",
+                     std::string(gsx::precision_name(row.precision)).c_str(),
+                     row.best_gflops, row.def_gflops);
+        return 1;
+      }
+    }
+    std::printf("gsx_tune: check OK (profile parses, applies, ties-or-beats defaults)\n");
+  }
+  return 0;
+}
