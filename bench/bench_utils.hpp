@@ -92,14 +92,20 @@ inline std::string json_out_path(int argc, char** argv) {
   return {};
 }
 
+/// `analytics` (optional) is a pre-rendered JSON object — typically
+/// obs::analytics_json() — embedded verbatim as an "analytics" member so a
+/// bench file carries its own execution-analytics summary.
 inline void write_bench_json(const std::string& path,
-                             const std::vector<BenchRecord>& records) {
+                             const std::vector<BenchRecord>& records,
+                             const std::string& analytics = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"gsx-bench-v1\",\n  \"records\": [");
+  std::fprintf(f, "{\n  \"schema\": \"gsx-bench-v1\",\n");
+  if (!analytics.empty()) std::fprintf(f, "  \"analytics\": %s,\n", analytics.c_str());
+  std::fprintf(f, "  \"records\": [");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::string name;

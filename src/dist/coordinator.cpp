@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "obs/ring.hpp"
 #include "obs/trace.hpp"
 
@@ -113,6 +114,16 @@ std::string Coordinator::handle(const std::string& line) {
       const std::uint64_t seq = u64_field(req, "seq");
       GSX_FLIGHT(obs::EventKind::HeartbeatRecv, 0, seq, 0, 0.0);
       resp["seq"] = static_cast<std::size_t>(seq);
+      // Beats optionally carry the rank's scheduler load; republish as
+      // per-rank gauges so the launcher's metrics exposition shows fleet
+      // load without another wire protocol.
+      const serve::JsonValue* qd = req.find("queue_depth");
+      const serve::JsonValue* inf = req.find("inflight");
+      if (qd != nullptr && qd->is_number() && inf != nullptr && inf->is_number()) {
+        const std::string rank = std::to_string(static_cast<int>(num_field(req, "rank")));
+        obs::Registry::instance().gauge("dist.hb.queue_depth." + rank).set(qd->as_number());
+        obs::Registry::instance().gauge("dist.hb.inflight." + rank).set(inf->as_number());
+      }
     } else if (op == "dist_stats") {
       const int rank = static_cast<int>(num_field(req, "rank"));
       RankStats s;
@@ -246,11 +257,13 @@ double CoordClient::allreduce_sum(std::uint64_t epoch, double value) {
   return sum->as_number();
 }
 
-void CoordClient::heartbeat(std::uint64_t seq) {
+void CoordClient::heartbeat(std::uint64_t seq, double queue_depth, double inflight) {
   serve::JsonValue::Object o;
   o["op"] = "dist_heartbeat";
   o["rank"] = rank_;
   o["seq"] = static_cast<std::size_t>(seq);
+  o["queue_depth"] = queue_depth;
+  o["inflight"] = inflight;
   const std::string line = serve::JsonValue(std::move(o)).dump();
   const double t0 = obs::now_seconds();
   GSX_FLIGHT(obs::EventKind::HeartbeatSend, 0, seq, 0, 0.0);

@@ -118,8 +118,11 @@ class CoordClient {
   /// around the round trip (the coordinator records HeartbeatRecv), which is
   /// what `gsx_obs merge --offsets` uses to estimate per-worker clock skew.
   /// `seq` must be globally unique across ranks (the backend uses
-  /// rank * 1000 + n).
-  void heartbeat(std::uint64_t seq);
+  /// rank * 1000 + n). Beats also carry this rank's scheduler load —
+  /// queue_depth / inflight task counts — which the coordinator publishes as
+  /// per-rank `dist.hb.*` gauges for its Prometheus exposition.
+  void heartbeat(std::uint64_t seq, double queue_depth = 0.0,
+                 double inflight = 0.0);
 
   /// Report end-of-run counters / terminal verdict.
   void report_stats(const RankStats& s);

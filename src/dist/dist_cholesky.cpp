@@ -1,12 +1,15 @@
 #include "dist/dist_cholesky.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +25,7 @@
 #include "geostat/locations.hpp"
 #include "la/convert.hpp"
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/task_graph.hpp"
 #include "tile/tile_codec.hpp"
 #include "tlr/compression.hpp"
@@ -398,9 +402,35 @@ DistResult run_dist_rank(const DistProblemConfig& prob, const DistRunConfig& run
 
   // Nobody sends until every rank has built its graph and staging slots.
   client.barrier(kEpochPreRun);
+
+  // Load-carrying heartbeats while the factorization runs: a side thread
+  // with its own CoordClient (the main client is not thread-safe) samples
+  // this rank's scheduler gauges and ships them so the coordinator can
+  // publish per-rank dist.hb.* load. Sequence numbers continue the
+  // rendezvous series (rank*1000 + n) to stay globally unique.
+  std::atomic<bool> run_active{true};
+  std::thread beat_thread([&run_active, &run] {
+    try {
+      CoordClient beats(run.coord_port, run.rank);
+      obs::Registry& reg = obs::Registry::instance();
+      std::uint64_t seq = static_cast<std::uint64_t>(run.rank) * 1000 +
+                          run.heartbeats;
+      while (run_active.load(std::memory_order_relaxed)) {
+        beats.heartbeat(++seq, reg.gauge("taskgraph.queue_depth").value(),
+                        reg.gauge("taskgraph.inflight").value());
+        for (int i = 0; i < 20 && run_active.load(std::memory_order_relaxed); ++i)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    } catch (...) {
+      // Best-effort telemetry: a lost beat connection must not fail the run.
+    }
+  });
+
   Timer timer;
   engine.run(run.workers);
   res.factor_seconds = timer.seconds();
+  run_active.store(false, std::memory_order_relaxed);
+  beat_thread.join();
 
   res.factor = engine.gather();
   // Rank 0 passes this barrier only after receiving every tile, so peers

@@ -17,6 +17,7 @@
 #include "common/bfloat16.hpp"
 #include "common/half.hpp"
 #include "common/precision.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 
 namespace gsx::obs {
@@ -124,17 +125,24 @@ void add_kernel_seconds(KernelOp op, Precision p, double seconds) noexcept;
 /// RAII wall-clock scope that charges its lifetime to (op, p) via
 /// add_kernel_seconds. Wrap exactly the kernel body (not queueing or
 /// conversion glue) to keep the achieved-rate accounting honest. Costs one
-/// enabled() branch when observability is off.
+/// enabled() branch when observability is off. When hardware-counter
+/// sampling is armed (set_hw_enabled + perf_event available), the same scope
+/// also reads the cycles/instructions/LLC group at both ends and feeds the
+/// roofline ledger (obs/hwcounters.hpp).
 class KernelTimer {
  public:
   KernelTimer(KernelOp op, Precision p) noexcept
       : op_(op), p_(p), armed_(enabled()) {
-    if (armed_) start_ = std::chrono::steady_clock::now();
+    if (armed_) {
+      start_ = std::chrono::steady_clock::now();
+      if (hw_enabled()) hw_begin_ = hw_read();
+    }
   }
   ~KernelTimer() {
     if (!armed_) return;
     const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - start_;
     add_kernel_seconds(op_, p_, dt.count());
+    if (hw_begin_.valid) hw_accumulate(hw_begin_, hw_read(), dt.count());
   }
   KernelTimer(const KernelTimer&) = delete;
   KernelTimer& operator=(const KernelTimer&) = delete;
@@ -144,6 +152,7 @@ class KernelTimer {
   Precision p_;
   bool armed_;
   std::chrono::steady_clock::time_point start_{};
+  HwReading hw_begin_{};
 };
 
 /// Current ledger totals.

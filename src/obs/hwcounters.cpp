@@ -1,0 +1,200 @@
+#include "obs/hwcounters.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace gsx::obs {
+
+namespace {
+
+std::atomic<bool> g_hw_enabled{false};
+// -1 unknown, 0 unavailable, 1 available. Probed by the first hw_read().
+std::atomic<int> g_hw_state{-1};
+
+std::atomic<std::uint64_t> g_cycles{0};
+std::atomic<std::uint64_t> g_instructions{0};
+std::atomic<std::uint64_t> g_llc{0};
+std::atomic<std::uint64_t> g_scopes{0};
+std::atomic<double> g_seconds{0.0};
+std::atomic<bool> g_live{false};
+
+std::mutex g_peaks_mu;
+RooflinePeaks g_peaks;
+
+#if defined(__linux__)
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled, then enabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+/// Per-thread counter group: cycles (leader), instructions, LLC misses.
+/// Opened lazily, closed on thread exit. A failed open marks the process
+/// state unavailable so other threads stop probing.
+struct ThreadGroup {
+  int leader = -1;
+  int instructions = -1;
+  int llc = -1;
+
+  bool open() {
+    leader = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader < 0) return false;
+    instructions = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader);
+    llc = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader);
+    ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  ~ThreadGroup() {
+    if (llc >= 0) ::close(llc);
+    if (instructions >= 0) ::close(instructions);
+    if (leader >= 0) ::close(leader);
+  }
+};
+
+HwReading read_group() noexcept {
+  thread_local ThreadGroup group;
+  thread_local int local_state = -1;
+  HwReading r;
+  if (local_state == 0) return r;
+  if (local_state < 0) {
+    // Respect an earlier process-wide verdict before probing again.
+    if (g_hw_state.load(std::memory_order_relaxed) == 0) {
+      local_state = 0;
+      return r;
+    }
+    local_state = group.open() ? 1 : 0;
+    int expected = -1;
+    g_hw_state.compare_exchange_strong(expected, local_state,
+                                       std::memory_order_relaxed);
+    if (local_state == 0) {
+      g_hw_state.store(0, std::memory_order_relaxed);
+      return r;
+    }
+  }
+  // PERF_FORMAT_GROUP layout: { nr, value[nr] } in open order. Siblings that
+  // failed to open (e.g. no LLC event on this PMU) are simply absent.
+  std::uint64_t buf[8] = {};
+  const ssize_t n = ::read(group.leader, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(2 * sizeof(std::uint64_t))) return r;
+  const std::uint64_t nr = buf[0];
+  std::size_t vi = 1;  // buf[1 + k] holds value k; value k exists iff vi <= nr
+  if (vi <= nr) r.cycles = buf[vi++];
+  if (group.instructions >= 0 && vi <= nr) r.instructions = buf[vi++];
+  if (group.llc >= 0 && vi <= nr) r.llc_misses = buf[vi];
+  r.valid = true;
+  return r;
+}
+
+#else
+
+HwReading read_group() noexcept { return {}; }
+
+#endif  // __linux__
+
+}  // namespace
+
+bool hw_available() noexcept {
+  int state = g_hw_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    // Probe via a real read so availability and readability agree.
+    (void)read_group();
+    state = g_hw_state.load(std::memory_order_relaxed);
+    if (state < 0) {
+      state = 0;
+      g_hw_state.store(0, std::memory_order_relaxed);
+    }
+  }
+  return state == 1;
+}
+
+void set_hw_enabled(bool on) noexcept {
+  g_hw_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool hw_enabled() noexcept { return g_hw_enabled.load(std::memory_order_relaxed); }
+
+HwReading hw_read() noexcept {
+  if (!hw_enabled()) return {};
+  if (g_hw_state.load(std::memory_order_relaxed) == 0) return {};
+  return read_group();
+}
+
+void hw_accumulate(const HwReading& begin, const HwReading& end,
+                   double seconds) noexcept {
+  if (!begin.valid || !end.valid) return;
+  g_cycles.fetch_add(end.cycles - begin.cycles, std::memory_order_relaxed);
+  g_instructions.fetch_add(end.instructions - begin.instructions,
+                           std::memory_order_relaxed);
+  g_llc.fetch_add(end.llc_misses - begin.llc_misses, std::memory_order_relaxed);
+  g_scopes.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> needs C++20 library support; CAS loop is
+  // portable and this path runs once per kernel scope, not per element.
+  double cur = g_seconds.load(std::memory_order_relaxed);
+  while (!g_seconds.compare_exchange_weak(cur, cur + seconds,
+                                          std::memory_order_relaxed)) {
+  }
+  g_live.store(true, std::memory_order_relaxed);
+}
+
+HwTotals hw_totals() noexcept {
+  HwTotals t;
+  t.cycles = g_cycles.load(std::memory_order_relaxed);
+  t.instructions = g_instructions.load(std::memory_order_relaxed);
+  t.llc_misses = g_llc.load(std::memory_order_relaxed);
+  t.scopes = g_scopes.load(std::memory_order_relaxed);
+  t.seconds = g_seconds.load(std::memory_order_relaxed);
+  t.live = g_live.load(std::memory_order_relaxed);
+  return t;
+}
+
+void reset_hw() noexcept {
+  g_cycles.store(0, std::memory_order_relaxed);
+  g_instructions.store(0, std::memory_order_relaxed);
+  g_llc.store(0, std::memory_order_relaxed);
+  g_scopes.store(0, std::memory_order_relaxed);
+  g_seconds.store(0.0, std::memory_order_relaxed);
+  g_live.store(false, std::memory_order_relaxed);
+}
+
+void publish_hw_metrics() {
+  const HwTotals t = hw_totals();
+  auto& reg = Registry::instance();
+  reg.gauge("la.hw.cycles").set(static_cast<double>(t.cycles));
+  reg.gauge("la.hw.instructions").set(static_cast<double>(t.instructions));
+  reg.gauge("la.hw.llc_misses").set(static_cast<double>(t.llc_misses));
+  reg.gauge("la.hw.scopes").set(static_cast<double>(t.scopes));
+  reg.gauge("la.hw.available").set(hw_available() ? 1.0 : 0.0);
+}
+
+void set_roofline_peaks(const RooflinePeaks& peaks) {
+  std::lock_guard lk(g_peaks_mu);
+  g_peaks = peaks;
+}
+
+RooflinePeaks roofline_peaks() {
+  std::lock_guard lk(g_peaks_mu);
+  return g_peaks;
+}
+
+}  // namespace gsx::obs

@@ -1,0 +1,86 @@
+// Hardware performance counters for achieved-vs-peak roofline accounting.
+//
+// A thin perf_event_open wrapper sampling one counter group per thread —
+// cycles, instructions, LLC misses — around instrumented kernel bodies (the
+// KernelTimer RAII in obs/flops.hpp). Containers and locked-down kernels
+// routinely deny perf_event_open (perf_event_paranoid, seccomp); the wrapper
+// probes once per process and degrades to a zero-cost no-op, and every
+// report marks the counters "live" or "unavailable" explicitly so a roofline
+// number is never silently fabricated.
+//
+// Sampling is additionally gated behind set_hw_enabled (default off):
+// reading the group costs one read() syscall per scope boundary, which the
+// always-on telemetry budget does not pay — profiling entry points
+// (gsx_cli --profile, benches) opt in.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/precision.hpp"
+
+namespace gsx::obs {
+
+/// One raw reading of this thread's counter group.
+struct HwReading {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  bool valid = false;
+};
+
+/// True when perf_event_open works here (probed once, process-wide).
+[[nodiscard]] bool hw_available() noexcept;
+
+/// Master sampling switch (default off). Enabling when hw_available() is
+/// false is harmless: scopes stay no-ops.
+void set_hw_enabled(bool on) noexcept;
+[[nodiscard]] bool hw_enabled() noexcept;
+
+/// Read this thread's counter group, opening it on first use. Invalid when
+/// sampling is disabled or the counters are unavailable.
+[[nodiscard]] HwReading hw_read() noexcept;
+
+/// Deltas accumulated across every sampled kernel scope, plus the wall
+/// seconds those scopes spanned (cycles / seconds = effective kernel-time
+/// clock, the honest GHz for the peak model).
+struct HwTotals {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t scopes = 0;
+  double seconds = 0.0;
+  bool live = false;  ///< at least one scope produced valid readings
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles)
+                      : 0.0;
+  }
+  [[nodiscard]] double effective_ghz() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(cycles) / 1e9 / seconds : 0.0;
+  }
+};
+
+/// Fold one scope's begin/end readings into the process totals (relaxed
+/// atomics; no-op when either reading is invalid).
+void hw_accumulate(const HwReading& begin, const HwReading& end,
+                   double seconds) noexcept;
+[[nodiscard]] HwTotals hw_totals() noexcept;
+void reset_hw() noexcept;
+
+/// Publish the totals as la.hw.* gauges (idempotent — gauges, not counters).
+void publish_hw_metrics();
+
+/// Peak model injected by layers that link the LA plane (obs cannot depend
+/// on la): per-precision GEMM peak GFLOP/s at 1 GHz (la::gemm_peak_gflops
+/// with ghz = 1) plus a measured fallback clock for when cycle counters are
+/// unavailable. Unset (all zeros) = roofline percentages are omitted.
+struct RooflinePeaks {
+  std::array<double, kNumPrecisions> peak_gflops_per_ghz{};
+  double fallback_ghz = 0.0;
+  std::string isa;
+};
+void set_roofline_peaks(const RooflinePeaks& peaks);
+[[nodiscard]] RooflinePeaks roofline_peaks();
+
+}  // namespace gsx::obs

@@ -5,8 +5,11 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/analytics.hpp"
+#include "obs/flight.hpp"
 #include "obs/flops.hpp"
 #include "obs/health.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -112,6 +115,26 @@ void write_profile_json(const std::string& path) {
   const FlopSnapshot totals = flop_snapshot();
   const std::vector<IterationRecord> iters = profile_iterations();
   const std::vector<Span> spans = trace_spans();
+
+  // Execution analytics over this process's own flight history, plus the
+  // hardware-counter roofline ledger — published as gauges first so the
+  // metrics array below carries them too.
+  const AnalyticsReport analytics =
+      analyze(build_history(FlightRecorder::instance().snapshot()));
+  export_analytics_metrics(analytics);
+  const HwTotals hw = hw_totals();
+  publish_hw_metrics();
+  const RooflinePeaks peaks = roofline_peaks();
+  const double ghz = hw.live ? hw.effective_ghz() : peaks.fallback_ghz;
+  for (std::size_t p = 0; p < kNumPrecisions; ++p) {
+    const double achieved = totals.gflops_at(static_cast<Precision>(p));
+    const double peak = peaks.peak_gflops_per_ghz[p] * ghz;
+    if (achieved <= 0.0 || peak <= 0.0) continue;
+    Registry::instance()
+        .gauge("la.roofline.pct." + std::string(precision_label(p)))
+        .set(100.0 * achieved / peak);
+  }
+
   const std::vector<MetricSample> metrics = Registry::instance().samples();
 
   os << "{\n";
@@ -183,6 +206,40 @@ void write_profile_json(const std::string& path) {
   }
   os << "},\n";
 
+  // Achieved-vs-peak roofline. "hwcounters" is "live" when perf_event
+  // sampling contributed cycles, "unavailable" when perf_event_open is
+  // denied here (containers), "off" when available but not armed — the
+  // peak model then falls back to the injected measured clock.
+  os << "  \"roofline\": {\"hwcounters\": \""
+     << (hw.live ? "live" : (hw_available() ? "off" : "unavailable")) << "\"";
+  os << ", \"cycles\": " << hw.cycles << ", \"instructions\": " << hw.instructions
+     << ", \"llc_misses\": " << hw.llc_misses << ", \"sampled_scopes\": " << hw.scopes
+     << ", \"ipc\": " << hw.ipc() << ", \"effective_ghz\": " << ghz;
+  if (!peaks.isa.empty()) os << ", \"isa\": \"" << json_escape(peaks.isa) << "\"";
+  os << ",\n   \"by_precision\": {";
+  {
+    bool first = true;
+    for (std::size_t p = 0; p < kNumPrecisions; ++p) {
+      const double achieved = totals.gflops_at(static_cast<Precision>(p));
+      if (achieved <= 0.0) continue;
+      const double peak = peaks.peak_gflops_per_ghz[p] * ghz;
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << precision_label(p) << "\": {\"achieved_gflops\": " << achieved;
+      if (peak > 0.0)
+        os << ", \"peak_gflops\": " << peak
+           << ", \"pct_of_peak\": " << 100.0 * achieved / peak;
+      os << "}";
+    }
+  }
+  os << "}},\n";
+
+  // Execution-analytics summary (critical path, utilization, overlap) from
+  // this process's flight history. docs/observability.md explains the terms.
+  os << "  \"analytics\": ";
+  os << analytics_json(analytics, "  ");
+  os << ",\n";
+
   // Registry metrics.
   os << "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
@@ -240,6 +297,7 @@ void reset_all() {
   reset_trace();
   reset_profile();
   reset_health();
+  reset_hw();
 }
 
 }  // namespace gsx::obs

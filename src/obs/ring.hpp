@@ -64,6 +64,23 @@ enum class EventKind : std::uint16_t {
   TileRecv = 81,  ///< worker: tile frame received and CRC-verified
   SpillOut = 82,  ///< out-of-core pool: cold tile written to disk
   SpillIn = 83,   ///< out-of-core pool: spilled tile read back (CRC-checked)
+  // Replayable DAG execution history (src/obs/analytics.hpp decodes these).
+  // TaskStart/TaskEnd carry the full task identity in one word:
+  //   a = (graph_gen << 48) | (worker << 40) | task_id
+  // where graph_gen is a process-wide 16-bit run() generation (so concurrent
+  // graphs in one process — e.g. bench_dist_cholesky's in-process ranks —
+  // stay separable), worker is 8-bit (0xFF = externally-completed task), and
+  // task_id is the 40-bit submission index. b packs the task-name prefix
+  // before '(' as up to 8 little-endian ASCII bytes ("potrf", "gemm", ...),
+  // the per-op-kind attribution key.
+  TaskStart = 90,   ///< v = dependency (predecessor) count
+  TaskEnd = 91,     ///< v = body duration seconds (0 for external tasks)
+  // One event per DAG edge, recorded at run() start on the caller's ring:
+  //   a = (graph_gen << 48) | (successor << 24) | predecessor
+  // (24-bit task ids), b = packed op name of the successor. Edge events for
+  // graphs beyond ~4k edges wrap the caller's ring oldest-first; analytics
+  // degrades to interval-only reporting for the missing prefix.
+  TaskDepEdge = 92,
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k) noexcept;

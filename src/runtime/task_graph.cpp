@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/analytics.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -127,7 +128,13 @@ struct TaskGraph::RunCtx {
   std::size_t completed = 0;
   std::exception_ptr first_error;
   std::atomic<bool> aborting{false};
+  std::atomic<std::size_t> inflight{0};
   obs::Gauge& queue_depth_gauge;
+  /// Process-wide run() generation, folded into TaskStart/TaskEnd/TaskDepEdge
+  /// identities so concurrent graphs (in-process dist ranks, serving solves)
+  /// replay as separate DAGs. 16 bits: wraps harmlessly — generations only
+  /// need to be distinct among graphs alive in one flight-ring window.
+  std::uint64_t generation = 0;
 
   RunCtx(TaskGraph& graph, std::size_t workers, obs::Gauge& gauge)
       : g(graph),
@@ -230,6 +237,11 @@ struct TaskGraph::RunCtx {
     ++completed;
     g.exec_order_.push_back(id);
     GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, /*worker=*/num_workers, 0.0);
+    // Externals have no body: the notify() instant is both start and end
+    // (TaskEnd only, duration 0 — analytics reconstructs a point task).
+    GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
+               obs::task_ident(generation, obs::kExternalWorker, id),
+               obs::pack_op_name(g.tasks_[id].name), 0.0);
     return propagate(id, worker_hint);
   }
 
@@ -280,8 +292,29 @@ void TaskGraph::run(std::size_t num_workers) {
   // resolve the gauge once (references stay valid across Registry::reset()).
   static obs::Gauge& queue_depth_gauge =
       obs::Registry::instance().gauge("taskgraph.queue_depth");
+  static obs::Gauge& inflight_gauge =
+      obs::Registry::instance().gauge("taskgraph.inflight");
 
   RunCtx ctx(*this, num_workers, queue_depth_gauge);
+
+  // Stamp this run's DAG identity and ship the dependency edges to the
+  // flight ring up front, so the dump carries a replayable execution history
+  // (obs/analytics.hpp). One event per edge on the caller's ring; graphs
+  // past the ring capacity lose their oldest edges, which analytics
+  // tolerates (it degrades to interval-only reporting).
+  {
+    static std::atomic<std::uint64_t> run_generation{0};
+    ctx.generation = run_generation.fetch_add(1, std::memory_order_relaxed) & 0xFFFF;
+  }
+#ifndef GSX_TELEMETRY_DISABLED
+  for (std::size_t from = 0; from < tasks_.size(); ++from) {
+    for (const std::size_t to : tasks_[from].successors) {
+      GSX_FLIGHT(obs::EventKind::TaskDepEdge, 0,
+                 obs::dep_ident(ctx.generation, to, from),
+                 obs::pack_op_name(tasks_[to].name), 0.0);
+    }
+  }
+#endif
 
   // Seed tasks with no predecessors. Externals never enter the ready queues:
   // a zero-predecessor external simply waits for its notify().
@@ -324,6 +357,12 @@ void TaskGraph::run(std::size_t num_workers) {
 
       Task& t = tasks_[id];
       GSX_FLIGHT(obs::EventKind::TaskRun, 0, id, worker_id, 0.0);
+      GSX_FLIGHT(obs::EventKind::TaskStart, 0,
+                 obs::task_ident(ctx.generation, worker_id, id),
+                 obs::pack_op_name(t.name),
+                 static_cast<double>(t.num_predecessors));
+      inflight_gauge.set(static_cast<double>(
+          ctx.inflight.fetch_add(1, std::memory_order_relaxed) + 1));
       const double t0 = wall.seconds();
       if (!ctx.aborting.load(std::memory_order_acquire)) {
         try {
@@ -341,7 +380,12 @@ void TaskGraph::run(std::size_t num_workers) {
       }
       const double t1 = wall.seconds();
       t.duration_seconds = t1 - t0;
+      inflight_gauge.set(static_cast<double>(
+          ctx.inflight.fetch_sub(1, std::memory_order_relaxed) - 1));
       GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, worker_id, t.duration_seconds);
+      GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
+                 obs::task_ident(ctx.generation, worker_id, id),
+                 obs::pack_op_name(t.name), t.duration_seconds);
 
       // Kernel-attached metadata (precision, rank, flops) for the trace.
       // Always drained so a stale annotation never leaks onto a later task.

@@ -9,11 +9,13 @@
 #      coordinator verb (kDistVerbs in src/dist/coordinator.cpp) has one
 #      in docs/distributed.md — the verb lists are extracted from the
 #      source, so adding a verb without documenting it fails this check;
-#   4. every CLI flag printed by gsx_serve's, gsx_router's and gsx_dist's
-#      usage() text is mentioned somewhere in README.md or docs/;
-#   5. every metric name registered in the serving, distributed and
-#      linear-algebra planes (serve.* / router.* / taskgraph.* / dist.* /
-#      la.* literals passed to counter()/gauge()/histogram() under src/)
+#   4. every CLI flag printed by gsx_serve's, gsx_router's, gsx_dist's,
+#      gsx_tune's and gsx_obs's usage() text is mentioned somewhere in
+#      README.md or docs/;
+#   5. every metric name registered in the serving, distributed,
+#      linear-algebra and analytics planes (serve.* / router.* /
+#      taskgraph.* / dist.* / la.* / obs.* literals passed to
+#      counter()/gauge()/histogram() under src/)
 #      appears in docs/observability.md. Names
 #      built with a runtime suffix ("router.requests." + name) end in '.'
 #      in the source; the documented prefix is what is checked;
@@ -127,6 +129,7 @@ check_flags tools/gsx_serve.cpp
 check_flags tools/gsx_router.cpp
 check_flags tools/gsx_dist.cpp
 check_flags tools/gsx_tune.cpp
+check_flags tools/gsx_obs.cpp
 
 # --- 5. observability docs cover every registered metric name ---------------
 # Extract the string literal of each instrument registration. Dynamic
@@ -137,7 +140,7 @@ if [ ! -e "$obs_doc" ]; then
   echo "MISSING DOC: docs/observability.md"
   status=1
 else
-  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph|dist|la)\.[A-Za-z0-9_.]+"' \
+  metrics=$(grep -rhoE '(counter|gauge|histogram)\("(serve|router|taskgraph|dist|la|obs)\.[A-Za-z0-9_.]+"' \
               "$root/src" | sed -e 's/.*("//' -e 's/"$//' | sort -u)
   if [ -z "$metrics" ]; then
     echo "EXTRACT FAILED: no registered metric names found under src/"

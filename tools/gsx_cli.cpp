@@ -25,8 +25,11 @@
 #include "data/dataset.hpp"
 #include "geostat/field.hpp"
 #include "geostat/kernel_registry.hpp"
+#include "la/autotune.hpp"
+#include "la/gemm_kernel.hpp"
 #include "mathx/stats.hpp"
 #include "obs/health.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -110,21 +113,34 @@ std::unique_ptr<geostat::CovarianceModel> make_kernel(const std::string& name,
 }
 
 /// Arm the observability layer when --profile PREFIX was given; returns
-/// whether profiling is on.
+/// whether profiling is on. Also arms per-kernel hardware-counter sampling
+/// (a clean no-op where perf_event_open is denied) and injects the GEMM peak
+/// model so profile.json can report achieved-vs-peak rooflines.
 bool begin_profile(const std::map<std::string, std::string>& flags) {
   if (!flags.count("profile")) return false;
   obs::reset_all();
   obs::set_enabled(true);
+  obs::set_hw_enabled(true);
+  obs::RooflinePeaks peaks;
+  for (std::size_t p = 0; p < kNumPrecisions; ++p)
+    peaks.peak_gflops_per_ghz[p] =
+        la::gemm_peak_gflops(static_cast<Precision>(p), 1.0);
+  peaks.fallback_ghz = la::measure_clock_ghz();
+  peaks.isa = la::gemm_dispatch_info().isa;
+  obs::set_roofline_peaks(peaks);
   return true;
 }
 
 /// Flush the profiled run to PREFIX.{trace.json,profile.json,flops.csv}.
+/// The reports publish analytics/roofline gauges, so obs stays enabled until
+/// they are written.
 void end_profile(const std::map<std::string, std::string>& flags) {
-  obs::set_enabled(false);
   const std::string& prefix = flags.at("profile");
   rt::write_profile_trace_json(prefix + ".trace.json");
   obs::write_profile_json(prefix + ".profile.json");
   obs::write_flops_csv(prefix + ".flops.csv");
+  obs::set_hw_enabled(false);
+  obs::set_enabled(false);
   std::printf("profile: wrote %s.trace.json, %s.profile.json, %s.flops.csv\n",
               prefix.c_str(), prefix.c_str(), prefix.c_str());
 }

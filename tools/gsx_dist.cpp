@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "dist/dist_cholesky.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "serve/listener.hpp"
 
 namespace {
 
@@ -45,6 +47,7 @@ struct Options {
   DistRunConfig run;
   bool verify = false;
   bool expect_spill = false;
+  int metrics_port = -1;  // Prometheus scrape port per worker (-1 off, 0 ephemeral)
   std::string flight_dir;
   std::string json_path;
   std::string spill_base;  // launcher-side; workers get spill_base/r<rank>
@@ -70,6 +73,9 @@ void usage(const char* argv0) {
                "  --flight-dir DIR  dump per-process flight recorders\n"
                "                    (coord.jsonl, w<rank>.jsonl) for gsx_obs merge\n"
                "  --json PATH       write a run summary as JSON\n"
+               "  --metrics-port P  per-worker Prometheus scrape port (dist.pool.*,\n"
+               "                    taskgraph.*; use 0 so each rank binds an\n"
+               "                    ephemeral port, printed at startup)\n"
                "\n"
                "worker: one rank, launched by `run` (internal)\n"
                "  --rank R --procs K --coord-port P  + the problem flags above\n",
@@ -96,6 +102,8 @@ bool parse_common(Options& o, const std::string& arg,
     o.verify = true;
   } else if (arg == "--flight-dir") {
     o.flight_dir = value();
+  } else if (arg == "--metrics-port") {
+    o.metrics_port = static_cast<int>(std::stol(value()));
   } else {
     return false;
   }
@@ -111,6 +119,25 @@ int worker_main(Options o) {
   gsx::obs::set_enabled(true);
   const std::string name = "w" + std::to_string(o.run.rank);
   gsx::obs::FlightRecorder::instance().set_process_name(name);
+
+  // Per-rank Prometheus exposition: a LineListener with only the metrics
+  // scrape side active (the control socket stays ephemeral and unserved).
+  // Scrapes see this rank's registry — dist.pool.*, taskgraph.*, la.* — live
+  // during the factorization.
+  std::unique_ptr<gsx::serve::LineListener> metrics;
+  if (o.metrics_port >= 0) {
+    gsx::serve::LineListener::Config cfg;
+    cfg.tcp_port = 0;
+    cfg.metrics_port = o.metrics_port;
+    cfg.log_tag = "dist";
+    metrics = std::make_unique<gsx::serve::LineListener>(
+        std::move(cfg), [](const std::string&) { return std::string(); });
+    metrics->listen();
+    std::printf("gsx_dist %s: metrics on http://127.0.0.1:%u/metrics\n",
+                name.c_str(), metrics->metrics_port());
+    std::fflush(stdout);
+  }
+
   try {
     gsx::dist::DistResult res = gsx::dist::run_dist_rank(o.prob, o.run);
     std::printf("gsx_dist %s: factor %.3fs, sent %llu tiles / %llu bytes\n",
@@ -127,14 +154,17 @@ int worker_main(Options o) {
                   cmp.tiles_compared, cmp.max_abs_diff);
       if (!cmp.identical) {
         dump_flight(o.flight_dir, name);
+        if (metrics) metrics->shutdown();
         return 1;
       }
     }
     dump_flight(o.flight_dir, name);
+    if (metrics) metrics->shutdown();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gsx_dist %s: %s\n", name.c_str(), e.what());
     dump_flight(o.flight_dir, name);
+    if (metrics) metrics->shutdown();
     try {
       gsx::dist::CoordClient client(o.run.coord_port, o.run.rank);
       client.done(false, e.what());
@@ -184,6 +214,10 @@ int run_main(Options o, const char* self) {
     if (o.verify) args.push_back("--verify");
     if (!o.flight_dir.empty())
       args.insert(args.end(), {"--flight-dir", o.flight_dir});
+    // Per-rank scrape ports: pass 0 so each worker binds its own ephemeral
+    // port (a fixed port would collide across ranks on one host).
+    if (o.metrics_port >= 0)
+      args.insert(args.end(), {"--metrics-port", std::to_string(o.metrics_port)});
 
     const pid_t pid = ::fork();
     if (pid == 0) {
