@@ -118,7 +118,8 @@ class CoordClient {
   /// around the round trip (the coordinator records HeartbeatRecv), which is
   /// what `gsx_obs merge --offsets` uses to estimate per-worker clock skew.
   /// `seq` must be globally unique across ranks (the backend uses
-  /// rank * 1000 + n). Beats also carry this rank's scheduler load —
+  /// rank * 1000 + n for rendezvous beats and 1<<63 | rank<<32 | n for the
+  /// load-beat thread). Beats also carry this rank's scheduler load —
   /// queue_depth / inflight task counts — which the coordinator publishes as
   /// per-rank `dist.hb.*` gauges for its Prometheus exposition.
   void heartbeat(std::uint64_t seq, double queue_depth = 0.0,

@@ -406,17 +406,20 @@ DistResult run_dist_rank(const DistProblemConfig& prob, const DistRunConfig& run
   // Load-carrying heartbeats while the factorization runs: a side thread
   // with its own CoordClient (the main client is not thread-safe) samples
   // this rank's scheduler gauges and ships them so the coordinator can
-  // publish per-rank dist.hb.* load. Sequence numbers continue the
-  // rendezvous series (rank*1000 + n) to stay globally unique.
+  // publish per-rank dist.hb.* load. Sequence numbers live in their own
+  // high-bit namespace (1<<63 | rank<<32 | n): still globally unique for
+  // gsx_obs merge --offsets, and a run of any length can never walk into
+  // another rank's rendezvous series (rank*1000 + n).
   std::atomic<bool> run_active{true};
   std::thread beat_thread([&run_active, &run] {
     try {
       CoordClient beats(run.coord_port, run.rank);
       obs::Registry& reg = obs::Registry::instance();
-      std::uint64_t seq = static_cast<std::uint64_t>(run.rank) * 1000 +
-                          run.heartbeats;
+      const std::uint64_t seq_base =
+          (std::uint64_t{1} << 63) | (static_cast<std::uint64_t>(run.rank) << 32);
+      std::uint64_t n = 0;
       while (run_active.load(std::memory_order_relaxed)) {
-        beats.heartbeat(++seq, reg.gauge("taskgraph.queue_depth").value(),
+        beats.heartbeat(seq_base | ++n, reg.gauge("taskgraph.queue_depth").value(),
                         reg.gauge("taskgraph.inflight").value());
         for (int i = 0; i < 20 && run_active.load(std::memory_order_relaxed); ++i)
           std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -425,6 +428,17 @@ DistResult run_dist_rank(const DistProblemConfig& prob, const DistRunConfig& run
       // Best-effort telemetry: a lost beat connection must not fail the run.
     }
   });
+  // engine.run rethrows the first task error (TaskGraph::run); the beat
+  // thread must be stopped and joined on that path too, or its destructor
+  // calls std::terminate and the coordinator never hears done(false).
+  struct BeatGuard {
+    std::atomic<bool>& active;
+    std::thread& t;
+    ~BeatGuard() {
+      active.store(false, std::memory_order_relaxed);
+      if (t.joinable()) t.join();
+    }
+  } beat_guard{run_active, beat_thread};
 
   Timer timer;
   engine.run(run.workers);

@@ -1,7 +1,9 @@
 #include "runtime/task_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -135,6 +137,10 @@ struct TaskGraph::RunCtx {
   /// replay as separate DAGs. 16 bits: wraps harmlessly — generations only
   /// need to be distinct among graphs alive in one flight-ring window.
   std::uint64_t generation = 0;
+  /// False when this run exceeds the packed TaskStart/TaskEnd/TaskDepEdge
+  /// field widths (8-bit worker lanes, 24-bit edge endpoints): the DAG
+  /// history events are skipped rather than emitted with aliased identities.
+  bool dag_events = true;
 
   RunCtx(TaskGraph& graph, std::size_t workers, obs::Gauge& gauge)
       : g(graph),
@@ -239,9 +245,10 @@ struct TaskGraph::RunCtx {
     GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, /*worker=*/num_workers, 0.0);
     // Externals have no body: the notify() instant is both start and end
     // (TaskEnd only, duration 0 — analytics reconstructs a point task).
-    GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
-               obs::task_ident(generation, obs::kExternalWorker, id),
-               obs::pack_op_name(g.tasks_[id].name), 0.0);
+    if (dag_events)
+      GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
+                 obs::task_ident(generation, obs::kExternalWorker, id),
+                 obs::pack_op_name(g.tasks_[id].name), 0.0);
     return propagate(id, worker_hint);
   }
 
@@ -267,16 +274,27 @@ struct TaskGraph::RunCtx {
 void TaskGraph::notify(std::size_t task_id) {
   GSX_REQUIRE(task_id < tasks_.size() && tasks_[task_id].external,
               "notify: not an external task id");
-  RunCtx* ctx = run_ctx_.load(std::memory_order_acquire);
+  // Announce before loading the context (both seq_cst): run()'s teardown
+  // stores nullptr and then waits for this counter to drain, so either this
+  // load sees the unpublish (and parks below) or the teardown sees the
+  // increment and keeps the context alive until handle_notify returns.
+  notify_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  RunCtx* ctx = run_ctx_.load(std::memory_order_seq_cst);
+  if (ctx != nullptr) {
+    ctx->handle_notify(task_id);
+    notify_inflight_.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  notify_inflight_.fetch_sub(1, std::memory_order_release);
+  std::lock_guard lk(prenotify_mtx_);
+  // Re-check under the same lock run() takes when publishing the context
+  // and folding prenotifications, so this notification is seen exactly once.
+  // Holding the lock here also excludes run()'s unpublish, which keeps the
+  // context alive for the duration of the call.
+  ctx = run_ctx_.load(std::memory_order_acquire);
   if (ctx == nullptr) {
-    std::lock_guard lk(prenotify_mtx_);
-    // Re-check under the same lock run() takes when publishing the context
-    // and folding prenotifications, so this notification is seen exactly once.
-    ctx = run_ctx_.load(std::memory_order_acquire);
-    if (ctx == nullptr) {
-      prenotified_.push_back(task_id);
-      return;
-    }
+    prenotified_.push_back(task_id);
+    return;
   }
   ctx->handle_notify(task_id);
 }
@@ -306,12 +324,29 @@ void TaskGraph::run(std::size_t num_workers) {
     static std::atomic<std::uint64_t> run_generation{0};
     ctx.generation = run_generation.fetch_add(1, std::memory_order_relaxed) & 0xFFFF;
   }
+  // The packed identities carry 8-bit worker lanes (0xFF reserved for
+  // externals) and 24-bit TaskDepEdge endpoints (analytics.hpp); a run past
+  // either width would alias worker 255 with externals or orphan edges from
+  // their tasks. Degrade explicitly: warn once, skip the DAG events, and let
+  // analytics fall back to the interval-only TaskRun/TaskDone vocabulary.
+  ctx.dag_events =
+      num_workers <= obs::kExternalWorker && tasks_.size() <= 0xFFFFFFu;
+  if (!ctx.dag_events) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "gsx: DAG flight events disabled for this run: %zu workers / "
+                   "%zu tasks exceed the packed event fields\n",
+                   num_workers, tasks_.size());
+  }
 #ifndef GSX_TELEMETRY_DISABLED
-  for (std::size_t from = 0; from < tasks_.size(); ++from) {
-    for (const std::size_t to : tasks_[from].successors) {
-      GSX_FLIGHT(obs::EventKind::TaskDepEdge, 0,
-                 obs::dep_ident(ctx.generation, to, from),
-                 obs::pack_op_name(tasks_[to].name), 0.0);
+  if (ctx.dag_events) {
+    for (std::size_t from = 0; from < tasks_.size(); ++from) {
+      for (const std::size_t to : tasks_[from].successors) {
+        GSX_FLIGHT(obs::EventKind::TaskDepEdge, 0,
+                   obs::dep_ident(ctx.generation, to, from),
+                   obs::pack_op_name(tasks_[to].name), 0.0);
+      }
     }
   }
 #endif
@@ -357,10 +392,11 @@ void TaskGraph::run(std::size_t num_workers) {
 
       Task& t = tasks_[id];
       GSX_FLIGHT(obs::EventKind::TaskRun, 0, id, worker_id, 0.0);
-      GSX_FLIGHT(obs::EventKind::TaskStart, 0,
-                 obs::task_ident(ctx.generation, worker_id, id),
-                 obs::pack_op_name(t.name),
-                 static_cast<double>(t.num_predecessors));
+      if (ctx.dag_events)
+        GSX_FLIGHT(obs::EventKind::TaskStart, 0,
+                   obs::task_ident(ctx.generation, worker_id, id),
+                   obs::pack_op_name(t.name),
+                   static_cast<double>(t.num_predecessors));
       inflight_gauge.set(static_cast<double>(
           ctx.inflight.fetch_add(1, std::memory_order_relaxed) + 1));
       const double t0 = wall.seconds();
@@ -383,9 +419,10 @@ void TaskGraph::run(std::size_t num_workers) {
       inflight_gauge.set(static_cast<double>(
           ctx.inflight.fetch_sub(1, std::memory_order_relaxed) - 1));
       GSX_FLIGHT(obs::EventKind::TaskDone, 0, id, worker_id, t.duration_seconds);
-      GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
-                 obs::task_ident(ctx.generation, worker_id, id),
-                 obs::pack_op_name(t.name), t.duration_seconds);
+      if (ctx.dag_events)
+        GSX_FLIGHT(obs::EventKind::TaskEnd, 0,
+                   obs::task_ident(ctx.generation, worker_id, id),
+                   obs::pack_op_name(t.name), t.duration_seconds);
 
       // Kernel-attached metadata (precision, rank, flops) for the trace.
       // Always drained so a stale annotation never leaks onto a later task.
@@ -430,8 +467,13 @@ void TaskGraph::run(std::size_t num_workers) {
   // message after an abort tore the run down) park harmlessly in prenotified_.
   {
     std::lock_guard lk(prenotify_mtx_);
-    run_ctx_.store(nullptr, std::memory_order_release);
+    run_ctx_.store(nullptr, std::memory_order_seq_cst);
   }
+  // Drain notifiers that loaded the context before the unpublish: ctx (its
+  // mutex and cv) must outlive their handle_notify calls, or a late
+  // transport delivery signals a destroyed condition variable.
+  while (notify_inflight_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
 
   stats_.makespan_seconds = wall.seconds();
   stats_.steals = ctx.steal_count;

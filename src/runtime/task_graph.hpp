@@ -177,6 +177,11 @@ class TaskGraph {
   std::atomic<RunCtx*> run_ctx_{nullptr};
   std::mutex prenotify_mtx_;
   std::vector<std::size_t> prenotified_;
+  // Notifiers announce themselves here *before* loading run_ctx_; run()'s
+  // teardown unpublishes the context and then drains this counter, so a
+  // notifier that saw a live context always finishes before the context
+  // (its mutex and cv) is destroyed.
+  std::atomic<std::size_t> notify_inflight_{0};
 
   std::vector<Task> tasks_;
   std::unordered_map<std::uintptr_t, DatumState> data_;

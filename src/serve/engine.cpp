@@ -268,6 +268,13 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
   auto& queue_wait = obs::Registry::instance().histogram(
       "serve.queue.seconds", obs::Histogram::duration_bounds());
 
+  // Count completions before fulfilling any promise: a client that has its
+  // response in hand must see these requests in a subsequent stats read.
+  if (ok) {
+    std::lock_guard lk(mu_);
+    stats_.completed += live.size();
+  }
+
   std::size_t offset = 0;
   for (Pending& p : live) {
     const std::size_t m = p.points.size();
@@ -318,10 +325,6 @@ void KrigingEngine::process_batch(std::vector<Pending> batch) {
   in_flight_.fetch_sub(live.size(), std::memory_order_relaxed);
   obs::Registry::instance().gauge("serve.inflight")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
-  if (ok) {
-    std::lock_guard lk(mu_);
-    stats_.completed += live.size();
-  }
 }
 
 }  // namespace gsx::serve

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/ring.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace gsx::rt {
@@ -297,6 +299,54 @@ TEST(ParallelFor, SingleWorkerSequential) {
   const std::vector<std::size_t> expect = {3, 4, 5, 6, 7, 8};
   EXPECT_EQ(order, expect);
 }
+
+#ifndef GSX_TELEMETRY_DISABLED
+// The packed TaskStart/TaskEnd/TaskDepEdge identities carry 8-bit worker
+// lanes (0xFF reserved for externals): a run with more workers than the
+// field can hold must skip the DAG-history events entirely — worker 255
+// would otherwise masquerade as an external task — while the interval
+// vocabulary (TaskRun/TaskDone) and the run itself stay intact.
+TEST(TaskGraph, OversizedWorkerCountSkipsPackedDagEvents) {
+  const auto count = [](gsx::obs::EventKind k) {
+    std::size_t n = 0;
+    for (const gsx::obs::Event& e : gsx::obs::FlightRecorder::instance().snapshot())
+      if (e.kind == k) ++n;
+    return n;
+  };
+
+  // Control: an in-range worker count records the packed DAG history.
+  {
+    const std::size_t start_before = count(gsx::obs::EventKind::TaskStart);
+    TaskGraph g;
+    std::atomic<int> ran{0};
+    const auto d = DatumId::from_index(0);
+    g.submit("a()", {{d, Access::Write}}, [&] { ++ran; });
+    g.submit("b()", {{d, Access::Read}}, [&] { ++ran; });
+    g.run(2);
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_GT(count(gsx::obs::EventKind::TaskStart), start_before);
+  }
+
+  // 300 workers overflow the 8-bit lane field: no new TaskStart/TaskEnd/
+  // TaskDepEdge events (older ones may age out of the ring, hence LE), but
+  // the graph still executes and TaskRun still records.
+  {
+    const std::size_t start_before = count(gsx::obs::EventKind::TaskStart);
+    const std::size_t end_before = count(gsx::obs::EventKind::TaskEnd);
+    const std::size_t edge_before = count(gsx::obs::EventKind::TaskDepEdge);
+    TaskGraph g;
+    std::atomic<int> ran{0};
+    const auto d = DatumId::from_index(0);
+    g.submit("a()", {{d, Access::Write}}, [&] { ++ran; });
+    g.submit("b()", {{d, Access::Read}}, [&] { ++ran; });
+    g.run(300);
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_LE(count(gsx::obs::EventKind::TaskStart), start_before);
+    EXPECT_LE(count(gsx::obs::EventKind::TaskEnd), end_before);
+    EXPECT_LE(count(gsx::obs::EventKind::TaskDepEdge), edge_before);
+  }
+}
+#endif
 
 }  // namespace
 }  // namespace gsx::rt

@@ -103,7 +103,12 @@ bool parse_common(Options& o, const std::string& arg,
   } else if (arg == "--flight-dir") {
     o.flight_dir = value();
   } else if (arg == "--metrics-port") {
-    o.metrics_port = static_cast<int>(std::stol(value()));
+    try {
+      o.metrics_port = static_cast<int>(std::stol(value()));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "gsx_dist: --metrics-port needs a port number\n");
+      std::exit(2);
+    }
   } else {
     return false;
   }
@@ -126,15 +131,23 @@ int worker_main(Options o) {
   // during the factorization.
   std::unique_ptr<gsx::serve::LineListener> metrics;
   if (o.metrics_port >= 0) {
-    gsx::serve::LineListener::Config cfg;
-    cfg.tcp_port = 0;
-    cfg.metrics_port = o.metrics_port;
-    cfg.log_tag = "dist";
-    metrics = std::make_unique<gsx::serve::LineListener>(
-        std::move(cfg), [](const std::string&) { return std::string(); });
-    metrics->listen();
-    std::printf("gsx_dist %s: metrics on http://127.0.0.1:%u/metrics\n",
-                name.c_str(), metrics->metrics_port());
+    try {
+      gsx::serve::LineListener::Config cfg;
+      cfg.tcp_port = 0;
+      cfg.metrics_port = o.metrics_port;
+      cfg.log_tag = "dist";
+      metrics = std::make_unique<gsx::serve::LineListener>(
+          std::move(cfg), [](const std::string&) { return std::string(); });
+      metrics->listen();
+      std::printf("gsx_dist %s: metrics on http://127.0.0.1:%u/metrics\n",
+                  name.c_str(), metrics->metrics_port());
+    } catch (const std::exception& e) {
+      // Scrape exposition is best-effort: a bind failure (port taken) must
+      // not take the rank — and with it the whole fleet — down.
+      std::fprintf(stderr, "gsx_dist %s: metrics listener unavailable (%s)\n",
+                   name.c_str(), e.what());
+      metrics.reset();
+    }
     std::fflush(stdout);
   }
 
@@ -217,7 +230,7 @@ int run_main(Options o, const char* self) {
     // Per-rank scrape ports: pass 0 so each worker binds its own ephemeral
     // port (a fixed port would collide across ranks on one host).
     if (o.metrics_port >= 0)
-      args.insert(args.end(), {"--metrics-port", std::to_string(o.metrics_port)});
+      args.insert(args.end(), {"--metrics-port", "0"});
 
     const pid_t pid = ::fork();
     if (pid == 0) {
